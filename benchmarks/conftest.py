@@ -1,0 +1,113 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or headline tables
+from a survey of a synthetic Internet.  The survey is run once per session
+(via the ``paper_survey`` fixture) and the individual benchmarks then time
+the analysis that produces each figure, assert that the qualitative shape of
+the paper's result holds, and write a paper-vs-measured table to
+``benchmarks/output/`` (and to stdout) so the numbers can be inspected after
+``pytest benchmarks/ --benchmark-only``.
+
+Absolute numbers are not expected to match the 2004 Internet — the substrate
+is a scaled-down synthetic topology — but the *shape* of every result (who
+is bigger, by roughly what factor, where the mass of the distribution sits)
+is asserted.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.survey import Survey
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+
+#: Generator configuration used for every benchmark.  Roughly 2,000 surveyed
+#: names over ~2,000 nameservers: large enough for stable distributions,
+#: small enough that the whole harness runs in a couple of minutes.
+BENCH_CONFIG = GeneratorConfig(
+    seed=20040722,
+    sld_count=1200,
+    directory_name_count=2000,
+    university_count=110,
+    hosting_provider_count=32,
+    isp_count=24,
+    alexa_count=300,
+)
+
+#: Reference values reported by the paper, used in the tables each bench
+#: prints.  Keys are shared with the measured dictionaries.
+PAPER = {
+    "names_surveyed": 593160,
+    "servers_discovered": 166771,
+    "mean_tcb_size": 46.0,
+    "median_tcb_size": 26.0,
+    "fraction_tcb_over_200": 0.065,
+    "popular_mean_tcb_size": 69.0,
+    "popular_fraction_tcb_over_200": 0.15,
+    "mean_in_bailiwick": 2.2,
+    "vulnerable_server_fraction": 0.17,   # 27,141 / 166,771
+    "fraction_names_with_vulnerable_dependency": 0.45,
+    "mean_vulnerable_in_tcb": 4.1,
+    "popular_mean_vulnerable_in_tcb": 7.6,
+    "fraction_completely_hijackable": 0.30,
+    "fraction_one_safe_bottleneck": 0.10,
+    "mean_mincut_size": 2.5,
+    "mean_names_controlled": 166.0,
+    "median_names_controlled": 4.0,
+    "high_leverage_servers": 125,
+    "high_leverage_vulnerable": 12,
+    "high_leverage_edu": 25,
+    "gtld_mean_tcb": 87.0,
+    "cctld_mean_tcb": 209.0,
+}
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_internet():
+    """The synthetic Internet all benchmarks run against."""
+    return InternetGenerator(BENCH_CONFIG).generate()
+
+
+@pytest.fixture(scope="session")
+def paper_survey(bench_internet):
+    """Survey results over the benchmark Internet (computed once)."""
+    survey = Survey(bench_internet, popular_count=BENCH_CONFIG.alexa_count)
+    return survey.run()
+
+
+class FigureWriter:
+    """Writes a figure's paper-vs-measured table to disk and stdout."""
+
+    def __init__(self, directory: pathlib.Path):
+        self._directory = directory
+        self._directory.mkdir(parents=True, exist_ok=True)
+
+    def write(self, figure: str, title: str, lines) -> pathlib.Path:
+        """Write ``lines`` under a title; returns the path written."""
+        path = self._directory / f"{figure}.txt"
+        body = [title, "=" * len(title), *[str(line) for line in lines], ""]
+        text = "\n".join(body)
+        path.write_text(text, encoding="utf-8")
+        print(f"\n{text}")
+        return path
+
+
+@pytest.fixture(scope="session")
+def figure_writer():
+    """Shared writer for per-figure result tables."""
+    return FigureWriter(OUTPUT_DIR)
+
+
+def comparison_rows(measured: dict, keys) -> list:
+    """Format ``paper vs measured`` rows for the given keys."""
+    rows = []
+    for key in keys:
+        paper_value = PAPER.get(key, float("nan"))
+        measured_value = measured.get(key, float("nan"))
+        rows.append(f"{key:45s} paper={paper_value:>12.3f}  "
+                    f"measured={measured_value:>12.3f}")
+    return rows

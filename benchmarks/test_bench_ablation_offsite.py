@@ -1,0 +1,96 @@
+"""Ablations: the design choices DESIGN.md calls out.
+
+* **Off-site secondaries** — the paper attributes large TCBs to
+  administrators delegating to remote secondaries for availability.  The
+  ablation sweeps ``offsite_secondary_prob`` and shows TCBs shrinking when
+  universities stop slaving each other's zones.
+* **Glue records** — glue short-circuits lookups but is not authoritative;
+  resolution with and without glue must agree on answers while differing in
+  query count.
+* **Hygiene scale** — sensitivity of the "names affected" fraction to the
+  underlying vulnerable-server fraction.
+"""
+
+import pytest
+
+from repro.core.survey import Survey
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+
+#: Small configuration shared by the ablation sweeps (each point regenerates
+#: the Internet, so they must stay cheap).
+ABLATION_BASE = dict(
+    seed=20040722, sld_count=260, directory_name_count=420,
+    university_count=60, hosting_provider_count=14, isp_count=10,
+    alexa_count=60)
+
+
+def _survey_with(**overrides):
+    config = GeneratorConfig(**{**ABLATION_BASE, **overrides})
+    internet = InternetGenerator(config).generate()
+    return Survey(internet, popular_count=60).run()
+
+
+def test_ablation_offsite_secondaries(benchmark, figure_writer):
+    """Sweep the probability that universities use off-site secondaries."""
+    def sweep():
+        results = {}
+        for probability in (0.0, 0.5, 1.0):
+            survey = _survey_with(offsite_secondary_prob=probability)
+            results[probability] = survey.headline()["mean_tcb_size"]
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    lines = ["offsite_secondary_prob -> mean TCB size"]
+    for probability, mean in sorted(results.items()):
+        lines.append(f"  {probability:.1f} -> {mean:7.1f}")
+    lines.append("")
+    lines.append("(the paper's availability-vs-security dilemma: more "
+                 "off-site secondaries = larger TCBs)")
+    figure_writer.write("ablation_offsite_secondaries",
+                        "Ablation: off-site secondary probability", lines)
+
+    assert results[1.0] > results[0.0], \
+        "off-site secondaries must inflate TCBs"
+    assert results[0.5] >= results[0.0]
+
+
+def test_ablation_glue_semantics(benchmark, bench_internet, paper_survey):
+    """Glue changes the number of queries, never the answers or the TCB."""
+    names = [record.name for record in paper_survey.resolved_records()[:25]]
+
+    def resolve_both_ways():
+        with_glue = bench_internet.make_resolver(use_glue=True)
+        without_glue = bench_internet.make_resolver(use_glue=False)
+        pairs = []
+        for name in names:
+            a = with_glue.resolve(name)
+            b = without_glue.resolve(name)
+            pairs.append((a, b))
+        return pairs
+
+    pairs = benchmark.pedantic(resolve_both_ways, iterations=1, rounds=1)
+    extra_queries = 0
+    for with_glue, without_glue in pairs:
+        assert sorted(with_glue.addresses) == sorted(without_glue.addresses)
+        assert without_glue.query_count >= with_glue.query_count
+        extra_queries += without_glue.query_count - with_glue.query_count
+    assert extra_queries > 0, \
+        "disabling glue must force extra nameserver-address lookups"
+
+
+@pytest.mark.parametrize("scale,expectation", [(0.85, "more"), (1.15, "fewer")])
+def test_ablation_hygiene_scale(scale, expectation, figure_writer):
+    """The 45 %-of-names result tracks the underlying hygiene level."""
+    baseline = _survey_with()
+    adjusted = _survey_with(hygiene_scale=scale)
+    base_fraction = baseline.fraction_with_vulnerable_dependency()
+    new_fraction = adjusted.fraction_with_vulnerable_dependency()
+    figure_writer.write(
+        f"ablation_hygiene_{scale}",
+        f"Ablation: hygiene scale {scale}",
+        [f"baseline affected fraction: {base_fraction:.3f}",
+         f"scaled   affected fraction: {new_fraction:.3f}"])
+    if expectation == "more":
+        assert new_fraction >= base_fraction
+    else:
+        assert new_fraction <= base_fraction

@@ -1,0 +1,112 @@
+"""Section 5 extensions: DNSSEC deployment and the availability trade-off.
+
+The paper's discussion section makes two claims that go beyond the measured
+figures; these benches quantify both on the synthetic substrate:
+
+* "Deployment of DNSSEC can help ... While DNSSEC enables detection of
+  integrity violations, malicious agents could still easily disrupt name
+  service" — swept as deployment fraction vs. the share of hijackable names
+  whose forgery becomes detectable (the delegation bottlenecks themselves
+  are unchanged).
+* The availability-vs-security dilemma: off-site secondaries raise a name's
+  survival probability under random server failures while enlarging its
+  trusted computing base.
+"""
+
+from conftest import comparison_rows
+
+from repro.core.availability import AvailabilityAnalyzer
+from repro.core.dnssec_impact import DNSSECImpactAnalyzer, deploy_dnssec
+from repro.core.survey import Survey
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+
+#: Small world regenerated per deployment level (signing mutates zones).
+DNSSEC_BASE = dict(seed=20040722, sld_count=220, directory_name_count=360,
+                   university_count=45, hosting_provider_count=12,
+                   isp_count=8, alexa_count=60)
+
+
+def _world():
+    internet = InternetGenerator(GeneratorConfig(**DNSSEC_BASE)).generate()
+    results = Survey(internet, popular_count=60).run()
+    return internet, results
+
+
+def test_dnssec_deployment_sweep(benchmark, figure_writer):
+    """Hijack detectability as a function of DNSSEC deployment."""
+    def sweep():
+        reports = {}
+        for fraction in (0.0, 0.5, 1.0):
+            internet, results = _world()
+            deployment = deploy_dnssec(internet, fraction=fraction,
+                                       always_sign_tlds=fraction > 0.0)
+            analyzer = DNSSECImpactAnalyzer(internet, deployment)
+            reports[fraction] = analyzer.analyze(results, max_names=150)
+        return reports
+
+    reports = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    lines = ["deployment  secure-names  hijackable  detected  undetected"]
+    for fraction, report in sorted(reports.items()):
+        lines.append(f"  {fraction:9.1f}  {report.fraction_secure:12.2%}  "
+                     f"{report.hijackable:10d}  "
+                     f"{report.hijackable_detected:8d}  "
+                     f"{report.hijackable_undetected:10d}")
+    lines.append("")
+    lines.append("(hijackable counts barely move with deployment: DNSSEC "
+                 "detects forgeries but the delegation bottlenecks remain)")
+    figure_writer.write("section5_dnssec_sweep",
+                        "Section 5: DNSSEC deployment sweep", lines)
+
+    none, half, full = (reports[0.0], reports[0.5], reports[1.0])
+    assert none.fraction_secure == 0.0
+    assert none.hijackable_detected == 0
+    assert 0.0 < half.fraction_secure < full.fraction_secure
+    assert full.fraction_secure >= 0.8
+    assert full.hijackable_detected >= full.hijackable_undetected
+    # The number of structurally hijackable names is unchanged by signing.
+    assert abs(full.hijackable - none.hijackable) <= 0.1 * max(1, none.hijackable)
+
+
+def test_availability_security_tradeoff(benchmark, bench_internet,
+                                        paper_survey, figure_writer):
+    """Availability under random failures versus TCB size."""
+    records = paper_survey.resolved_records()
+    small = [r for r in records if r.tcb_size <= 30][:60]
+    large = [r for r in records if r.tcb_size >= 80][:60]
+    survey = Survey(bench_internet, popular_count=10)
+    analyzer = AvailabilityAnalyzer(up_probability=0.95)
+
+    def evaluate(cohort):
+        availabilities = []
+        spof = 0
+        for record in cohort:
+            graph = survey.builder.build(record.name)
+            availabilities.append(analyzer.resolution_probability(graph))
+            if analyzer.single_points_of_failure(graph):
+                spof += 1
+        return (sum(availabilities) / len(availabilities),
+                spof / len(cohort))
+
+    small_avail, small_spof = benchmark.pedantic(
+        lambda: evaluate(small), iterations=1, rounds=1)
+    large_avail, large_spof = evaluate(large)
+
+    lines = [
+        "cohort                      mean TCB   availability  frac. with SPOF",
+        f"  small TCB (<=30 servers)  {sum(r.tcb_size for r in small)/len(small):8.1f}"
+        f"   {small_avail:11.4f}   {small_spof:14.2%}",
+        f"  large TCB (>=80 servers)  {sum(r.tcb_size for r in large)/len(large):8.1f}"
+        f"   {large_avail:11.4f}   {large_spof:14.2%}",
+        "",
+        "(per-server up-probability 0.95; large TCBs buy redundancy at every",
+        " level, so availability stays high -- the security cost is the TCB)",
+    ]
+    figure_writer.write("section5_availability_tradeoff",
+                        "Availability vs. security trade-off", lines)
+
+    assert small and large
+    assert 0.5 <= small_avail <= 1.0
+    assert 0.5 <= large_avail <= 1.0
+    # Names with sprawling TCBs are at least as available as compact ones:
+    # that is precisely why administrators accept the larger trust base.
+    assert large_avail >= small_avail - 0.05

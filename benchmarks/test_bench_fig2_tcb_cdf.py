@@ -1,0 +1,54 @@
+"""Figure 2: cumulative distribution of TCB sizes (all names vs top-500).
+
+Paper: median 26, mean 46, ~6.5 % of names above 200 servers; the 500 most
+popular names average 69 servers and 15 % of them exceed 200.
+"""
+
+from conftest import PAPER, comparison_rows
+
+
+def _cdf_summary(survey, popular_only):
+    sizes = survey.tcb_sizes(popular_only=popular_only)
+    cdf = survey.tcb_cdf(popular_only=popular_only)
+    return {
+        "mean": sum(sizes) / len(sizes),
+        "median": cdf.value_at_percentile(50),
+        "p90": cdf.value_at_percentile(90),
+        "over_200": cdf.fraction_above(200),
+        "count": len(sizes),
+        "cdf": cdf,
+    }
+
+
+def test_fig2_tcb_size_cdf(benchmark, paper_survey, figure_writer):
+    all_names = benchmark(lambda: _cdf_summary(paper_survey, False))
+    popular = _cdf_summary(paper_survey, True)
+
+    measured = {
+        "mean_tcb_size": all_names["mean"],
+        "median_tcb_size": all_names["median"],
+        "fraction_tcb_over_200": all_names["over_200"],
+        "popular_mean_tcb_size": popular["mean"],
+        "popular_fraction_tcb_over_200": popular["over_200"],
+    }
+    lines = comparison_rows(measured, list(measured))
+    lines.append("")
+    lines.append("CDF sample points (all names): size -> percentile")
+    for percentile in (10, 25, 50, 75, 90, 95, 99):
+        lines.append(f"  p{percentile:<3d} "
+                     f"{all_names['cdf'].value_at_percentile(percentile):8.1f}")
+    figure_writer.write("figure2_tcb_cdf", "Figure 2: TCB size CDF", lines)
+
+    # Shape: heavy tail, popular cohort heavier than the full population.
+    assert all_names["median"] < all_names["mean"]
+    assert all_names["p90"] > 1.5 * all_names["median"]
+    assert 0.0 < all_names["over_200"] < 0.25
+    assert popular["mean"] > all_names["mean"]
+    assert popular["count"] <= 300
+
+
+def test_fig2_cdf_monotonicity(paper_survey):
+    cdf = paper_survey.tcb_cdf()
+    percentiles = [cdf.points[i][1] for i in range(len(cdf.points))]
+    assert percentiles == sorted(percentiles)
+    assert cdf.points[-1][1] == 100.0

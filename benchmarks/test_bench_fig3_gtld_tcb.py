@@ -1,0 +1,43 @@
+"""Figure 3: average TCB size per generic TLD.
+
+Paper ordering (decreasing): aero, int, name, mil, info, edu, biz, gov, org,
+net, com, coop — with aero/int far above the mainstream gTLDs and an average
+over gTLDs of roughly 87 servers.
+"""
+
+from conftest import PAPER
+from repro.core.report import sort_groups_descending
+from repro.topology.tlds import FIGURE3_GTLDS
+
+
+def test_fig3_gtld_average_tcb(benchmark, paper_survey, figure_writer):
+    averages = benchmark(
+        lambda: paper_survey.mean_tcb_by_tld(kind="gtld", minimum_samples=3))
+    ordered = sort_groups_descending(averages)
+
+    lines = [f"paper gTLD order: {', '.join(FIGURE3_GTLDS)}",
+             f"paper mean over gTLDs: {PAPER['gtld_mean_tcb']:.0f}",
+             "", "measured (descending):"]
+    for label, mean in ordered:
+        lines.append(f"  {label:6s} {mean:8.1f}")
+    if averages:
+        overall = sum(averages.values()) / len(averages)
+        lines.append(f"measured mean over gTLDs: {overall:.1f}")
+    figure_writer.write("figure3_gtld_tcb", "Figure 3: mean TCB per gTLD",
+                        lines)
+
+    # Shape assertions.
+    assert "com" in averages and "edu" in averages
+    heavy = [label for label in ("aero", "int", "name", "mil")
+             if label in averages]
+    assert heavy, "at least one of the paper's heavy gTLDs must be measured"
+    heaviest = max(averages[label] for label in heavy)
+    assert heaviest > 2 * averages["com"], \
+        "aero/int-style gTLDs must dwarf com"
+    assert averages["edu"] > averages["com"], \
+        "edu (university webs) must exceed com (registry-only closure)"
+    # com and net share registry infrastructure, so they sit together at the
+    # bottom of the ranking.
+    bottom_labels = [label for label, _mean in ordered[-4:]]
+    assert "com" in bottom_labels
+    assert "net" in bottom_labels

@@ -1,0 +1,46 @@
+"""Figure 4: average TCB size for the fifteen most-dependent ccTLDs.
+
+Paper ordering (decreasing): ua, by, sm, mt, my, pl, it, mo, am, ie, tp, mk,
+hk, tw, cn — topping out above 400 servers, with ccTLD names depending on
+far more servers than gTLD names on average.
+"""
+
+from conftest import PAPER
+from repro.core.report import sort_groups_descending
+from repro.topology.tlds import FIGURE4_CCTLDS
+
+
+def test_fig4_cctld_average_tcb(benchmark, paper_survey, figure_writer):
+    averages = benchmark(
+        lambda: paper_survey.mean_tcb_by_tld(kind="cctld", minimum_samples=3))
+    ordered = sort_groups_descending(averages)
+    top15 = ordered[:15]
+
+    lines = [f"paper ccTLD order: {', '.join(FIGURE4_CCTLDS)}",
+             f"paper mean over shown ccTLDs: {PAPER['cctld_mean_tcb']:.0f}",
+             "", "measured top 15 (descending):"]
+    for label, mean in top15:
+        marker = "*" if label in FIGURE4_CCTLDS else " "
+        lines.append(f"  {marker} {label:4s} {mean:8.1f}")
+    lines.append("(* = ccTLD the paper also ranks among the worst fifteen)")
+    figure_writer.write("figure4_cctld_tcb",
+                        "Figure 4: mean TCB per ccTLD (worst 15)", lines)
+
+    # Shape: the paper's worst ccTLDs dominate the measured ranking, and the
+    # worst ccTLD is several times heavier than a well-run one.
+    measured_top_labels = {label for label, _mean in top15}
+    overlap = measured_top_labels & set(FIGURE4_CCTLDS)
+    assert len(overlap) >= 6, \
+        f"expected the paper's worst ccTLDs to dominate, got {measured_top_labels}"
+    clean = [averages[label] for label in ("de", "uk", "jp", "se", "nl")
+             if label in averages]
+    assert clean, "well-run ccTLDs must appear in the survey"
+    assert top15[0][1] > 3 * (sum(clean) / len(clean))
+
+
+def test_fig4_cctld_exceeds_gtld_average(paper_survey):
+    gtld = paper_survey.mean_tcb_by_tld(kind="gtld", minimum_samples=3)
+    cctld = paper_survey.mean_tcb_by_tld(kind="cctld", minimum_samples=3)
+    worst_cctld_mean = sorted(cctld.values(), reverse=True)[:15]
+    assert sum(worst_cctld_mean) / len(worst_cctld_mean) > \
+        sum(gtld.values()) / len(gtld)

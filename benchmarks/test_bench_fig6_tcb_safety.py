@@ -1,0 +1,44 @@
+"""Figure 6: distribution of the percentage of non-vulnerable TCB nodes.
+
+Paper: the average TCB is ~91 % safe (vulnerable servers are ~9 % of the
+TCB, 11 % for popular names), but a few names — the .ws community — have a
+TCB with *no* safe nodes at all.
+"""
+
+from conftest import comparison_rows
+from repro.core.report import CDFSeries, summary_stats
+
+
+def test_fig6_tcb_safety_percentage(benchmark, paper_survey, figure_writer):
+    safety = benchmark(paper_survey.safety_percentages)
+    popular = paper_survey.safety_percentages(popular_only=True)
+    stats = summary_stats(safety)
+    cdf = CDFSeries.from_values(safety)
+
+    lines = [
+        f"mean safety (all names):     {stats['mean']:6.1f}%   "
+        f"(paper: ~91% of TCB safe)",
+        f"mean safety (popular names): {summary_stats(popular)['mean']:6.1f}%   "
+        f"(paper: ~89%)",
+        f"minimum safety:              {stats['min']:6.1f}%",
+        f"names with 0% safe TCB:      "
+        f"{sum(1 for value in safety if value == 0.0)}",
+        "",
+        "CDF sample points: safety% -> percentile of names",
+    ]
+    for threshold in (0, 25, 50, 75, 90, 100):
+        lines.append(f"  <= {threshold:<3d}% {cdf.percentile_at(threshold):6.1f}%")
+    figure_writer.write("figure6_tcb_safety",
+                        "Figure 6: percentage of non-vulnerable TCB nodes",
+                        lines)
+
+    # Shape: most of a typical TCB is safe...
+    assert stats["mean"] >= 60.0
+    assert stats["median"] >= 70.0
+    # ...but the unsafe tail exists, including (as in the paper's .ws case)
+    # names whose entire TCB is vulnerable.
+    assert stats["min"] <= 25.0
+    fully_vulnerable = sum(1 for value in safety if value == 0.0)
+    assert fully_vulnerable >= 1, \
+        "the .ws-style fully-vulnerable community must appear"
+    assert fully_vulnerable < 0.05 * len(safety)

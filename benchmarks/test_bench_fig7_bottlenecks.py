@@ -1,0 +1,60 @@
+"""Figure 7: number of safe bottleneck (min-cut) nameservers per name.
+
+Paper: ~30 % of names have a min-cut consisting entirely of vulnerable
+servers (complete hijack with scripted attacks), another ~10 % have exactly
+one safe server in the cut (hijackable with one additional DoS), and the
+average min-cut is 2.5 servers.
+"""
+
+from conftest import PAPER, comparison_rows
+from repro.core.mincut import BottleneckAnalyzer
+from repro.core.report import CDFSeries
+
+
+def test_fig7_safe_bottleneck_cdf(benchmark, paper_survey, figure_writer):
+    safe_counts = benchmark(paper_survey.safe_bottleneck_counts)
+    cdf = CDFSeries.from_values(safe_counts)
+
+    resolved = paper_survey.resolved_records()
+    measured = {
+        "fraction_completely_hijackable":
+            paper_survey.fraction_completely_hijackable(),
+        "fraction_one_safe_bottleneck":
+            sum(1 for record in resolved if record.mincut_safe == 1 and
+                record.mincut_vulnerable > 0) / len(resolved),
+        "mean_mincut_size": paper_survey.mean_mincut_size(),
+    }
+    lines = comparison_rows(measured, list(measured))
+    lines.append("")
+    lines.append("CDF sample points: safe bottleneck servers -> % of names")
+    for threshold in (0, 1, 2, 3, 5, 8):
+        lines.append(f"  <= {threshold:<2d} {cdf.percentile_at(threshold):6.1f}%")
+    figure_writer.write("figure7_bottlenecks",
+                        "Figure 7: safe bottleneck nameservers (min-cut)",
+                        lines)
+
+    # Shape assertions.
+    assert 0.10 <= measured["fraction_completely_hijackable"] <= 0.55
+    assert 0.01 <= measured["fraction_one_safe_bottleneck"] <= 0.30
+    assert 1.5 <= measured["mean_mincut_size"] <= 4.5
+    # Most names need only a handful of machines for a complete takeover.
+    assert cdf.percentile_at(3) >= 80.0
+
+
+def test_fig7_mincut_computation_speed(benchmark, paper_survey,
+                                       bench_internet):
+    """Time the bottleneck analysis itself on a sample of names."""
+    from repro.core.survey import Survey
+
+    survey = Survey(bench_internet, popular_count=10)
+    records = paper_survey.resolved_records()[:40]
+    graphs = [survey.builder.build(record.name) for record in records]
+    compromisable = {host: True for host in paper_survey.compromisable_servers}
+
+    def run_all():
+        analyzer = BottleneckAnalyzer(compromisable)
+        return [analyzer.analyze(graph).size for graph in graphs]
+
+    sizes = benchmark(run_all)
+    assert len(sizes) == len(graphs)
+    assert all(size >= 0 for size in sizes)

@@ -1,0 +1,59 @@
+"""Figure 8: number of names controlled by each nameserver, by rank.
+
+Paper: the average nameserver is involved in resolving 166 externally
+visible names but the median is only 4; about 125 servers each control more
+than 10 % of all surveyed names, roughly 30 of them gTLD infrastructure and
+about 12 of them carrying known vulnerabilities.
+"""
+
+from conftest import PAPER, comparison_rows
+from repro.core.report import rank_series
+
+
+def test_fig8_names_controlled_by_rank(benchmark, paper_survey,
+                                       figure_writer):
+    analyzer = benchmark(paper_survey.value_analyzer)
+    summary = analyzer.summary()
+    ranking = analyzer.ranking()
+    vulnerable_ranking = analyzer.ranking(only_vulnerable=True)
+    series = rank_series(analyzer.counts())
+
+    measured = {
+        "mean_names_controlled": summary["mean_names_controlled"],
+        "median_names_controlled": summary["median_names_controlled"],
+        "high_leverage_servers": summary["high_leverage_servers"],
+        "high_leverage_vulnerable": summary["high_leverage_vulnerable"],
+    }
+    lines = comparison_rows(measured, list(measured))
+    lines.append("")
+    lines.append("rank -> names controlled (all servers / vulnerable servers)")
+    vulnerable_series = rank_series(
+        {value.hostname: value.names_controlled
+         for value in vulnerable_ranking})
+    for rank in (1, 2, 5, 10, 25, 50, 100, 250):
+        all_value = series[rank - 1][1] if rank <= len(series) else "-"
+        vuln_value = (vulnerable_series[rank - 1][1]
+                      if rank <= len(vulnerable_series) else "-")
+        lines.append(f"  rank {rank:<4d} all={all_value:>8}  "
+                     f"vulnerable={vuln_value:>8}")
+    lines.append("")
+    lines.append("top five most valuable servers:")
+    for value in ranking[:5]:
+        lines.append(f"  {value.hostname} controls {value.names_controlled} "
+                     f"names (vulnerable={value.vulnerable})")
+    figure_writer.write("figure8_value_rank",
+                        "Figure 8: names controlled by nameservers", lines)
+
+    # Shape: extreme skew between mean and median; a small core of servers
+    # controls a disproportionate share of the namespace; some of the
+    # high-leverage servers are vulnerable.
+    total_names = len(paper_survey.resolved_records())
+    assert summary["mean_names_controlled"] > \
+        5 * summary["median_names_controlled"]
+    assert 0 < summary["high_leverage_servers"] < 0.2 * summary["servers"]
+    assert ranking[0].names_controlled > 0.5 * total_names
+    assert summary["high_leverage_vulnerable"] >= 1
+    assert summary["high_leverage_vulnerable"] < \
+        summary["high_leverage_servers"]
+    # The rank-size series spans orders of magnitude (log-log straightish).
+    assert series[0][1] > 50 * series[len(series) // 2][1]

@@ -1,0 +1,69 @@
+"""Figure 9: names controlled by nameservers in .edu and .org.
+
+Paper: universities and non-profits — operators with no fiduciary
+relationship to the names they serve — control large portions of the
+namespace; about 25 of the 125 highest-leverage servers are operated by
+educational institutions.
+"""
+
+from conftest import PAPER
+from repro.core.report import rank_series
+
+
+def test_fig9_edu_org_value_rank(benchmark, paper_survey, figure_writer):
+    edu_ranking = benchmark(
+        lambda: paper_survey.server_value_ranking(tld_filter=("edu",)))
+    org_ranking = paper_survey.server_value_ranking(tld_filter=("org",))
+    analyzer = paper_survey.value_analyzer()
+    summary = analyzer.summary()
+    total_names = len(paper_survey.resolved_records())
+
+    lines = [
+        f"paper: ~{PAPER['high_leverage_edu']} of the "
+        f"{PAPER['high_leverage_servers']} highest-leverage servers are .edu",
+        f"measured: {summary['high_leverage_edu']:.0f} of "
+        f"{summary['high_leverage_servers']:.0f} high-leverage servers are .edu",
+        "",
+        "rank -> names controlled (.edu servers):",
+    ]
+    edu_series = rank_series({v.hostname: v.names_controlled
+                              for v in edu_ranking})
+    for rank in (1, 2, 5, 10, 25, 50):
+        if rank <= len(edu_series):
+            lines.append(f"  rank {rank:<3d} {edu_series[rank - 1][1]:>8}")
+    lines.append("")
+    lines.append("top .edu servers:")
+    for value in edu_ranking[:5]:
+        lines.append(f"  {value.hostname} controls {value.names_controlled} "
+                     f"names")
+    lines.append("")
+    lines.append(f".org servers ranked: {len(org_ranking)}")
+    figure_writer.write("figure9_edu_org",
+                        "Figure 9: names controlled by .edu/.org servers",
+                        lines)
+
+    # Shape: .edu servers exist in the value ranking, the top ones control a
+    # visible share of the namespace, and .edu operators appear among the
+    # overall high-leverage set.
+    assert edu_ranking, ".edu nameservers must appear in the survey"
+    assert edu_ranking[0].names_controlled > 0.01 * total_names
+    assert summary["high_leverage_edu"] >= 1
+    # The .edu ranking is itself heavily skewed.
+    if len(edu_ranking) >= 10:
+        assert edu_ranking[0].names_controlled > \
+            5 * edu_ranking[len(edu_ranking) // 2].names_controlled
+
+
+def test_fig9_university_servers_serve_foreign_zones(paper_survey,
+                                                     bench_internet):
+    """Universities control names outside their own domains (the reason the
+    paper flags them: they serve zones they have no business relationship
+    with)."""
+    edu_ranking = paper_survey.server_value_ranking(tld_filter=("edu",))
+    top = edu_ranking[0]
+    own_names = sum(
+        1 for record in paper_survey.resolved_records()
+        if record.name.is_subdomain_of(top.hostname.sld or top.hostname)
+        and top.hostname in record.tcb_servers)
+    assert top.names_controlled > own_names, \
+        "the most valuable .edu server must control names beyond its campus"

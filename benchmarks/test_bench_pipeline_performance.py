@@ -1,0 +1,49 @@
+"""Performance benchmarks for the measurement pipeline itself.
+
+These do not correspond to a figure in the paper; they document the cost of
+the substrate (resolution, delegation-graph construction, fingerprinting) so
+that regressions in the simulator show up in benchmark runs.
+"""
+
+from repro.core.delegation import DelegationGraphBuilder
+from repro.vulns.database import default_database
+from repro.vulns.fingerprint import Fingerprinter
+
+
+def test_bench_iterative_resolution(benchmark, bench_internet, paper_survey):
+    """Cold-cache iterative resolution of a batch of directory names."""
+    names = [record.name for record in paper_survey.resolved_records()[:50]]
+
+    def resolve_batch():
+        resolver = bench_internet.make_resolver()
+        return sum(1 for name in names if resolver.resolve(name).succeeded)
+
+    resolved = benchmark(resolve_batch)
+    assert resolved == len(names)
+
+
+def test_bench_delegation_graph_construction(benchmark, bench_internet,
+                                             paper_survey):
+    """Building delegation graphs for a batch of names (shared universe)."""
+    names = [record.name for record in paper_survey.resolved_records()[:50]]
+
+    def build_batch():
+        builder = DelegationGraphBuilder(bench_internet.make_resolver())
+        return [builder.build(name).tcb_size() for name in names]
+
+    sizes = benchmark(build_batch)
+    assert all(size > 0 for size in sizes)
+
+
+def test_bench_fingerprint_sweep(benchmark, bench_internet):
+    """version.bind fingerprinting across a slice of the server population."""
+    hostnames = list(bench_internet.servers)[:300]
+
+    def sweep():
+        fingerprinter = Fingerprinter(bench_internet.network,
+                                      default_database())
+        fingerprinter.fingerprint_all(hostnames)
+        return fingerprinter.disclosure_rate()
+
+    rate = benchmark(sweep)
+    assert 0.5 <= rate <= 1.0

@@ -1,0 +1,41 @@
+"""Headline statistics of Section 3 (the survey summary numbers).
+
+Paper: 593,160 names over 166,771 nameservers; a name depends on 46 servers
+on average (median 26) of which only 2.2 are administered by the name owner.
+"""
+
+from conftest import PAPER, comparison_rows
+
+
+def test_headline_statistics(benchmark, paper_survey, figure_writer):
+    headline = benchmark(paper_survey.headline)
+
+    figure_writer.write(
+        "section3_headline", "Section 3 headline statistics",
+        comparison_rows(headline, [
+            "names_surveyed", "servers_discovered", "mean_tcb_size",
+            "median_tcb_size", "mean_in_bailiwick",
+            "vulnerable_server_fraction",
+            "fraction_names_with_vulnerable_dependency",
+            "fraction_completely_hijackable", "mean_mincut_size"]))
+
+    # Shape assertions: the scaled-down survey must reproduce the paper's
+    # qualitative findings even though absolute counts differ.
+    assert headline["names_resolved"] >= 0.95 * headline["names_surveyed"]
+    assert 25 <= headline["mean_tcb_size"] <= 80
+    assert 15 <= headline["median_tcb_size"] <= 50
+    assert headline["mean_tcb_size"] > headline["median_tcb_size"]
+    assert headline["mean_in_bailiwick"] <= 4.0
+    assert headline["mean_tcb_size"] > \
+        8 * headline["mean_in_bailiwick"], \
+        "most of the TCB must lie outside the owner's control"
+
+
+def test_headline_amplification_shape(paper_survey):
+    """17 % vulnerable servers poison ~45 % of names (amplification >1)."""
+    headline = paper_survey.headline()
+    server_fraction = headline["vulnerable_server_fraction"]
+    name_fraction = headline["fraction_names_with_vulnerable_dependency"]
+    assert 0.10 <= server_fraction <= 0.35
+    assert name_fraction >= 1.5 * server_fraction
+    assert name_fraction <= 0.9

@@ -1,0 +1,59 @@
+"""Section 3.2 headline: 17 % vulnerable servers affect 45 % of names.
+
+Paper: of 166,771 nameservers, 27,141 (17 %) have known vulnerabilities; a
+naive expectation would be that 17 % of names are affected, but transitive
+trust "poisons every path through an insecure nameserver" and 264,599 names
+(45 %) are affected.
+"""
+
+from conftest import PAPER, comparison_rows
+
+
+def _amplification(survey):
+    server_fraction = survey.vulnerable_server_fraction()
+    name_fraction = survey.fraction_with_vulnerable_dependency()
+    return {
+        "vulnerable_server_fraction": server_fraction,
+        "fraction_names_with_vulnerable_dependency": name_fraction,
+        "amplification_factor": (name_fraction / server_fraction
+                                 if server_fraction else 0.0),
+    }
+
+
+def test_vulnerability_amplification(benchmark, paper_survey, figure_writer):
+    measured = benchmark(lambda: _amplification(paper_survey))
+
+    paper_amplification = (PAPER["fraction_names_with_vulnerable_dependency"] /
+                           PAPER["vulnerable_server_fraction"])
+    lines = comparison_rows(measured, [
+        "vulnerable_server_fraction",
+        "fraction_names_with_vulnerable_dependency"])
+    lines.append(f"{'amplification_factor':45s} "
+                 f"paper={paper_amplification:>12.3f}  "
+                 f"measured={measured['amplification_factor']:>12.3f}")
+    lines.append("")
+    lines.append("(naive expectation: amplification factor = 1.0)")
+    figure_writer.write("section32_amplification",
+                        "Section 3.2: vulnerability amplification", lines)
+
+    assert 0.10 <= measured["vulnerable_server_fraction"] <= 0.35
+    assert measured["amplification_factor"] > 1.5
+    assert measured["fraction_names_with_vulnerable_dependency"] <= 0.95
+
+
+def test_complete_hijack_needs_few_machines(paper_survey, figure_writer):
+    """Paper: names with a fully-vulnerable min-cut can be taken over by
+    compromising fewer than three machines on average."""
+    resolved = [record for record in paper_survey.resolved_records()
+                if record.completely_hijackable]
+    assert resolved, "some names must be completely hijackable"
+    mean_cut = sum(record.mincut_size for record in resolved) / len(resolved)
+    lines = [
+        f"completely hijackable names: {len(resolved)} "
+        f"({len(resolved) / len(paper_survey.resolved_records()):.1%})",
+        f"mean machines to compromise: {mean_cut:.2f} (paper: < 3)",
+    ]
+    figure_writer.write("section32_complete_hijack",
+                        "Section 3.2: machines needed for a complete hijack",
+                        lines)
+    assert mean_cut < 4.0

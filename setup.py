@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` keeps working on minimal environments
+that lack the ``wheel`` package required for PEP 660 editable installs
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,173 @@
+"""Command-line interface: generate a synthetic Internet, survey it, report.
+
+The CLI mirrors how the paper's results would be reproduced from a shell::
+
+    repro-dns survey --sld-count 800 --output snapshot.json
+    repro-dns report snapshot.json
+    repro-dns inspect www.fbi.gov --sld-count 400
+
+Subcommands
+-----------
+``survey``
+    Generate a synthetic Internet, run the full survey, print the headline
+    statistics, and optionally write a JSON snapshot.
+``report``
+    Re-print the headline statistics and per-figure summaries from a snapshot
+    produced by ``survey``.
+``inspect``
+    Build the delegation graph of a single name and print its TCB, bottleneck
+    analysis, and (if any) attack path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.report import format_table, sort_groups_descending
+from repro.core.snapshot import load_results, save_results
+from repro.core.survey import Survey, SurveyResults
+from repro.core.hijack import HijackAnalyzer
+from repro.core.delegation import DelegationGraphBuilder
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+from repro.vulns.database import default_database
+from repro.vulns.fingerprint import Fingerprinter
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dns",
+        description="Reproduce the IMC 2005 DNS transitive-trust survey on a "
+                    "synthetic Internet.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    survey = subparsers.add_parser(
+        "survey", help="generate a synthetic Internet and survey it")
+    _add_generator_arguments(survey)
+    survey.add_argument("--max-names", type=int, default=None,
+                        help="survey at most this many directory names")
+    survey.add_argument("--output", type=str, default=None,
+                        help="write a JSON snapshot of the results here")
+    survey.add_argument("--no-bottleneck", action="store_true",
+                        help="skip the min-cut bottleneck analysis")
+
+    report = subparsers.add_parser(
+        "report", help="summarise a previously saved snapshot")
+    report.add_argument("snapshot", type=str, help="path to a snapshot JSON")
+
+    inspect = subparsers.add_parser(
+        "inspect", help="analyse a single name on a fresh synthetic Internet")
+    _add_generator_arguments(inspect)
+    inspect.add_argument("name", type=str,
+                         help="domain name to analyse (e.g. www.fbi.gov)")
+    return parser
+
+
+def _add_generator_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=20040722,
+                        help="RNG seed for the synthetic Internet")
+    parser.add_argument("--sld-count", type=int, default=800,
+                        help="number of generic second-level domains")
+    parser.add_argument("--directory-names", type=int, default=1400,
+                        help="target number of web-directory names")
+    parser.add_argument("--universities", type=int, default=90,
+                        help="number of universities in the topology")
+
+
+def _config_from_args(args: argparse.Namespace) -> GeneratorConfig:
+    return GeneratorConfig(seed=args.seed, sld_count=args.sld_count,
+                           directory_name_count=args.directory_names,
+                           university_count=args.universities)
+
+
+def _print_headline(results: SurveyResults) -> None:
+    headline = results.headline()
+    rows = [(key, f"{value:.3f}" if isinstance(value, float) else value)
+            for key, value in sorted(headline.items())]
+    print(format_table(rows, headers=("statistic", "value")))
+
+
+def _print_tld_tables(results: SurveyResults) -> None:
+    for kind, title in (("gtld", "Mean TCB size per gTLD (Figure 3)"),
+                        ("cctld", "Mean TCB size per ccTLD (Figure 4)")):
+        averages = sort_groups_descending(results.mean_tcb_by_tld(kind=kind))
+        if not averages:
+            continue
+        print()
+        print(title)
+        rows = [(tld, f"{mean:.1f}") for tld, mean in averages[:15]]
+        print(format_table(rows, headers=("tld", "mean TCB")))
+
+
+def _command_survey(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    internet = InternetGenerator(config).generate()
+    survey = Survey(internet, include_bottleneck=not args.no_bottleneck)
+    results = survey.run(max_names=args.max_names)
+    _print_headline(results)
+    _print_tld_tables(results)
+    if args.output:
+        path = save_results(results, args.output)
+        print(f"\nsnapshot written to {path}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    results = load_results(args.snapshot)
+    _print_headline(results)
+    _print_tld_tables(results)
+    return 0
+
+
+def _command_inspect(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    internet = InternetGenerator(config).generate()
+    resolver = internet.make_resolver()
+    builder = DelegationGraphBuilder(resolver)
+    graph = builder.build(args.name)
+    if graph.tcb_size() == 0:
+        print(f"{args.name}: could not walk any delegation chain "
+              f"(name may not exist in this synthetic Internet)")
+        return 1
+
+    database = default_database()
+    fingerprinter = Fingerprinter(internet.network, database)
+    vulnerability_map = {}
+    for hostname in graph.tcb():
+        result = fingerprinter.fingerprint(hostname)
+        vulnerability_map[hostname] = database.is_compromisable(result.banner)
+
+    print(f"name: {graph.target}")
+    print(f"TCB size: {graph.tcb_size()} nameservers "
+          f"({len(graph.in_bailiwick_servers())} in bailiwick)")
+    vulnerable = [host for host, flag in vulnerability_map.items() if flag]
+    print(f"vulnerable servers in TCB: {len(vulnerable)}")
+    analyzer = HijackAnalyzer(vulnerability_map)
+    assessment = analyzer.assess(graph)
+    print(f"classification: {assessment.classification}")
+    print(f"bottleneck: {assessment.bottleneck.size} servers "
+          f"({assessment.bottleneck.safe_in_cut} safe)")
+    if assessment.attack_path:
+        print("attack path:")
+        for step in assessment.attack_path:
+            print(f"  {step}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    handlers = {
+        "survey": _command_survey,
+        "report": _command_report,
+        "inspect": _command_inspect,
+    }
+    handler = handlers[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation only
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Availability analysis: the other side of the paper's dilemma.
+
+Section 3.1 and the discussion in Section 5 frame an explicit trade-off:
+administrators delegate to geographically and administratively remote
+secondaries to survive failures, but every server they (transitively) lean
+on is also a place their namespace can be hijacked from.  The security side
+is quantified by the TCB and bottleneck analyses; this module quantifies the
+availability side so the trade-off can be studied on the same graphs.
+
+Resolution of a name succeeds when, for *every* zone on its delegation path,
+at least one of the zone's nameservers is reachable — where "reachable"
+itself requires the server to be up and its hostname to be resolvable
+(recursively).  Over the delegation graph this is the same AND/OR structure
+as the bottleneck analysis, evaluated with probabilities instead of attack
+costs::
+
+    avail(name)  = product over zones Z on the chain of avail_zone(Z)
+    avail_zone(Z) = 1 - product over nameservers H of (1 - up(H) * avail(H))
+
+Cycles (mutual secondaries) are broken the same way as in the bottleneck
+analysis: a dependency loop cannot make a server *more* reachable, so the
+looping branch contributes only the server's own up-probability.
+
+Two evaluation modes are provided:
+
+* :meth:`AvailabilityAnalyzer.resolution_probability` — analytic evaluation
+  of the recursion under independent per-server failure probabilities
+  (an approximation: shared dependencies are treated as independent).
+* :meth:`AvailabilityAnalyzer.monte_carlo` — simulate failure draws and
+  evaluate the same structure exactly per draw; used to sanity-check the
+  analytic value and to study correlated (regional) failures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Set, Union
+
+from repro.dns.name import DomainName
+from repro.core.delegation import DelegationGraph, NodeKey, name_node
+
+#: A per-server up-probability map or a single probability applied to all.
+UpModel = Union[float, Mapping[DomainName, float]]
+
+
+@dataclasses.dataclass
+class AvailabilityReport:
+    """Availability estimate for one name."""
+
+    name: DomainName
+    analytic: float
+    monte_carlo: Optional[float] = None
+    samples: int = 0
+    single_points_of_failure: FrozenSet[DomainName] = frozenset()
+
+    @property
+    def has_single_point_of_failure(self) -> bool:
+        """True if one server's loss alone makes the name unresolvable."""
+        return bool(self.single_points_of_failure)
+
+
+class AvailabilityAnalyzer:
+    """Evaluates resolution availability over delegation graphs.
+
+    Parameters
+    ----------
+    up_probability:
+        Either a single probability applied to every server, or a mapping
+        from hostname to up-probability (servers missing from the mapping
+        get ``default_up``).
+    default_up:
+        Up-probability for servers not listed in the mapping.
+    """
+
+    def __init__(self, up_probability: UpModel = 0.99,
+                 default_up: float = 0.99):
+        if isinstance(up_probability, float):
+            if not 0.0 <= up_probability <= 1.0:
+                raise ValueError("up_probability must be within [0, 1]")
+            self._per_server: Dict[DomainName, float] = {}
+            self.default_up = up_probability
+        else:
+            self._per_server = {DomainName(host): float(p)
+                                for host, p in up_probability.items()}
+            self.default_up = default_up
+        if not 0.0 <= self.default_up <= 1.0:
+            raise ValueError("default_up must be within [0, 1]")
+
+    # -- probability model ---------------------------------------------------------
+
+    def up_probability(self, hostname: DomainName) -> float:
+        """The probability that ``hostname`` is reachable."""
+        return self._per_server.get(hostname, self.default_up)
+
+    # -- analytic evaluation -----------------------------------------------------------
+
+    def resolution_probability(self, graph: DelegationGraph) -> float:
+        """Probability that the graph's target name resolves.
+
+        Shared dependencies are treated as independent, so the value is an
+        approximation (generally a slight underestimate for names whose
+        zones share servers); :meth:`monte_carlo` evaluates the structure
+        without that assumption.
+        """
+        target = name_node(graph.target)
+        if not graph.zones_of(target):
+            # Nothing is known about the name's delegation chain at all.
+            return 0.0
+        return self._avail_name(graph, target, {}, frozenset(),
+                                lambda hostname: self.up_probability(hostname))
+
+    def _avail_name(self, graph: DelegationGraph, node: NodeKey,
+                    memo: Dict[NodeKey, float],
+                    in_progress: FrozenSet[NodeKey],
+                    up: Callable[[DomainName], float]) -> float:
+        if node in memo:
+            return memo[node]
+        if node in in_progress:
+            # A dependency loop cannot improve reachability.
+            return 1.0
+        in_progress = in_progress | {node}
+        zones = graph.zones_of(node)
+        if not zones:
+            # No recorded chain (e.g. glued hostname inside an already
+            # covered zone): treat as reachable so the parent term reduces
+            # to the server's own up-probability.
+            memo[node] = 1.0
+            return 1.0
+        probability = 1.0
+        for zone in zones:
+            nameservers = graph.nameservers_of_zone(zone)
+            if not nameservers:
+                probability = 0.0
+                break
+            all_down = 1.0
+            for ns in nameservers:
+                hostname = ns[1]
+                reachable = up(hostname) * self._avail_name(
+                    graph, ns, memo, in_progress, up)
+                all_down *= (1.0 - reachable)
+            probability *= (1.0 - all_down)
+        memo[node] = probability
+        return probability
+
+    # -- Monte Carlo evaluation ------------------------------------------------------------
+
+    def monte_carlo(self, graph: DelegationGraph, samples: int = 500,
+                    rng: Optional[random.Random] = None) -> float:
+        """Estimate availability by sampling failure scenarios."""
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        rng = rng or random.Random(0)
+        hosts = graph.nameservers()
+        successes = 0
+        for _ in range(samples):
+            down = {host for host in hosts
+                    if rng.random() >= self.up_probability(host)}
+            if self.resolvable_with_failures(graph, down):
+                successes += 1
+        return successes / samples
+
+    def resolvable_with_failures(self, graph: DelegationGraph,
+                                 failed: Set[DomainName]) -> bool:
+        """Exact check: does the name resolve when ``failed`` servers are down?"""
+        target = name_node(graph.target)
+        if not graph.zones_of(target):
+            return False
+        up = (lambda hostname: 0.0 if hostname in failed else 1.0)
+        probability = self._avail_name(graph, target, {}, frozenset(), up)
+        return probability > 0.5
+
+    # -- structural views --------------------------------------------------------------------
+
+    def single_points_of_failure(self, graph: DelegationGraph
+                                 ) -> FrozenSet[DomainName]:
+        """Servers whose individual loss makes the name unresolvable.
+
+        These are exactly the size-one bottlenecks of the availability
+        structure: names served by a single machine anywhere on their chain.
+        """
+        culprits = set()
+        for hostname in graph.tcb():
+            if not self.resolvable_with_failures(graph, {hostname}):
+                culprits.add(hostname)
+        return frozenset(culprits)
+
+    def report(self, graph: DelegationGraph, samples: int = 0,
+               rng: Optional[random.Random] = None) -> AvailabilityReport:
+        """Full availability report (analytic, optional Monte Carlo, SPOFs)."""
+        analytic = self.resolution_probability(graph)
+        monte_carlo = None
+        if samples:
+            monte_carlo = self.monte_carlo(graph, samples=samples, rng=rng)
+        return AvailabilityReport(
+            name=graph.target, analytic=analytic, monte_carlo=monte_carlo,
+            samples=samples,
+            single_points_of_failure=self.single_points_of_failure(graph))
+
+
+def availability_security_tradeoff(graphs, up_probability: float = 0.95,
+                                   vulnerability_map: Optional[Mapping] = None
+                                   ) -> Dict[str, float]:
+    """Summarise the paper's dilemma over a collection of delegation graphs.
+
+    Returns the mean TCB size (the security cost), the mean analytic
+    availability under independent failures (the availability benefit), and
+    the fraction of names with at least one single point of failure.
+    """
+    analyzer = AvailabilityAnalyzer(up_probability)
+    sizes = []
+    availabilities = []
+    spof_names = 0
+    for graph in graphs:
+        sizes.append(graph.tcb_size())
+        availabilities.append(analyzer.resolution_probability(graph))
+        if analyzer.single_points_of_failure(graph):
+            spof_names += 1
+    count = max(1, len(sizes))
+    return {
+        "names": float(len(sizes)),
+        "mean_tcb_size": sum(sizes) / count,
+        "mean_availability": sum(availabilities) / count,
+        "fraction_with_spof": spof_names / count,
+    }

@@ -1,0 +1,286 @@
+"""Delegation graphs: the transitive closure of nameserver dependencies.
+
+Section 2 of the paper defines the delegation graph of a domain name as the
+transitive closure of all nameservers that could be involved in its
+resolution: the name depends on every zone on its delegation path; each zone
+depends on each of its nameservers; and each nameserver's own hostname must
+in turn be resolved, which drags in the zones (and nameservers) on *its*
+delegation path, and so on.
+
+:class:`DelegationGraphBuilder` discovers this structure by issuing real
+queries through an :class:`~repro.dns.resolver.IterativeResolver` — exactly
+what the survey did against the live Internet — and accumulates everything it
+learns in a shared *universe* graph so that work is never repeated across the
+hundreds of thousands of names in a survey.  :meth:`build` then projects the
+universe onto the subgraph reachable from one name, which is that name's
+delegation graph.
+
+Graph encoding
+--------------
+
+Nodes are ``(kind, DomainName)`` tuples where ``kind`` is ``"name"``,
+``"zone"``, or ``"ns"``.  Edges point from the dependent entity to the
+entity it depends on:
+
+* ``(name, X) -> (zone, Z)`` for every zone ``Z`` on ``X``'s delegation path;
+* ``(zone, Z) -> (ns, H)`` for every nameserver ``H`` delegated to serve ``Z``;
+* ``(ns, H) -> (zone, Z')`` for every zone ``Z'`` on the delegation path of
+  the hostname ``H``.
+
+Root servers (and the root zone) are excluded, matching the paper's
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.dns.errors import ResolutionError
+from repro.dns.name import DomainName, NameLike
+from repro.dns.resolver import IterativeResolver, ZoneCut
+
+#: Node kinds used in the delegation graph.
+NAME_KIND = "name"
+ZONE_KIND = "zone"
+NS_KIND = "ns"
+
+NodeKey = Tuple[str, DomainName]
+
+#: Hostname suffixes excluded from TCBs by default (the root servers).
+DEFAULT_EXCLUDED_SUFFIXES: Tuple[str, ...] = ("root-servers.net",)
+
+
+def name_node(name: NameLike) -> NodeKey:
+    """Node key for a surveyed domain name."""
+    return (NAME_KIND, DomainName(name))
+
+
+def zone_node(name: NameLike) -> NodeKey:
+    """Node key for a zone apex."""
+    return (ZONE_KIND, DomainName(name))
+
+
+def ns_node(name: NameLike) -> NodeKey:
+    """Node key for a nameserver hostname."""
+    return (NS_KIND, DomainName(name))
+
+
+class DelegationGraph:
+    """The delegation graph of a single domain name.
+
+    Wraps a :class:`networkx.DiGraph` whose nodes follow the encoding
+    described in the module docstring, and provides the accessors the
+    analyses need (TCB extraction, zone/nameserver views, dependency paths).
+    """
+
+    def __init__(self, target: NameLike, graph: nx.DiGraph,
+                 excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES):
+        self.target = DomainName(target)
+        self.graph = graph
+        self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
+        if name_node(self.target) not in graph:
+            graph.add_node(name_node(self.target))
+
+    # -- basic views -----------------------------------------------------------
+
+    def _is_excluded(self, hostname: DomainName) -> bool:
+        return any(hostname.is_subdomain_of(suffix)
+                   for suffix in self.excluded_suffixes)
+
+    def nameservers(self, include_excluded: bool = False) -> List[DomainName]:
+        """All nameserver hostnames in the graph."""
+        hosts = [key[1] for key in self.graph.nodes if key[0] == NS_KIND]
+        if not include_excluded:
+            hosts = [h for h in hosts if not self._is_excluded(h)]
+        return sorted(hosts)
+
+    def zones(self) -> List[DomainName]:
+        """All zone apexes in the graph."""
+        return sorted(key[1] for key in self.graph.nodes if key[0] == ZONE_KIND)
+
+    def tcb(self) -> Set[DomainName]:
+        """The trusted computing base: nameservers the target depends on.
+
+        Root servers are excluded, matching the paper's TCB accounting.
+        """
+        return set(self.nameservers(include_excluded=False))
+
+    def tcb_size(self) -> int:
+        """Number of nameservers in the TCB."""
+        return len(self.tcb())
+
+    def node_count(self) -> int:
+        """Total nodes (names + zones + nameservers) in the graph."""
+        return self.graph.number_of_nodes()
+
+    def edge_count(self) -> int:
+        """Total dependency edges in the graph."""
+        return self.graph.number_of_edges()
+
+    # -- structure accessors used by the bottleneck analysis -----------------------
+
+    def zones_of(self, node: NodeKey) -> List[NodeKey]:
+        """Zone successors of a name or nameserver node."""
+        return [succ for succ in self.graph.successors(node)
+                if succ[0] == ZONE_KIND]
+
+    def nameservers_of_zone(self, zone: NodeKey) -> List[NodeKey]:
+        """Nameserver successors of a zone node."""
+        return [succ for succ in self.graph.successors(zone)
+                if succ[0] == NS_KIND]
+
+    def direct_zones(self) -> List[DomainName]:
+        """Zones on the target's own delegation path (its direct chain)."""
+        return [key[1] for key in self.zones_of(name_node(self.target))]
+
+    def authoritative_zone(self) -> Optional[DomainName]:
+        """The deepest zone on the target's direct chain (its own zone)."""
+        zones = self.direct_zones()
+        if not zones:
+            return None
+        return max(zones, key=lambda z: z.depth)
+
+    def in_bailiwick_servers(self) -> Set[DomainName]:
+        """TCB members whose hostname lies inside the target's own zone.
+
+        These are the servers "administered by the nameowner" in the paper's
+        terminology (2.2 on average, versus a TCB of 46).
+        """
+        zone = self.authoritative_zone()
+        if zone is None:
+            return set()
+        return {host for host in self.tcb() if host.is_subdomain_of(zone)}
+
+    def dependency_path(self, hostname: NameLike) -> List[NodeKey]:
+        """A shortest dependency path from the target to ``hostname``.
+
+        Returns an empty list if the server is not in the graph.  The path
+        alternates name/zone/nameserver nodes and reads like the fbi.gov
+        anecdote: *name depends on zone, served by host, whose own zone
+        depends on ...*.
+        """
+        source = name_node(self.target)
+        destination = ns_node(hostname)
+        if destination not in self.graph:
+            return []
+        try:
+            return nx.shortest_path(self.graph, source, destination)
+        except nx.NetworkXNoPath:
+            return []
+
+    def __repr__(self) -> str:
+        return (f"DelegationGraph({self.target!s}, "
+                f"{self.tcb_size()} nameservers, "
+                f"{len(self.zones())} zones)")
+
+
+class DelegationGraphBuilder:
+    """Builds delegation graphs by querying the (simulated) DNS.
+
+    Parameters
+    ----------
+    resolver:
+        The iterative resolver used to enumerate zone cuts.  Its cache is
+        shared across all names in a survey.
+    excluded_suffixes:
+        Hostname suffixes never added to the graph (default: root servers).
+    max_depth:
+        Safety bound on the recursion depth through nameserver hostnames.
+    """
+
+    def __init__(self, resolver: IterativeResolver,
+                 excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES,
+                 max_depth: int = 150):
+        self.resolver = resolver
+        self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
+        self.max_depth = max_depth
+        self._universe = nx.DiGraph()
+        self._chain_cache: Dict[DomainName, List[ZoneCut]] = {}
+        self._expanded_hosts: Set[DomainName] = set()
+        self._expanded_names: Set[DomainName] = set()
+        self.queries_saved_by_cache = 0
+
+    # -- public ---------------------------------------------------------------------
+
+    @property
+    def universe(self) -> nx.DiGraph:
+        """The shared dependency graph accumulated across all builds."""
+        return self._universe
+
+    def build(self, name: NameLike) -> DelegationGraph:
+        """Build (or retrieve from the universe) the graph for ``name``."""
+        target = DomainName(name)
+        self._ensure_name(target)
+        source = name_node(target)
+        reachable = nx.descendants(self._universe, source) | {source}
+        subgraph = self._universe.subgraph(reachable).copy()
+        return DelegationGraph(target, subgraph,
+                               excluded_suffixes=self.excluded_suffixes)
+
+    def build_many(self, names: Iterable[NameLike]) -> Dict[DomainName, DelegationGraph]:
+        """Build graphs for many names, sharing every intermediate result."""
+        graphs: Dict[DomainName, DelegationGraph] = {}
+        for name in names:
+            graph = self.build(name)
+            graphs[graph.target] = graph
+        return graphs
+
+    def chain(self, name: NameLike) -> List[ZoneCut]:
+        """The (cached) zone-cut chain for a name or hostname."""
+        key = DomainName(name)
+        cached = self._chain_cache.get(key)
+        if cached is not None:
+            self.queries_saved_by_cache += 1
+            return cached
+        try:
+            cuts = self.resolver.zone_cut_chain(key)
+        except ResolutionError:
+            cuts = []
+        self._chain_cache[key] = cuts
+        return cuts
+
+    def discovered_nameservers(self) -> Set[DomainName]:
+        """Every nameserver hostname discovered so far (survey-wide)."""
+        return {key[1] for key in self._universe.nodes if key[0] == NS_KIND}
+
+    # -- internals --------------------------------------------------------------------
+
+    def _is_excluded(self, hostname: DomainName) -> bool:
+        return any(hostname.is_subdomain_of(suffix)
+                   for suffix in self.excluded_suffixes)
+
+    def _ensure_name(self, target: DomainName) -> None:
+        """Add the target name's chain (and its closure) to the universe."""
+        if target in self._expanded_names:
+            return
+        self._expanded_names.add(target)
+        source = name_node(target)
+        self._universe.add_node(source)
+        for cut in self.chain(target):
+            self._add_zone_cut(source, cut, depth=0)
+
+    def _add_zone_cut(self, dependent: NodeKey, cut: ZoneCut,
+                      depth: int) -> None:
+        """Record ``dependent -> zone -> nameservers`` and expand hostnames."""
+        znode = zone_node(cut.zone)
+        self._universe.add_edge(dependent, znode)
+        for hostname in cut.nameservers:
+            if self._is_excluded(hostname):
+                continue
+            hnode = ns_node(hostname)
+            self._universe.add_edge(znode, hnode)
+            self._expand_host(hostname, depth + 1)
+
+    def _expand_host(self, hostname: DomainName, depth: int) -> None:
+        """Add a nameserver hostname's own dependency chain to the universe."""
+        if hostname in self._expanded_hosts:
+            return
+        if depth > self.max_depth:
+            return
+        self._expanded_hosts.add(hostname)
+        hnode = ns_node(hostname)
+        self._universe.add_node(hnode)
+        for cut in self.chain(hostname):
+            self._add_zone_cut(hnode, cut, depth)

@@ -1,0 +1,198 @@
+"""DNSSEC deployment experiments (the paper's Section 5 discussion).
+
+The paper's closing argument: DNSSEC "can help, but continues to rely on the
+same physical delegation chains as DNS during lookups.  While DNSSEC enables
+detection of integrity violations, malicious agents could still easily
+disrupt name service."  This module turns that qualitative statement into an
+experiment:
+
+1. :class:`DNSSECDeployment` signs a configurable fraction of the synthetic
+   Internet's zones (TLD registries first, then leaf zones) and publishes DS
+   records wherever the parent is also signed — modelling partial,
+   island-ridden deployment.
+2. :class:`DNSSECImpactAnalyzer` combines chain validation with the hijack
+   classification of each surveyed name and reports, per deployment level,
+   how many hijackable names become *detectable* (the attacker can no longer
+   forge data unnoticed) versus how many remain silently hijackable — and
+   notes that even detectable names remain subject to denial of service
+   because the delegation chain itself is unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, List, Optional
+
+from repro.dns.dnssec import ChainValidator, ZoneSigner
+from repro.dns.name import DomainName, NameLike, ROOT_NAME
+from repro.core.survey import SurveyResults
+
+
+@dataclasses.dataclass
+class DNSSECDeployment:
+    """Record of which zones were signed in one deployment experiment."""
+
+    signer: ZoneSigner
+    signed_zones: List[DomainName]
+    ds_published: int
+    fraction_requested: float
+
+    @property
+    def signed_count(self) -> int:
+        """Number of zones signed."""
+        return len(self.signed_zones)
+
+
+def deploy_dnssec(internet, fraction: float = 1.0,
+                  always_sign_tlds: bool = True,
+                  rng: Optional[random.Random] = None,
+                  seed: str = "repro-dnssec") -> DNSSECDeployment:
+    """Sign ``fraction`` of the Internet's zones and publish DS records.
+
+    TLD zones (and the root) are signed first when ``always_sign_tlds`` is
+    true, mirroring how real deployment proceeded top-down; the remaining
+    budget is spent on a random sample of lower zones.  DS records are only
+    published where the parent zone is itself signed, so partial deployment
+    naturally produces "islands of security".
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    rng = rng or random.Random(42)
+    signer = ZoneSigner(seed=seed)
+
+    zones = dict(internet.zones)
+    tld_apexes = [apex for apex in zones if apex.depth <= 1]
+    lower_apexes = [apex for apex in zones if apex.depth > 1]
+
+    to_sign: List[DomainName] = []
+    if always_sign_tlds:
+        to_sign.extend(sorted(tld_apexes))
+        budget = int(round(fraction * len(lower_apexes)))
+        sample = sorted(lower_apexes)
+        rng.shuffle(sample)
+        to_sign.extend(sample[:budget])
+    else:
+        every = sorted(zones)
+        rng.shuffle(every)
+        to_sign.extend(every[:int(round(fraction * len(every)))])
+
+    for apex in to_sign:
+        signer.sign_zone(zones[apex])
+
+    ds_published = 0
+    for apex in to_sign:
+        if apex.is_root:
+            continue
+        parent_apex = _enclosing_signed_parent(apex, signer)
+        if parent_apex is None:
+            continue
+        parent_zone = zones.get(parent_apex)
+        if parent_zone is None:
+            continue
+        if signer.publish_ds(parent_zone, apex) is not None:
+            ds_published += 1
+
+    return DNSSECDeployment(signer=signer, signed_zones=sorted(to_sign),
+                            ds_published=ds_published,
+                            fraction_requested=fraction)
+
+
+def _enclosing_signed_parent(apex: DomainName,
+                             signer: ZoneSigner) -> Optional[DomainName]:
+    """The nearest signed ancestor zone that could hold the DS record."""
+    for ancestor in apex.ancestors(include_root=True):
+        if ancestor == apex:
+            continue
+        if signer.is_signed(ancestor) or ancestor == ROOT_NAME:
+            return ancestor if signer.is_signed(ancestor) else None
+    return None
+
+
+@dataclasses.dataclass
+class DNSSECImpactReport:
+    """Aggregate outcome of a deployment experiment over surveyed names."""
+
+    deployment_fraction: float
+    names_checked: int
+    secure: int
+    insecure: int
+    hijackable: int
+    hijackable_detected: int
+    hijackable_undetected: int
+
+    @property
+    def fraction_secure(self) -> float:
+        """Fraction of checked names with a full chain of trust."""
+        return self.secure / self.names_checked if self.names_checked else 0.0
+
+    @property
+    def fraction_hijackable_undetected(self) -> float:
+        """Fraction of checked names still silently hijackable."""
+        if not self.names_checked:
+            return 0.0
+        return self.hijackable_undetected / self.names_checked
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat representation for reports and benches."""
+        return {
+            "deployment_fraction": self.deployment_fraction,
+            "names_checked": float(self.names_checked),
+            "fraction_secure": self.fraction_secure,
+            "hijackable": float(self.hijackable),
+            "hijackable_detected": float(self.hijackable_detected),
+            "hijackable_undetected": float(self.hijackable_undetected),
+        }
+
+
+class DNSSECImpactAnalyzer:
+    """Measures what a DNSSEC deployment buys against the survey's findings."""
+
+    def __init__(self, internet, deployment: DNSSECDeployment):
+        self.internet = internet
+        self.deployment = deployment
+        self._validator = ChainValidator(internet.make_resolver(),
+                                         seed=deployment.signer.seed)
+
+    def validate_name(self, name: NameLike):
+        """Chain-of-trust validation for a single name."""
+        return self._validator.validate(name)
+
+    def analyze(self, results: SurveyResults,
+                names: Optional[Iterable[NameLike]] = None,
+                max_names: Optional[int] = None) -> DNSSECImpactReport:
+        """Combine chain validation with the survey's hijack classification.
+
+        A name counts as *hijackable* if the survey classified it as
+        completely hijackable or DoS-assisted; it counts as *detected* if
+        its chain of trust is secure (a forged answer would fail
+        validation), and *undetected* otherwise.
+        """
+        records = results.resolved_records()
+        if names is not None:
+            wanted = {DomainName(name) for name in names}
+            records = [record for record in records if record.name in wanted]
+        if max_names is not None:
+            records = records[:max_names]
+
+        secure = insecure = 0
+        hijackable = detected = undetected = 0
+        for record in records:
+            validation = self.validate_name(record.name)
+            if validation.is_secure:
+                secure += 1
+            else:
+                insecure += 1
+            is_hijackable = record.classification in ("complete",
+                                                      "dos-assisted")
+            if is_hijackable:
+                hijackable += 1
+                if validation.is_secure:
+                    detected += 1
+                else:
+                    undetected += 1
+        return DNSSECImpactReport(
+            deployment_fraction=self.deployment.fraction_requested,
+            names_checked=len(records), secure=secure, insecure=insecure,
+            hijackable=hijackable, hijackable_detected=detected,
+            hijackable_undetected=undetected)

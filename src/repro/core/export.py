@@ -1,0 +1,123 @@
+"""Exporting delegation graphs for visualisation and external analysis.
+
+Figure 1 of the paper is a drawing of www.cs.cornell.edu's delegation graph.
+This module renders the same structure for any name in three forms:
+
+* :func:`to_ascii_tree` — an indented text rendering (what the
+  ``figure1_delegation_graph.py`` example prints);
+* :func:`to_dot` — Graphviz DOT, with zones drawn as boxes, nameservers as
+  ellipses, and vulnerable servers highlighted;
+* :func:`to_graphml` — GraphML via networkx, for Gephi/Cytoscape-style
+  exploration of large survey graphs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Mapping, Optional, Set, Union
+
+import networkx as nx
+
+from repro.dns.name import DomainName
+from repro.core.delegation import (
+    DelegationGraph,
+    NAME_KIND,
+    NS_KIND,
+    ZONE_KIND,
+    name_node,
+)
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _label(node) -> str:
+    return str(node[1])
+
+
+def to_ascii_tree(graph: DelegationGraph,
+                  vulnerability_map: Optional[Mapping[DomainName, bool]] = None,
+                  max_depth: int = 12) -> str:
+    """Render the delegation graph as an indented dependency tree.
+
+    Each node is printed once; dependencies that were already expanded
+    elsewhere are marked with ``(see above)`` so cycles and shared
+    sub-structures do not repeat.
+    """
+    vulnerability_map = vulnerability_map or {}
+    lines: List[str] = []
+    expanded: Set = set()
+
+    def render(node, depth: int) -> None:
+        indent = "  " * depth
+        kind, entity = node
+        suffix = ""
+        if kind == NS_KIND and vulnerability_map.get(entity, False):
+            suffix = "  [VULNERABLE]"
+        tag = {NAME_KIND: "name", ZONE_KIND: "zone", NS_KIND: "ns"}[kind]
+        if node in expanded:
+            lines.append(f"{indent}{tag} {entity} (see above)")
+            return
+        lines.append(f"{indent}{tag} {entity}{suffix}")
+        expanded.add(node)
+        if depth >= max_depth:
+            return
+        for successor in sorted(graph.graph.successors(node),
+                                key=lambda n: (n[0], str(n[1]))):
+            render(successor, depth + 1)
+
+    render(name_node(graph.target), 0)
+    return "\n".join(lines)
+
+
+def to_dot(graph: DelegationGraph,
+           vulnerability_map: Optional[Mapping[DomainName, bool]] = None
+           ) -> str:
+    """Render the delegation graph as Graphviz DOT text."""
+    vulnerability_map = vulnerability_map or {}
+    lines = ["digraph delegation {", "  rankdir=LR;",
+             '  node [fontsize=10];']
+    for node in graph.graph.nodes:
+        kind, entity = node
+        attributes: Dict[str, str] = {"label": str(entity)}
+        if kind == ZONE_KIND:
+            attributes["shape"] = "box"
+        elif kind == NAME_KIND:
+            attributes["shape"] = "doubleoctagon"
+        else:
+            attributes["shape"] = "ellipse"
+            if vulnerability_map.get(entity, False):
+                attributes["style"] = "filled"
+                attributes["fillcolor"] = "lightcoral"
+        rendered = ", ".join(f'{key}="{value}"'
+                             for key, value in attributes.items())
+        lines.append(f'  "{kind}:{entity}" [{rendered}];')
+    for source, destination in graph.graph.edges:
+        lines.append(f'  "{source[0]}:{source[1]}" -> '
+                     f'"{destination[0]}:{destination[1]}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_graphml(graph: DelegationGraph, path: PathLike) -> pathlib.Path:
+    """Write the graph as GraphML; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    exportable = nx.DiGraph()
+    for node in graph.graph.nodes:
+        exportable.add_node(f"{node[0]}:{node[1]}", kind=node[0],
+                            label=str(node[1]))
+    for source, destination in graph.graph.edges:
+        exportable.add_edge(f"{source[0]}:{source[1]}",
+                            f"{destination[0]}:{destination[1]}")
+    nx.write_graphml(exportable, path)
+    return path
+
+
+def write_dot(graph: DelegationGraph, path: PathLike,
+              vulnerability_map: Optional[Mapping[DomainName, bool]] = None
+              ) -> pathlib.Path:
+    """Write DOT text to ``path``; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_dot(graph, vulnerability_map), encoding="utf-8")
+    return path

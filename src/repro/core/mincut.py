@@ -1,0 +1,210 @@
+"""Bottleneck (min-cut) analysis of delegation graphs (Figure 7).
+
+Section 3.2 distinguishes partial hijacks (divert *some* queries) from
+complete hijacks (divert *all* queries) and measures the latter by computing
+"the minimum number of nameservers that need to be attacked in order to
+completely take over a domain ... determined by computing a min-cut of the
+delegation graph".
+
+The delegation graph is an AND/OR structure: resolving a name requires every
+zone on its delegation path (AND), but any single nameserver suffices for
+each zone (OR), and a nameserver can be neutralised either by attacking the
+machine itself or by taking over the resolution of its hostname
+(recursively).  The minimum attack set therefore satisfies the recursion::
+
+    block(name)  = min over zones Z on name's path of block_zone(Z)
+    block_zone(Z)= sum over nameservers H of Z of
+                     min(attack(H), block(H.hostname))
+
+:class:`BottleneckAnalyzer` evaluates this recursion directly on the
+delegation graph with memoisation and cycle guards.  Two weightings are
+provided:
+
+* **unweighted** — every server costs 1; the resulting total is the paper's
+  "average min-cut of 2.5 nameservers".
+* **vulnerability-aware** — servers with a known exploit cost (0 safe, 1
+  total) while safe servers cost (1 safe, 1 total) and costs compare
+  lexicographically; the optimal cut then minimises the number of *safe*
+  servers the attacker still has to deal with, which is exactly the
+  "number of safe bottleneck nameservers" plotted in Figure 7.
+
+Shared dependencies make the summed recursion an upper bound on the true
+optimum (the same server counted via two branches is paid twice), so the
+reported cut is conservative; on the survey graphs the bound is tight for
+the dominant pattern (the weakest zone is the name's own NS set).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
+
+from repro.dns.name import DomainName
+from repro.core.delegation import DelegationGraph, NodeKey, name_node
+
+#: Cost value representing "cannot be blocked" (e.g. behind the trusted root).
+_INFINITY = (10 ** 9, 10 ** 9)
+
+
+@dataclasses.dataclass
+class BottleneckResult:
+    """The optimal attack set for one name under one weighting."""
+
+    name: DomainName
+    cut_servers: FrozenSet[DomainName]
+    safe_in_cut: int
+    vulnerable_in_cut: int
+    feasible: bool = True
+
+    @property
+    def size(self) -> int:
+        """Total number of servers in the cut."""
+        return len(self.cut_servers)
+
+    @property
+    def fully_vulnerable(self) -> bool:
+        """True if the cut consists solely of vulnerable servers.
+
+        These are the names the paper reports as completely hijackable with
+        scripted attacks alone (about 30 % of the survey).
+        """
+        return self.feasible and self.size > 0 and self.safe_in_cut == 0
+
+    @property
+    def one_safe_server(self) -> bool:
+        """True if exactly one safe server stands in the way.
+
+        The paper notes another 10 % of names fall in this category, where a
+        DoS on that one safe server plus compromise of the vulnerable ones
+        completes the hijack.
+        """
+        return self.feasible and self.safe_in_cut == 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation used by snapshots."""
+        return {
+            "name": str(self.name),
+            "size": self.size,
+            "safe_in_cut": self.safe_in_cut,
+            "vulnerable_in_cut": self.vulnerable_in_cut,
+            "feasible": self.feasible,
+            "servers": sorted(str(s) for s in self.cut_servers),
+        }
+
+
+class BottleneckAnalyzer:
+    """Computes minimum attack sets over delegation graphs."""
+
+    def __init__(self, vulnerability_map: Optional[Mapping[DomainName, bool]] = None,
+                 vulnerability_aware: bool = True):
+        self.vulnerability_map = dict(vulnerability_map or {})
+        self.vulnerability_aware = vulnerability_aware
+
+    # -- public -------------------------------------------------------------------
+
+    def analyze(self, graph: DelegationGraph) -> BottleneckResult:
+        """Compute the optimal attack set for ``graph``'s target name."""
+        memo: Dict[NodeKey, Tuple[Tuple[int, int], FrozenSet[DomainName]]] = {}
+        cost, servers = self._block_name(graph, name_node(graph.target),
+                                         memo, frozenset())
+        feasible = cost < _INFINITY
+        if not feasible:
+            return BottleneckResult(name=graph.target, cut_servers=frozenset(),
+                                    safe_in_cut=0, vulnerable_in_cut=0,
+                                    feasible=False)
+        safe = sum(1 for host in servers if not self._is_vulnerable(host))
+        vulnerable = len(servers) - safe
+        return BottleneckResult(name=graph.target, cut_servers=servers,
+                                safe_in_cut=safe, vulnerable_in_cut=vulnerable,
+                                feasible=True)
+
+    def analyze_unweighted(self, graph: DelegationGraph) -> BottleneckResult:
+        """Convenience: the cut that minimises total size regardless of vulns."""
+        analyzer = BottleneckAnalyzer(self.vulnerability_map,
+                                      vulnerability_aware=False)
+        return analyzer.analyze(graph)
+
+    # -- cost model ------------------------------------------------------------------
+
+    def _is_vulnerable(self, hostname: DomainName) -> bool:
+        return bool(self.vulnerability_map.get(hostname, False))
+
+    def _attack_cost(self, hostname: DomainName) -> Tuple[int, int]:
+        """Cost of directly attacking one server.
+
+        Under the vulnerability-aware weighting, compromising an already
+        vulnerable server is "free" in the primary component (no safe server
+        consumed) but still counts toward the cut size in the secondary
+        component, so ties prefer smaller cuts.
+        """
+        if self.vulnerability_aware and self._is_vulnerable(hostname):
+            return (0, 1)
+        return (1, 1)
+
+    # -- recursion ---------------------------------------------------------------------
+
+    def _block_name(self, graph: DelegationGraph, node: NodeKey,
+                    memo: Dict, in_progress: FrozenSet[NodeKey]
+                    ) -> Tuple[Tuple[int, int], FrozenSet[DomainName]]:
+        """Cheapest way to block every resolution path of a name/host node."""
+        if node in memo:
+            return memo[node]
+        if node in in_progress:
+            # Cyclic dependency (mutual secondaries): this branch cannot be
+            # used to block the node more cheaply than attacking servers
+            # directly, so treat it as unblockable here.
+            return _INFINITY, frozenset()
+        in_progress = in_progress | {node}
+
+        zones = graph.zones_of(node)
+        if not zones:
+            result = (_INFINITY, frozenset())
+            memo[node] = result
+            return result
+
+        best_cost: Tuple[int, int] = _INFINITY
+        best_servers: FrozenSet[DomainName] = frozenset()
+        for zone in zones:
+            cost, servers = self._block_zone(graph, zone, memo, in_progress)
+            if cost < best_cost:
+                best_cost, best_servers = cost, servers
+        result = (best_cost, best_servers)
+        if best_cost < _INFINITY:
+            memo[node] = result
+        return result
+
+    def _block_zone(self, graph: DelegationGraph, zone: NodeKey,
+                    memo: Dict, in_progress: FrozenSet[NodeKey]
+                    ) -> Tuple[Tuple[int, int], FrozenSet[DomainName]]:
+        """Cheapest way to control every nameserver delegated for a zone."""
+        nameservers = graph.nameservers_of_zone(zone)
+        if not nameservers:
+            return _INFINITY, frozenset()
+        total = (0, 0)
+        servers: Set[DomainName] = set()
+        for ns in nameservers:
+            hostname = ns[1]
+            direct_cost = self._attack_cost(hostname)
+            indirect_cost, indirect_servers = self._block_name(
+                graph, ns, memo, in_progress)
+            if indirect_cost < direct_cost:
+                choice_cost, choice_servers = indirect_cost, indirect_servers
+            else:
+                choice_cost, choice_servers = direct_cost, frozenset({hostname})
+            if choice_cost >= _INFINITY:
+                return _INFINITY, frozenset()
+            # Servers already selected for this zone's cut are not paid twice.
+            new_servers = set(choice_servers) - servers
+            if len(new_servers) != len(choice_servers):
+                choice_cost = self._cost_of(new_servers)
+            total = (total[0] + choice_cost[0], total[1] + choice_cost[1])
+            servers.update(new_servers)
+            if total >= _INFINITY:
+                return _INFINITY, frozenset()
+        return total, frozenset(servers)
+
+    def _cost_of(self, servers: Set[DomainName]) -> Tuple[int, int]:
+        """Combined cost of a concrete server set (used when deduplicating)."""
+        safe = sum(1 for host in servers if not (
+            self.vulnerability_aware and self._is_vulnerable(host)))
+        return (safe if self.vulnerability_aware else len(servers), len(servers))

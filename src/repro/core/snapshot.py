@@ -1,0 +1,125 @@
+"""Persistence of survey results as JSON snapshots.
+
+The paper kept an active web site with the raw results of its July 2004
+snapshot.  :func:`save_results` / :func:`load_results` play the same role for
+this reproduction: they serialise a :class:`~repro.core.survey.SurveyResults`
+to a self-describing JSON document (and back) so that expensive surveys can
+be archived, diffed across generator configurations, and re-analysed without
+re-running resolution.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+from repro.dns.name import DomainName
+from repro.core.survey import NameRecord, SurveyResults
+from repro.vulns.bindversion import BindVersion
+from repro.vulns.fingerprint import FingerprintResult
+
+#: Format version written into every snapshot for forwards compatibility.
+SNAPSHOT_FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def results_to_dict(results: SurveyResults) -> Dict[str, object]:
+    """Convert survey results to a JSON-serialisable dictionary."""
+    return {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "metadata": dict(results.metadata),
+        "records": [record.to_dict() for record in results.records],
+        "server_names_controlled": {
+            str(host): count
+            for host, count in results.server_names_controlled.items()},
+        "vulnerable_servers": sorted(str(host)
+                                     for host in results.vulnerable_servers),
+        "compromisable_servers": sorted(
+            str(host) for host in results.compromisable_servers),
+        "popular_names": sorted(str(name) for name in results.popular_names),
+        "fingerprints": {
+            str(host): {
+                "banner": result.banner,
+                "reachable": result.reachable,
+                "vulnerabilities": list(result.vulnerabilities),
+            }
+            for host, result in results.fingerprints.items()},
+    }
+
+
+def results_from_dict(payload: Dict[str, object]) -> SurveyResults:
+    """Rebuild survey results from a dictionary produced by
+    :func:`results_to_dict`."""
+    version = payload.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format version: {version!r}")
+
+    records = []
+    for raw in payload.get("records", []):
+        records.append(NameRecord(
+            name=DomainName(raw["name"]),
+            tld=raw["tld"],
+            category=raw["category"],
+            is_popular=bool(raw["is_popular"]),
+            resolved=bool(raw["resolved"]),
+            tcb_size=int(raw["tcb_size"]),
+            in_bailiwick=int(raw["in_bailiwick"]),
+            vulnerable_in_tcb=int(raw["vulnerable_in_tcb"]),
+            compromisable_in_tcb=int(raw["compromisable_in_tcb"]),
+            safety_percentage=float(raw["safety_percentage"]),
+            mincut_size=int(raw["mincut_size"]),
+            mincut_safe=int(raw["mincut_safe"]),
+            mincut_vulnerable=int(raw["mincut_vulnerable"]),
+            classification=raw["classification"],
+            tcb_servers={DomainName(s) for s in raw.get("tcb_servers", [])},
+            mincut_servers={DomainName(s)
+                            for s in raw.get("mincut_servers", [])},
+        ))
+
+    fingerprints = {}
+    for host_text, raw in payload.get("fingerprints", {}).items():
+        hostname = DomainName(host_text)
+        banner = raw.get("banner")
+        fingerprints[hostname] = FingerprintResult(
+            hostname=hostname, banner=banner,
+            version=BindVersion.parse(banner),
+            reachable=bool(raw.get("reachable", True)),
+            vulnerabilities=list(raw.get("vulnerabilities", [])))
+
+    return SurveyResults(
+        records=records,
+        server_names_controlled={
+            DomainName(host): int(count)
+            for host, count in payload.get("server_names_controlled",
+                                           {}).items()},
+        vulnerable_servers={DomainName(host)
+                            for host in payload.get("vulnerable_servers", [])},
+        compromisable_servers={
+            DomainName(host)
+            for host in payload.get("compromisable_servers", [])},
+        fingerprints=fingerprints,
+        popular_names={DomainName(name)
+                       for name in payload.get("popular_names", [])},
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def save_results(results: SurveyResults, path: PathLike,
+                 indent: int = 0) -> pathlib.Path:
+    """Write survey results to ``path`` as JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = results_to_dict(results)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent or None, sort_keys=True)
+    return path
+
+
+def load_results(path: PathLike) -> SurveyResults:
+    """Read survey results previously written by :func:`save_results`."""
+    path = pathlib.Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return results_from_dict(payload)

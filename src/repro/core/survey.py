@@ -1,0 +1,411 @@
+"""The survey orchestrator: crawl, resolve, fingerprint, analyse, aggregate.
+
+:class:`Survey` reproduces the paper's measurement pipeline end to end:
+
+1. take the list of web-server names from the (simulated) directory crawl;
+2. for every name, walk its delegation chains with a real iterative resolver
+   and build its delegation graph (Section 2);
+3. fingerprint every nameserver discovered along the way via ``version.bind``
+   and match the banners against the catalogue of known BIND holes;
+4. compute, per name, the TCB report, the bottleneck (min-cut) analysis, and
+   the hijack classification;
+5. aggregate everything into a :class:`SurveyResults` object from which each
+   of the paper's figures and headline statistics can be regenerated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.dns.name import DomainName, NameLike
+from repro.core.delegation import DelegationGraphBuilder
+from repro.core.mincut import BottleneckAnalyzer
+from repro.core.tcb import compute_tcb_report
+from repro.core.value import NameserverValueAnalyzer, ServerValue
+from repro.core.report import CDFSeries, average_by_group, summary_stats
+from repro.vulns.database import VulnerabilityDatabase, default_database
+from repro.vulns.fingerprint import Fingerprinter, FingerprintResult
+from repro.topology.webdirectory import DirectoryEntry
+
+
+@dataclasses.dataclass
+class NameRecord:
+    """Everything the survey learned about one name."""
+
+    name: DomainName
+    tld: str
+    category: str
+    is_popular: bool
+    resolved: bool
+    tcb_size: int
+    in_bailiwick: int
+    vulnerable_in_tcb: int
+    compromisable_in_tcb: int
+    safety_percentage: float
+    mincut_size: int
+    mincut_safe: int
+    mincut_vulnerable: int
+    classification: str
+    tcb_servers: Set[DomainName] = dataclasses.field(default_factory=set)
+    mincut_servers: Set[DomainName] = dataclasses.field(default_factory=set)
+
+    @property
+    def is_cctld_name(self) -> bool:
+        """True if the name lives under a two-letter (country-code) TLD."""
+        return len(self.tld) == 2
+
+    @property
+    def completely_hijackable(self) -> bool:
+        """True if the min-cut consists solely of vulnerable servers."""
+        return self.classification == "complete"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly record used by snapshots."""
+        return {
+            "name": str(self.name),
+            "tld": self.tld,
+            "category": self.category,
+            "is_popular": self.is_popular,
+            "resolved": self.resolved,
+            "tcb_size": self.tcb_size,
+            "in_bailiwick": self.in_bailiwick,
+            "vulnerable_in_tcb": self.vulnerable_in_tcb,
+            "compromisable_in_tcb": self.compromisable_in_tcb,
+            "safety_percentage": round(self.safety_percentage, 3),
+            "mincut_size": self.mincut_size,
+            "mincut_safe": self.mincut_safe,
+            "mincut_vulnerable": self.mincut_vulnerable,
+            "classification": self.classification,
+            "tcb_servers": sorted(str(s) for s in self.tcb_servers),
+            "mincut_servers": sorted(str(s) for s in self.mincut_servers),
+        }
+
+
+@dataclasses.dataclass
+class SurveyResults:
+    """Aggregated output of a survey run."""
+
+    records: List[NameRecord]
+    server_names_controlled: Dict[DomainName, int]
+    vulnerable_servers: Set[DomainName]
+    compromisable_servers: Set[DomainName]
+    fingerprints: Dict[DomainName, FingerprintResult]
+    popular_names: Set[DomainName]
+    metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    # -- cohorts ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def resolved_records(self) -> List[NameRecord]:
+        """Records for names whose delegation chain could be walked."""
+        return [record for record in self.records if record.resolved]
+
+    def popular_records(self) -> List[NameRecord]:
+        """Records for the Alexa-style popular cohort."""
+        return [record for record in self.records if record.is_popular]
+
+    def records_by_tld(self) -> Dict[str, List[NameRecord]]:
+        """Records grouped by TLD."""
+        grouped: Dict[str, List[NameRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.tld, []).append(record)
+        return grouped
+
+    def record_for(self, name: NameLike) -> Optional[NameRecord]:
+        """The record for ``name``, if it was surveyed."""
+        target = DomainName(name)
+        for record in self.records:
+            if record.name == target:
+                return record
+        return None
+
+    # -- figure 2: TCB size distribution ----------------------------------------------
+
+    def tcb_sizes(self, popular_only: bool = False) -> List[int]:
+        """TCB sizes across the survey (optionally only the popular cohort)."""
+        records = self.popular_records() if popular_only else self.records
+        return [record.tcb_size for record in records if record.resolved]
+
+    def tcb_cdf(self, popular_only: bool = False) -> CDFSeries:
+        """The Figure 2 CDF."""
+        return CDFSeries.from_values(self.tcb_sizes(popular_only=popular_only))
+
+    # -- figures 3-4: per-TLD averages ---------------------------------------------------
+
+    def mean_tcb_by_tld(self, kind: str = "all",
+                        minimum_samples: int = 3) -> Dict[str, float]:
+        """Mean TCB size per TLD; ``kind`` is "gtld", "cctld", or "all"."""
+        grouped: Dict[str, List[float]] = {}
+        for record in self.resolved_records():
+            if kind == "gtld" and record.is_cctld_name:
+                continue
+            if kind == "cctld" and not record.is_cctld_name:
+                continue
+            grouped.setdefault(record.tld, []).append(float(record.tcb_size))
+        return average_by_group(grouped, minimum_samples=minimum_samples)
+
+    # -- figures 5-6: vulnerability exposure -----------------------------------------------
+
+    def vulnerable_in_tcb_counts(self, popular_only: bool = False) -> List[int]:
+        """Per-name count of vulnerable TCB members (Figure 5)."""
+        records = self.popular_records() if popular_only else self.records
+        return [record.vulnerable_in_tcb for record in records if record.resolved]
+
+    def safety_percentages(self, popular_only: bool = False) -> List[float]:
+        """Per-name percentage of safe TCB members (Figure 6)."""
+        records = self.popular_records() if popular_only else self.records
+        return [record.safety_percentage for record in records if record.resolved]
+
+    def fraction_with_vulnerable_dependency(self) -> float:
+        """Fraction of names depending on >= 1 vulnerable server (45 %)."""
+        resolved = self.resolved_records()
+        if not resolved:
+            return 0.0
+        affected = sum(1 for record in resolved if record.vulnerable_in_tcb > 0)
+        return affected / len(resolved)
+
+    # -- figure 7: bottlenecks -----------------------------------------------------------------
+
+    def safe_bottleneck_counts(self, popular_only: bool = False) -> List[int]:
+        """Per-name number of safe servers in the min-cut (Figure 7)."""
+        records = self.popular_records() if popular_only else self.records
+        return [record.mincut_safe for record in records if record.resolved]
+
+    def fraction_completely_hijackable(self) -> float:
+        """Fraction of names whose min-cut is entirely vulnerable (30 %)."""
+        resolved = self.resolved_records()
+        if not resolved:
+            return 0.0
+        hijackable = sum(1 for record in resolved
+                         if record.completely_hijackable)
+        return hijackable / len(resolved)
+
+    def mean_mincut_size(self) -> float:
+        """Average bottleneck size (paper: 2.5 servers)."""
+        sizes = [record.mincut_size for record in self.resolved_records()
+                 if record.mincut_size > 0]
+        return sum(sizes) / len(sizes) if sizes else 0.0
+
+    # -- figures 8-9: nameserver value ------------------------------------------------------------
+
+    def value_analyzer(self) -> NameserverValueAnalyzer:
+        """A value analyzer loaded with this survey's TCBs."""
+        vulnerability_map = {host: True for host in self.vulnerable_servers}
+        analyzer = NameserverValueAnalyzer(vulnerability_map)
+        for record in self.resolved_records():
+            analyzer.add_name(record.tcb_servers)
+        return analyzer
+
+    def server_value_ranking(self, only_vulnerable: bool = False,
+                             tld_filter: Optional[Sequence[str]] = None
+                             ) -> List[ServerValue]:
+        """Rank servers by the number of surveyed names they control."""
+        return self.value_analyzer().ranking(only_vulnerable=only_vulnerable,
+                                             tld_filter=tld_filter)
+
+    # -- headline summary -------------------------------------------------------------------------
+
+    def total_servers_discovered(self) -> int:
+        """Distinct nameservers appearing in at least one TCB."""
+        return len(self.server_names_controlled)
+
+    def vulnerable_server_fraction(self) -> float:
+        """Fraction of discovered servers with a known vulnerability (17 %)."""
+        total = self.total_servers_discovered()
+        if not total:
+            return 0.0
+        vulnerable = sum(1 for host in self.server_names_controlled
+                         if host in self.vulnerable_servers)
+        return vulnerable / total
+
+    def headline(self) -> Dict[str, float]:
+        """The paper's headline statistics, computed from this survey."""
+        sizes = self.tcb_sizes()
+        stats = summary_stats(sizes)
+        popular_stats = summary_stats(self.tcb_sizes(popular_only=True))
+        in_bailiwick = [record.in_bailiwick
+                        for record in self.resolved_records()]
+        vulnerable_counts = self.vulnerable_in_tcb_counts()
+        return {
+            "names_surveyed": float(len(self.records)),
+            "names_resolved": float(len(self.resolved_records())),
+            "servers_discovered": float(self.total_servers_discovered()),
+            "mean_tcb_size": stats["mean"],
+            "median_tcb_size": stats["median"],
+            "fraction_tcb_over_200": CDFSeries.from_values(sizes)
+            .fraction_above(200) if sizes else 0.0,
+            "popular_mean_tcb_size": popular_stats["mean"],
+            "mean_in_bailiwick": (sum(in_bailiwick) / len(in_bailiwick))
+            if in_bailiwick else 0.0,
+            "vulnerable_server_fraction": self.vulnerable_server_fraction(),
+            "fraction_names_with_vulnerable_dependency":
+                self.fraction_with_vulnerable_dependency(),
+            "mean_vulnerable_in_tcb": (sum(vulnerable_counts) /
+                                       len(vulnerable_counts))
+            if vulnerable_counts else 0.0,
+            "fraction_completely_hijackable":
+                self.fraction_completely_hijackable(),
+            "mean_mincut_size": self.mean_mincut_size(),
+        }
+
+
+class Survey:
+    """Runs the measurement pipeline against a synthetic Internet.
+
+    Parameters
+    ----------
+    internet:
+        The :class:`~repro.topology.generator.SyntheticInternet` to survey.
+    vulnerability_db:
+        Catalogue used to interpret fingerprints; defaults to the standard
+        BIND catalogue.
+    popular_count:
+        Size of the "Alexa top-N" popular cohort.
+    include_bottleneck:
+        Whether to run the (slightly more expensive) min-cut analysis.
+    """
+
+    def __init__(self, internet, vulnerability_db: Optional[VulnerabilityDatabase] = None,
+                 popular_count: int = 500, include_bottleneck: bool = True,
+                 use_glue: bool = True):
+        self.internet = internet
+        self.database = vulnerability_db or default_database()
+        self.popular_count = popular_count
+        self.include_bottleneck = include_bottleneck
+        self.resolver = internet.make_resolver(use_glue=use_glue)
+        self.builder = DelegationGraphBuilder(self.resolver)
+        self.fingerprinter = Fingerprinter(internet.network, self.database)
+        self._vulnerability_map: Dict[DomainName, bool] = {}
+        self._compromisable_map: Dict[DomainName, bool] = {}
+
+    # -- name selection -----------------------------------------------------------------
+
+    def _select_entries(self, names: Optional[Iterable[NameLike]],
+                        max_names: Optional[int]) -> List[DirectoryEntry]:
+        directory = self.internet.directory
+        if names is not None:
+            selected: List[DirectoryEntry] = []
+            for name in names:
+                entry = directory.entry(name)
+                if entry is None:
+                    entry = DirectoryEntry(name=DomainName(name),
+                                           tld=DomainName(name).tld or "",
+                                           category="adhoc", popularity=1.0)
+                selected.append(entry)
+            return selected
+        entries = directory.entries()
+        if max_names is not None and max_names < len(entries):
+            entries = entries[:max_names]
+        return entries
+
+    # -- main pipeline --------------------------------------------------------------------
+
+    def run(self, names: Optional[Iterable[NameLike]] = None,
+            max_names: Optional[int] = None,
+            progress: Optional[Callable[[int, int], None]] = None
+            ) -> SurveyResults:
+        """Survey the given names (default: the whole directory)."""
+        entries = self._select_entries(names, max_names)
+        popular = {entry.name for entry in
+                   self.internet.directory.alexa_top(self.popular_count)}
+
+        records: List[NameRecord] = []
+        for index, entry in enumerate(entries):
+            records.append(self._survey_one(entry, entry.name in popular))
+            if progress is not None:
+                progress(index + 1, len(entries))
+
+        vulnerability_map, compromisable_map = self._vulnerability_maps()
+        counts: Dict[DomainName, int] = {}
+        for record in records:
+            if not record.resolved:
+                continue
+            for host in record.tcb_servers:
+                counts[host] = counts.get(host, 0) + 1
+
+        return SurveyResults(
+            records=records,
+            server_names_controlled=counts,
+            vulnerable_servers={host for host, flag in vulnerability_map.items()
+                                if flag},
+            compromisable_servers={host for host, flag in
+                                   compromisable_map.items() if flag},
+            fingerprints=self.fingerprinter.results(),
+            popular_names=popular,
+            metadata={
+                "popular_count": self.popular_count,
+                "include_bottleneck": self.include_bottleneck,
+                "names_requested": len(entries),
+            })
+
+    def _fingerprint(self, hostname: DomainName) -> None:
+        """Fingerprint one server and keep the vulnerability maps current."""
+        if hostname in self._vulnerability_map:
+            return
+        result = self.fingerprinter.fingerprint(hostname)
+        self._vulnerability_map[hostname] = result.is_vulnerable
+        self._compromisable_map[hostname] = self.database.is_compromisable(
+            result.banner)
+
+    def _survey_one(self, entry: DirectoryEntry, is_popular: bool) -> NameRecord:
+        """Resolve and analyse a single directory entry."""
+        graph = self.builder.build(entry.name)
+        resolved = graph.tcb_size() > 0
+        tcb = graph.tcb()
+        for hostname in tcb:
+            self._fingerprint(hostname)
+        vulnerability_map = self._vulnerability_map
+        compromisable_map = self._compromisable_map
+        report = compute_tcb_report(graph, vulnerability_map, compromisable_map)
+
+        mincut_size = 0
+        mincut_safe = 0
+        mincut_vulnerable = 0
+        mincut_servers: Set[DomainName] = set()
+        classification = "safe"
+        if resolved and self.include_bottleneck:
+            analyzer = BottleneckAnalyzer(compromisable_map,
+                                          vulnerability_aware=True)
+            bottleneck = analyzer.analyze(graph)
+            if bottleneck.feasible:
+                mincut_size = bottleneck.size
+                mincut_safe = bottleneck.safe_in_cut
+                mincut_vulnerable = bottleneck.vulnerable_in_cut
+                mincut_servers = set(bottleneck.cut_servers)
+                if bottleneck.fully_vulnerable:
+                    classification = "complete"
+                elif bottleneck.one_safe_server and mincut_vulnerable > 0:
+                    classification = "dos-assisted"
+                elif report.vulnerable_count > 0:
+                    classification = "partial"
+        elif report.vulnerable_count > 0:
+            classification = "partial"
+
+        return NameRecord(
+            name=entry.name, tld=entry.tld, category=entry.category,
+            is_popular=is_popular, resolved=resolved,
+            tcb_size=report.size, in_bailiwick=report.in_bailiwick_count,
+            vulnerable_in_tcb=report.vulnerable_count,
+            compromisable_in_tcb=report.compromisable_count,
+            safety_percentage=report.safety_percentage,
+            mincut_size=mincut_size, mincut_safe=mincut_safe,
+            mincut_vulnerable=mincut_vulnerable,
+            classification=classification,
+            tcb_servers=tcb, mincut_servers=mincut_servers)
+
+    def _vulnerability_maps(self) -> Tuple[Dict[DomainName, bool],
+                                           Dict[DomainName, bool]]:
+        """Per-hostname vulnerability flags derived from fingerprints."""
+        return dict(self._vulnerability_map), dict(self._compromisable_map)

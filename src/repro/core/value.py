@@ -1,0 +1,159 @@
+"""Nameserver value analysis (Figures 8 and 9).
+
+Section 3.3 models the value of a nameserver as the number of surveyed names
+that depend on it: the servers an attacker gets the most leverage from.  The
+analyzer aggregates per-name TCBs into a per-server count, ranks servers,
+and provides the filtered views the paper plots — all servers, vulnerable
+servers only, and servers operated out of ``.edu`` / ``.org``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.dns.name import DomainName, NameLike
+
+
+@dataclasses.dataclass
+class ServerValue:
+    """Value record for one nameserver."""
+
+    hostname: DomainName
+    names_controlled: int
+    rank: int = 0
+    vulnerable: bool = False
+    operator_tld: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "hostname": str(self.hostname),
+            "names_controlled": self.names_controlled,
+            "rank": self.rank,
+            "vulnerable": self.vulnerable,
+            "operator_tld": self.operator_tld,
+        }
+
+
+class NameserverValueAnalyzer:
+    """Aggregates per-name TCBs into nameserver value rankings."""
+
+    def __init__(self, vulnerability_map: Optional[Mapping[DomainName, bool]] = None):
+        self.vulnerability_map = dict(vulnerability_map or {})
+        self._counts: Dict[DomainName, int] = {}
+        self._total_names = 0
+
+    # -- accumulation ---------------------------------------------------------------
+
+    def add_name(self, tcb: Iterable[NameLike]) -> None:
+        """Account one surveyed name's TCB."""
+        self._total_names += 1
+        for hostname in tcb:
+            hostname = DomainName(hostname)
+            self._counts[hostname] = self._counts.get(hostname, 0) + 1
+
+    def add_many(self, tcbs: Iterable[Iterable[NameLike]]) -> None:
+        """Account many names at once."""
+        for tcb in tcbs:
+            self.add_name(tcb)
+
+    @property
+    def total_names(self) -> int:
+        """How many names have been accounted."""
+        return self._total_names
+
+    @property
+    def server_count(self) -> int:
+        """How many distinct nameservers appear in at least one TCB."""
+        return len(self._counts)
+
+    # -- rankings ----------------------------------------------------------------------
+
+    def ranking(self, only_vulnerable: bool = False,
+                tld_filter: Optional[Sequence[str]] = None) -> List[ServerValue]:
+        """Servers sorted by the number of names they control (descending).
+
+        Parameters
+        ----------
+        only_vulnerable:
+            Restrict to servers with a known vulnerability (the second
+            series in Figure 8).
+        tld_filter:
+            Restrict to servers whose hostname falls under one of the given
+            TLD labels (Figure 9 uses ``("edu",)`` and ``("org",)``).
+        """
+        values: List[ServerValue] = []
+        for hostname, count in self._counts.items():
+            vulnerable = self.vulnerability_map.get(hostname, False)
+            if only_vulnerable and not vulnerable:
+                continue
+            tld = hostname.tld or ""
+            if tld_filter is not None and tld not in tld_filter:
+                continue
+            values.append(ServerValue(hostname=hostname,
+                                      names_controlled=count,
+                                      vulnerable=vulnerable,
+                                      operator_tld=tld))
+        values.sort(key=lambda v: (-v.names_controlled, str(v.hostname)))
+        for index, value in enumerate(values, start=1):
+            value.rank = index
+        return values
+
+    def names_controlled(self, hostname: NameLike) -> int:
+        """How many surveyed names depend on ``hostname``."""
+        return self._counts.get(DomainName(hostname), 0)
+
+    def counts(self) -> Dict[DomainName, int]:
+        """A copy of the raw per-server counts."""
+        return dict(self._counts)
+
+    # -- paper statistics ---------------------------------------------------------------
+
+    def mean_names_controlled(self) -> float:
+        """Average number of names controlled per server (paper: 166)."""
+        if not self._counts:
+            return 0.0
+        return sum(self._counts.values()) / len(self._counts)
+
+    def median_names_controlled(self) -> float:
+        """Median number of names controlled per server (paper: 4)."""
+        if not self._counts:
+            return 0.0
+        ordered = sorted(self._counts.values())
+        middle = len(ordered) // 2
+        if len(ordered) % 2:
+            return float(ordered[middle])
+        return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+    def high_leverage_servers(self, fraction: float = 0.10,
+                              only_vulnerable: bool = False
+                              ) -> List[ServerValue]:
+        """Servers controlling more than ``fraction`` of the surveyed names.
+
+        The paper reports ~125 such servers at the 10 % threshold, about 30
+        of them gTLD infrastructure and about 12 of them vulnerable.
+        """
+        if not self._total_names:
+            return []
+        threshold = fraction * self._total_names
+        return [value for value in self.ranking(only_vulnerable=only_vulnerable)
+                if value.names_controlled > threshold]
+
+    def summary(self) -> Dict[str, float]:
+        """Headline statistics for reporting."""
+        high = self.high_leverage_servers()
+        high_hosts = {value.hostname for value in high}
+        vulnerable_high = sum(1 for hostname in high_hosts
+                              if self.vulnerability_map.get(hostname, False))
+        edu_high = sum(1 for hostname in high_hosts
+                       if (hostname.tld or "") == "edu")
+        return {
+            "servers": float(self.server_count),
+            "names": float(self._total_names),
+            "mean_names_controlled": self.mean_names_controlled(),
+            "median_names_controlled": self.median_names_controlled(),
+            "high_leverage_servers": float(len(high)),
+            "high_leverage_vulnerable": float(vulnerable_high),
+            "high_leverage_edu": float(edu_high),
+        }

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the DNS substrate.
+
+All exceptions raised by :mod:`repro.dns` derive from :class:`DNSError`, so
+callers can catch a single base class.  The hierarchy mirrors the failure
+modes of real DNS resolution: malformed names, non-existent domains
+(NXDOMAIN), server failures (SERVFAIL / unreachable), and resolution dead
+ends (delegation loops, missing glue that cannot be chased, exceeded work
+budgets).
+"""
+
+from __future__ import annotations
+
+
+class DNSError(Exception):
+    """Base class for all errors raised by the DNS substrate."""
+
+
+class NameError_(DNSError):
+    """A domain name is syntactically invalid.
+
+    The trailing underscore avoids shadowing the Python built-in
+    :class:`NameError` while keeping the DNS terminology.
+    """
+
+
+class ZoneError(DNSError):
+    """A zone is malformed or an operation on it is inconsistent.
+
+    Examples: adding a record whose owner name is outside the zone, declaring
+    a delegation for a name that is not a proper subdomain of the zone apex,
+    or serving a zone with no NS records at its apex.
+    """
+
+
+class NoSuchDomainError(DNSError):
+    """The queried name does not exist (NXDOMAIN)."""
+
+    def __init__(self, name, message: str = ""):
+        self.name = name
+        super().__init__(message or f"no such domain: {name}")
+
+
+class ServerFailureError(DNSError):
+    """A nameserver could not answer (SERVFAIL, timeout, or host down)."""
+
+    def __init__(self, server: str, message: str = ""):
+        self.server = server
+        super().__init__(message or f"server failure: {server}")
+
+
+class ResolutionError(DNSError):
+    """Resolution could not complete.
+
+    Raised for delegation loops, orphaned delegations whose nameserver
+    addresses cannot be found, or when the resolver's work budget (maximum
+    number of queries / recursion depth) is exhausted.
+    """
+
+
+class CacheError(DNSError):
+    """An internal error in the resolver cache."""

@@ -1,0 +1,261 @@
+"""Domain names and hierarchy operations.
+
+The analyses in the paper constantly reason about the namespace hierarchy:
+which zone a name belongs to, whether a nameserver is *in bailiwick* (inside
+the administrative domain of the name it serves), which top-level domain a
+name falls under, and so on.  :class:`DomainName` provides an immutable,
+canonicalised representation with those operations.
+
+Names are stored as a tuple of labels ordered from the most specific label to
+the root, e.g. ``www.cs.cornell.edu`` is ``("www", "cs", "cornell", "edu")``.
+The root name is the empty tuple and prints as ``"."``.
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.dns.errors import NameError_
+
+#: Maximum length of a single label, per RFC 1035.
+MAX_LABEL_LENGTH = 63
+
+#: Maximum length of a full name (presentation form without trailing dot).
+MAX_NAME_LENGTH = 253
+
+_LABEL_RE = re.compile(r"^[a-z0-9_]([a-z0-9_-]*[a-z0-9_])?$")
+
+NameLike = Union[str, "DomainName", Iterable[str]]
+
+
+@functools.total_ordering
+class DomainName:
+    """An immutable, canonicalised (lower-cased) DNS domain name.
+
+    Instances behave as value objects: they hash and compare by their label
+    sequence, so they can be used freely as dictionary keys and graph nodes.
+
+    Parameters
+    ----------
+    name:
+        Either a presentation-form string (``"www.example.com"``, with or
+        without a trailing dot), another :class:`DomainName` (copied), or an
+        iterable of labels ordered most-specific first.
+    """
+
+    __slots__ = ("_labels", "_hash")
+
+    def __init__(self, name: NameLike = ""):
+        if isinstance(name, DomainName):
+            labels: Tuple[str, ...] = name._labels
+        elif isinstance(name, str):
+            labels = self._parse(name)
+        else:
+            labels = tuple(self._validate_label(label) for label in name)
+            if len(str(".".join(labels))) > MAX_NAME_LENGTH:
+                raise NameError_(f"name too long: {'.'.join(labels)!r}")
+        object.__setattr__(self, "_labels", labels)
+        object.__setattr__(self, "_hash", hash(labels))
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def _validate_label(label: str) -> str:
+        label = label.lower()
+        if not label:
+            raise NameError_("empty label")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise NameError_(f"label too long: {label!r}")
+        if not _LABEL_RE.match(label):
+            raise NameError_(f"invalid label: {label!r}")
+        return label
+
+    @classmethod
+    def _parse(cls, text: str) -> Tuple[str, ...]:
+        text = text.strip().lower()
+        if text in ("", "."):
+            return ()
+        if text.endswith("."):
+            text = text[:-1]
+        if len(text) > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long: {text!r}")
+        return tuple(cls._validate_label(label) for label in text.split("."))
+
+    @classmethod
+    def root(cls) -> "DomainName":
+        """Return the DNS root name (``"."``)."""
+        return cls(())
+
+    # -- value-object protocol ----------------------------------------------
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("DomainName is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DomainName):
+            return self._labels == other._labels
+        if isinstance(other, str):
+            try:
+                return self._labels == DomainName(other)._labels
+            except NameError_:
+                return False
+        return NotImplemented
+
+    def __lt__(self, other: "DomainName") -> bool:
+        if isinstance(other, str):
+            other = DomainName(other)
+        if not isinstance(other, DomainName):
+            return NotImplemented
+        # Canonical DNS ordering sorts by reversed label sequence so that
+        # names group by their parent domains.
+        return tuple(reversed(self._labels)) < tuple(reversed(other._labels))
+
+    def __str__(self) -> str:
+        return ".".join(self._labels) if self._labels else "."
+
+    def __repr__(self) -> str:
+        return f"DomainName({str(self)!r})"
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Labels ordered most-specific first (``www``, ``cs``, ...)."""
+        return self._labels
+
+    @property
+    def is_root(self) -> bool:
+        """True if this is the root name ``"."``."""
+        return not self._labels
+
+    @property
+    def depth(self) -> int:
+        """Number of labels (the root has depth 0, ``com`` has depth 1)."""
+        return len(self._labels)
+
+    @property
+    def tld(self) -> Optional[str]:
+        """The top-level domain label, or ``None`` for the root."""
+        return self._labels[-1] if self._labels else None
+
+    @property
+    def sld(self) -> Optional["DomainName"]:
+        """The second-level domain (e.g. ``cornell.edu``), or ``None``."""
+        if len(self._labels) < 2:
+            return None
+        return DomainName(self._labels[-2:])
+
+    # -- hierarchy operations --------------------------------------------------
+
+    def parent(self) -> "DomainName":
+        """Return the immediate parent domain.
+
+        The parent of the root is the root itself, mirroring the convention
+        used when walking delegation chains upward.
+        """
+        if not self._labels:
+            return self
+        return DomainName(self._labels[1:])
+
+    def ancestors(self, include_self: bool = False,
+                  include_root: bool = True) -> Iterator["DomainName"]:
+        """Yield ancestor domains from the closest parent up to the root.
+
+        Parameters
+        ----------
+        include_self:
+            If true, the name itself is yielded first.
+        include_root:
+            If false, the root name is omitted.
+        """
+        current = self if include_self else self.parent()
+        previous = None
+        while previous != current:
+            if current.is_root and not include_root:
+                return
+            yield current
+            previous = current
+            current = current.parent()
+
+    def is_subdomain_of(self, other: NameLike, proper: bool = False) -> bool:
+        """Return True if this name lies under ``other`` in the hierarchy.
+
+        ``proper=True`` excludes the case where the two names are equal.
+        Every name is a subdomain of the root.
+        """
+        other = DomainName(other)
+        if len(other._labels) > len(self._labels):
+            return False
+        if proper and len(other._labels) == len(self._labels):
+            return False
+        if not other._labels:
+            return True
+        return self._labels[-len(other._labels):] == other._labels
+
+    def is_ancestor_of(self, other: NameLike, proper: bool = False) -> bool:
+        """Return True if ``other`` lies under this name."""
+        return DomainName(other).is_subdomain_of(self, proper=proper)
+
+    def common_ancestor(self, other: NameLike) -> "DomainName":
+        """Return the deepest domain that is an ancestor of both names."""
+        other = DomainName(other)
+        common = []
+        for a, b in zip(reversed(self._labels), reversed(other._labels)):
+            if a != b:
+                break
+            common.append(a)
+        return DomainName(tuple(reversed(common)))
+
+    def relativize(self, origin: NameLike) -> Tuple[str, ...]:
+        """Return the labels of this name relative to ``origin``.
+
+        Raises :class:`NameError_` if the name is not under ``origin``.
+        """
+        origin = DomainName(origin)
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not a subdomain of {origin}")
+        if not origin._labels:
+            return self._labels
+        return self._labels[: len(self._labels) - len(origin._labels)]
+
+    def child(self, label: str) -> "DomainName":
+        """Return the name formed by prepending ``label`` to this name."""
+        return DomainName((self._validate_label(label),) + self._labels)
+
+    def concatenate(self, suffix: NameLike) -> "DomainName":
+        """Return this (relative) name appended to ``suffix``."""
+        suffix = DomainName(suffix)
+        return DomainName(self._labels + suffix._labels)
+
+    def in_bailiwick_of(self, domain: NameLike) -> bool:
+        """True if this name is inside the administrative domain ``domain``.
+
+        A nameserver is *in bailiwick* for a domain when its own name lies
+        under that domain; the paper's "servers administered by the
+        nameowner" metric counts in-bailiwick servers.
+        """
+        return self.is_subdomain_of(domain)
+
+
+#: The DNS root name, shared for convenience.
+ROOT_NAME = DomainName.root()
+
+
+def name_key(name: NameLike) -> Tuple[str, ...]:
+    """Return a canonical sort key (reversed labels) for a name.
+
+    Sorting by this key groups names by parent domain, which is the order the
+    survey reports use when listing names per TLD.
+    """
+    return tuple(reversed(DomainName(name).labels))

@@ -1,0 +1,95 @@
+"""DNS record types, classes, opcodes, and response codes.
+
+Only the record types that participate in delegation-chain resolution and in
+the survey (A, NS, SOA, CNAME, TXT for ``version.bind``, AAAA, MX, PTR) are
+modelled, but the enums carry the real RFC-assigned numeric values so that
+snapshots serialised by :mod:`repro.core.snapshot` remain interoperable with
+real DNS tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record types (RFC 1035 and successors)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    DS = 43
+    RRSIG = 46
+    DNSKEY = 48
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        """Parse a record type from its mnemonic (case-insensitive)."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown RR type: {text!r}") from exc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class RRClass(enum.IntEnum):
+    """Resource record classes.
+
+    ``CH`` (CHAOS) matters to this reproduction because BIND exposes its
+    version banner via a ``TXT`` query for ``version.bind`` in class CH,
+    which is how the survey fingerprints server software.
+    """
+
+    IN = 1
+    CH = 3
+    HS = 4
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRClass":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown RR class: {text!r}") from exc
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class OpCode(enum.IntEnum):
+    """DNS message opcodes."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class RCode(enum.IntEnum):
+    """DNS response codes."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    @property
+    def is_error(self) -> bool:
+        """True for any code other than NOERROR."""
+        return self is not RCode.NOERROR
+
+
+#: Default time-to-live, in seconds, applied when records omit one.
+DEFAULT_TTL = 86400

@@ -1,0 +1,230 @@
+"""RFC 1035 master-file (zone file) reading and writing.
+
+The survey pipeline works on in-memory :class:`~repro.dns.zone.Zone`
+objects, but a downstream user auditing their own deployment has zone files.
+This module converts between the two for the record types the substrate
+models (SOA, NS, A, AAAA, CNAME, MX, TXT, PTR, and the DNSSEC types), with
+support for ``$ORIGIN`` / ``$TTL`` directives, relative owner names, ``@``
+for the apex, and comments.
+
+Delegations are reconstructed on load: NS RRSets owned by a proper subdomain
+of the apex become :class:`~repro.dns.zone.Delegation` entries, and any A
+records for those nameservers below the cut are attached as glue — matching
+how a real authoritative server interprets a master file.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.dns.errors import ZoneError
+from repro.dns.name import DomainName, NameLike
+from repro.dns.rdtypes import DEFAULT_TTL, RRClass, RRType
+from repro.dns.records import MXData, ResourceRecord, SOAData
+from repro.dns.zone import Zone
+
+PathLike = Union[str, pathlib.Path]
+
+#: Record types the writer/parser handle.
+SUPPORTED_TYPES = (RRType.SOA, RRType.NS, RRType.A, RRType.AAAA,
+                   RRType.CNAME, RRType.MX, RRType.TXT, RRType.PTR,
+                   RRType.DS, RRType.DNSKEY, RRType.RRSIG)
+
+
+def _present_name(name: DomainName) -> str:
+    """Absolute presentation form (with trailing dot) for zone files."""
+    return "." if name.is_root else f"{name}."
+
+
+def _present_rdata(record: ResourceRecord) -> str:
+    rdata = record.rdata
+    if isinstance(rdata, DomainName):
+        return _present_name(rdata)
+    if isinstance(rdata, MXData):
+        return f"{rdata.preference} {_present_name(rdata.exchange)}"
+    if isinstance(rdata, SOAData):
+        return (f"{_present_name(rdata.mname)} {_present_name(rdata.rname)} "
+                f"{rdata.serial} {rdata.refresh} {rdata.retry} "
+                f"{rdata.expire} {rdata.minimum}")
+    if record.rtype in (RRType.TXT, RRType.RRSIG, RRType.DNSKEY, RRType.DS):
+        return f"\"{rdata}\""
+    return str(rdata)
+
+
+def zone_to_text(zone: Zone) -> str:
+    """Render a zone (records, delegations, and glue) as master-file text."""
+    lines = [f"$ORIGIN {_present_name(zone.apex)}", f"$TTL {DEFAULT_TTL}"]
+    ordered = sorted(zone.iter_records(),
+                     key=lambda r: (r.rtype is not RRType.SOA,
+                                    tuple(reversed(r.name.labels)),
+                                    r.rtype.value, str(r.rdata)))
+    for record in ordered:
+        if record.rtype not in SUPPORTED_TYPES:
+            continue
+        lines.append(f"{_present_name(record.name)}\t{record.ttl}\t"
+                     f"{record.rclass.name}\t{record.rtype.name}\t"
+                     f"{_present_rdata(record)}")
+    for delegation in zone.iter_delegations():
+        for nameserver in delegation.nameservers:
+            lines.append(f"{_present_name(delegation.child)}\t{DEFAULT_TTL}\t"
+                         f"IN\tNS\t{_present_name(nameserver)}")
+        for nameserver, addresses in delegation.glue.items():
+            for address in addresses:
+                lines.append(f"{_present_name(nameserver)}\t{DEFAULT_TTL}\t"
+                             f"IN\tA\t{address}")
+    return "\n".join(lines) + "\n"
+
+
+def write_zone_file(zone: Zone, path: PathLike) -> pathlib.Path:
+    """Write ``zone`` to ``path`` in master-file format."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(zone_to_text(zone), encoding="utf-8")
+    return path
+
+
+class ZoneFileParser:
+    """Parses master-file text into a :class:`Zone`."""
+
+    def __init__(self, default_origin: Optional[NameLike] = None):
+        self.default_origin = (DomainName(default_origin)
+                               if default_origin is not None else None)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        result = []
+        in_quotes = False
+        for char in line:
+            if char == '"':
+                in_quotes = not in_quotes
+            if char == ";" and not in_quotes:
+                break
+            result.append(char)
+        return "".join(result).rstrip()
+
+    def _absolute(self, text: str, origin: DomainName) -> DomainName:
+        if text == "@":
+            return origin
+        if text.endswith("."):
+            return DomainName(text)
+        return DomainName(text).concatenate(origin)
+
+    def _parse_rdata(self, rtype: RRType, fields: List[str],
+                     origin: DomainName) -> object:
+        if rtype in (RRType.NS, RRType.CNAME, RRType.PTR):
+            return self._absolute(fields[0], origin)
+        if rtype is RRType.MX:
+            return MXData(int(fields[0]), self._absolute(fields[1], origin))
+        if rtype is RRType.SOA:
+            if len(fields) < 7:
+                raise ZoneError(f"SOA needs 7 fields, got {fields!r}")
+            return SOAData(mname=self._absolute(fields[0], origin),
+                           rname=self._absolute(fields[1], origin),
+                           serial=int(fields[2]), refresh=int(fields[3]),
+                           retry=int(fields[4]), expire=int(fields[5]),
+                           minimum=int(fields[6]))
+        text = " ".join(fields)
+        if text.startswith('"') and text.endswith('"'):
+            text = text[1:-1]
+        return text
+
+    # -- main entry points ------------------------------------------------------------
+
+    def parse(self, text: str, origin: Optional[NameLike] = None) -> Zone:
+        """Parse master-file ``text`` into a fully wired :class:`Zone`."""
+        current_origin = (DomainName(origin) if origin is not None
+                          else self.default_origin)
+        default_ttl = DEFAULT_TTL
+        entries: List[Tuple[DomainName, int, RRType, object]] = []
+        last_owner: Optional[DomainName] = None
+
+        for raw_line in text.splitlines():
+            line = self._strip_comment(raw_line)
+            if not line.strip():
+                continue
+            if line.startswith("$ORIGIN"):
+                current_origin = DomainName(line.split()[1])
+                continue
+            if line.startswith("$TTL"):
+                default_ttl = int(line.split()[1])
+                continue
+            if current_origin is None:
+                raise ZoneError("no $ORIGIN directive and no origin given")
+
+            starts_with_space = line[0] in (" ", "\t")
+            fields = line.split()
+            if starts_with_space:
+                owner = last_owner
+                if owner is None:
+                    raise ZoneError(f"record without owner: {raw_line!r}")
+            else:
+                owner = self._absolute(fields[0], current_origin)
+                fields = fields[1:]
+            last_owner = owner
+
+            ttl = default_ttl
+            if fields and fields[0].isdigit():
+                ttl = int(fields[0])
+                fields = fields[1:]
+            if fields and fields[0].upper() in ("IN", "CH", "HS"):
+                fields = fields[1:]
+            if not fields:
+                raise ZoneError(f"truncated record: {raw_line!r}")
+            try:
+                rtype = RRType.from_text(fields[0])
+            except ValueError as exc:
+                raise ZoneError(str(exc)) from exc
+            rdata = self._parse_rdata(rtype, fields[1:], current_origin)
+            entries.append((owner, ttl, rtype, rdata))
+
+        if current_origin is None:
+            raise ZoneError("empty zone file")
+        return self._build_zone(current_origin, entries)
+
+    def _build_zone(self, origin: DomainName,
+                    entries: List[Tuple[DomainName, int, RRType, object]]
+                    ) -> Zone:
+        soa = next((rdata for _o, _t, rtype, rdata in entries
+                    if rtype is RRType.SOA and isinstance(rdata, SOAData)),
+                   None)
+        zone = Zone(origin, soa=soa)
+
+        delegated: Dict[DomainName, List[DomainName]] = {}
+        for owner, _ttl, rtype, rdata in entries:
+            if rtype is RRType.NS and owner != origin and \
+                    owner.is_subdomain_of(origin, proper=True):
+                delegated.setdefault(owner, []).append(rdata)  # type: ignore[arg-type]
+
+        glue: Dict[DomainName, Dict[str, List[str]]] = {}
+        for owner, ttl, rtype, rdata in entries:
+            if rtype is RRType.SOA:
+                continue
+            covering = next((child for child in delegated
+                             if owner.is_subdomain_of(child, proper=True)),
+                            None)
+            if covering is not None and rtype in (RRType.A, RRType.AAAA):
+                glue.setdefault(covering, {}).setdefault(str(owner),
+                                                         []).append(str(rdata))
+                continue
+            if owner in delegated and rtype is RRType.NS:
+                continue
+            zone.add_record(ResourceRecord.create(owner, rtype, rdata,
+                                                  ttl=ttl))
+
+        for child, nameservers in delegated.items():
+            zone.delegate(child, nameservers, glue=glue.get(child, {}))
+        return zone
+
+    def parse_file(self, path: PathLike,
+                   origin: Optional[NameLike] = None) -> Zone:
+        """Parse the master file at ``path``."""
+        path = pathlib.Path(path)
+        return self.parse(path.read_text(encoding="utf-8"), origin=origin)
+
+
+def load_zone_file(path: PathLike, origin: Optional[NameLike] = None) -> Zone:
+    """Convenience wrapper: parse the master file at ``path``."""
+    return ZoneFileParser().parse_file(path, origin=origin)

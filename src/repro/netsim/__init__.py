@@ -1,0 +1,25 @@
+"""Network substrate: hosts, addressing, transport, latency, and failures.
+
+The DNS substrate needs something to carry queries between a resolver and
+authoritative servers.  :class:`~repro.netsim.network.SimulatedNetwork`
+provides that transport: it registers hosts (nameservers) under their IP
+addresses and hostnames, delivers query messages to them, models per-region
+latency, advances a simulated clock, and supports failure injection (downed
+servers, partitioned regions, saturating DoS) used by the what-if analyses.
+"""
+
+from repro.netsim.ip import IPv4Allocator, is_valid_ipv4
+from repro.netsim.latency import LatencyModel, REGION_RTT_MS
+from repro.netsim.network import SimulatedNetwork, NetworkStats
+from repro.netsim.failures import FailureInjector, FailureScenario
+
+__all__ = [
+    "IPv4Allocator",
+    "is_valid_ipv4",
+    "LatencyModel",
+    "REGION_RTT_MS",
+    "SimulatedNetwork",
+    "NetworkStats",
+    "FailureInjector",
+    "FailureScenario",
+]

@@ -1,0 +1,118 @@
+"""Failure injection for what-if experiments.
+
+The paper argues that administrators trade failure resilience for security.
+To explore that trade-off (and to model the "DoS the one safe bottleneck
+server" attack in Section 3.2), the substrate can fail servers individually,
+partition whole regions, or saturate a server with a simulated denial of
+service.  :class:`FailureInjector` records what it changed so that scenarios
+can be reverted cleanly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.dns.name import DomainName, NameLike
+from repro.dns.server import AuthoritativeServer, ServerStatus
+
+
+@dataclasses.dataclass
+class FailureScenario:
+    """A named, reversible set of injected failures."""
+
+    name: str
+    failed_servers: Set[DomainName] = dataclasses.field(default_factory=set)
+    partitioned_regions: Set[str] = dataclasses.field(default_factory=set)
+    description: str = ""
+
+    def is_empty(self) -> bool:
+        """True if the scenario injects nothing."""
+        return not self.failed_servers and not self.partitioned_regions
+
+
+class FailureInjector:
+    """Applies and reverts failure scenarios against a network.
+
+    The injector operates on the server objects held by a
+    :class:`~repro.netsim.network.SimulatedNetwork`; it never removes hosts,
+    it only toggles their status, so reverting a scenario restores the exact
+    pre-scenario state.
+    """
+
+    def __init__(self, network) -> None:
+        self._network = network
+        self._saved_status: Dict[DomainName, ServerStatus] = {}
+        self._active: Optional[FailureScenario] = None
+
+    @property
+    def active_scenario(self) -> Optional[FailureScenario]:
+        """The currently-applied scenario, if any."""
+        return self._active
+
+    def apply(self, scenario: FailureScenario) -> int:
+        """Apply ``scenario``; return the number of servers failed.
+
+        Applying a scenario while another is active reverts the previous one
+        first, so at most one scenario is in effect at a time.
+        """
+        if self._active is not None:
+            self.revert()
+        failed = 0
+        for hostname in scenario.failed_servers:
+            server = self._network.find_server(hostname)
+            if server is None:
+                continue
+            self._saved_status[server.hostname] = server.status
+            server.fail()
+            failed += 1
+        for region in scenario.partitioned_regions:
+            for server in self._network.servers_in_region(region):
+                if server.hostname not in self._saved_status:
+                    self._saved_status[server.hostname] = server.status
+                    server.fail()
+                    failed += 1
+        self._active = scenario
+        return failed
+
+    def fail_servers(self, hostnames: Iterable[NameLike],
+                     scenario_name: str = "adhoc") -> FailureScenario:
+        """Convenience: build and apply a scenario failing ``hostnames``."""
+        scenario = FailureScenario(
+            name=scenario_name,
+            failed_servers={DomainName(h) for h in hostnames})
+        self.apply(scenario)
+        return scenario
+
+    def dos(self, hostname: NameLike) -> bool:
+        """Saturate a single server (modelled as making it unresponsive).
+
+        Returns False if the server is unknown.
+        """
+        server = self._network.find_server(hostname)
+        if server is None:
+            return False
+        self._saved_status.setdefault(server.hostname, server.status)
+        server.fail()
+        if self._active is None:
+            self._active = FailureScenario(name="dos")
+        self._active.failed_servers.add(server.hostname)
+        return True
+
+    def revert(self) -> int:
+        """Undo the active scenario; return the number of servers restored."""
+        restored = 0
+        for hostname, status in self._saved_status.items():
+            server = self._network.find_server(hostname)
+            if server is None:
+                continue
+            server.status = status
+            restored += 1
+        self._saved_status.clear()
+        self._active = None
+        return restored
+
+    def surviving_servers(self) -> List[AuthoritativeServer]:
+        """Servers that are still up under the active scenario."""
+        return [server for server in self._network.iter_servers()
+                if server.is_up]

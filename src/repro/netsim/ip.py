@@ -1,0 +1,124 @@
+"""IPv4 address utilities and allocation.
+
+The topology generator needs unique, plausible-looking addresses for tens of
+thousands of simulated nameservers.  :class:`IPv4Allocator` hands out
+addresses from configurable prefixes, one prefix per operator or region, so
+that addresses carry a hint of who owns them (useful when reading survey
+output and when grouping servers by operator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.dns.errors import DNSError
+
+
+class AddressExhaustedError(DNSError):
+    """An allocator ran out of addresses in its prefix."""
+
+
+def is_valid_ipv4(address: str) -> bool:
+    """Return True if ``address`` is a syntactically valid dotted quad."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit():
+            return False
+        if not 0 <= int(part) <= 255:
+            return False
+        if len(part) > 1 and part[0] == "0":
+            return False
+    return True
+
+
+def ipv4_to_int(address: str) -> int:
+    """Convert a dotted quad to its 32-bit integer value."""
+    if not is_valid_ipv4(address):
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    a, b, c, d = (int(part) for part in address.split("."))
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+def int_to_ipv4(value: int) -> str:
+    """Convert a 32-bit integer to a dotted quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"value out of range for IPv4: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_prefix(prefix: str) -> Tuple[int, int]:
+    """Parse ``"a.b.c.d/len"`` into (network integer, prefix length)."""
+    try:
+        base, length_text = prefix.split("/")
+        length = int(length_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid prefix: {prefix!r}") from exc
+    if not 0 <= length <= 32:
+        raise ValueError(f"invalid prefix length in {prefix!r}")
+    network = ipv4_to_int(base)
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    return network & mask, length
+
+
+class IPv4Allocator:
+    """Sequential address allocator over one or more prefixes.
+
+    Parameters
+    ----------
+    default_prefix:
+        Prefix used when a pool name has not been registered explicitly.
+        Pools are carved out of this prefix on demand.
+    """
+
+    def __init__(self, default_prefix: str = "10.0.0.0/8"):
+        self._default_network, self._default_length = parse_prefix(default_prefix)
+        self._pools: Dict[str, Tuple[int, int, int]] = {}
+        self._next_pool_offset = 0
+        self._allocated: Dict[str, str] = {}
+
+    def register_pool(self, pool: str, prefix: str) -> None:
+        """Register an explicit prefix for ``pool``."""
+        network, length = parse_prefix(prefix)
+        self._pools[pool] = (network, length, 1)
+
+    def _ensure_pool(self, pool: str) -> None:
+        if pool in self._pools:
+            return
+        # Carve a /24 out of the default prefix for each new pool.
+        network = self._default_network + (self._next_pool_offset << 8)
+        self._next_pool_offset += 1
+        span = 1 << (32 - self._default_length)
+        if (network - self._default_network) >= span:
+            raise AddressExhaustedError(
+                f"default prefix exhausted while creating pool {pool!r}")
+        self._pools[pool] = (network, 24, 1)
+
+    def allocate(self, pool: str = "default", owner: Optional[str] = None) -> str:
+        """Allocate the next free address in ``pool``.
+
+        ``owner`` is recorded for debugging/reporting; passing the same owner
+        twice returns two distinct addresses (hosts may be multi-homed).
+        """
+        self._ensure_pool(pool)
+        network, length, next_host = self._pools[pool]
+        host_span = 1 << (32 - length)
+        if next_host >= host_span - 1:
+            raise AddressExhaustedError(f"pool {pool!r} exhausted")
+        address = int_to_ipv4(network + next_host)
+        self._pools[pool] = (network, length, next_host + 1)
+        if owner is not None:
+            self._allocated[address] = owner
+        return address
+
+    def owner_of(self, address: str) -> Optional[str]:
+        """The owner label recorded at allocation time, if any."""
+        return self._allocated.get(address)
+
+    def allocated_count(self) -> int:
+        """Total number of addresses handed out with a recorded owner."""
+        return len(self._allocated)
+
+    def iter_allocations(self) -> Iterator[Tuple[str, str]]:
+        """Iterate over (address, owner) pairs."""
+        return iter(self._allocated.items())

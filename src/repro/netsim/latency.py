@@ -1,0 +1,84 @@
+"""Latency model for the simulated network.
+
+Queries in the survey traverse the real Internet; in the substrate we model
+round-trip times with a simple region-to-region matrix plus per-query jitter.
+Latency does not affect the paper's structural analyses, but it feeds the
+simulated clock (which drives cache expiry) and makes the resolver traces
+realistic enough to reason about query-count/latency trade-offs in the
+examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+#: Baseline one-way latency (milliseconds) between coarse regions.  The
+#: matrix is symmetric; missing pairs fall back to :data:`DEFAULT_RTT_MS`.
+REGION_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("us", "us"): 30.0,
+    ("us", "eu"): 90.0,
+    ("us", "asia"): 150.0,
+    ("us", "oceania"): 160.0,
+    ("us", "latam"): 120.0,
+    ("us", "africa"): 180.0,
+    ("eu", "eu"): 25.0,
+    ("eu", "asia"): 130.0,
+    ("eu", "oceania"): 200.0,
+    ("eu", "latam"): 150.0,
+    ("eu", "africa"): 110.0,
+    ("asia", "asia"): 50.0,
+    ("asia", "oceania"): 110.0,
+    ("asia", "latam"): 220.0,
+    ("asia", "africa"): 190.0,
+    ("oceania", "oceania"): 30.0,
+    ("oceania", "latam"): 230.0,
+    ("oceania", "africa"): 240.0,
+    ("latam", "latam"): 45.0,
+    ("latam", "africa"): 210.0,
+    ("africa", "africa"): 60.0,
+}
+
+#: Fallback RTT when a region pair is unknown.
+DEFAULT_RTT_MS = 120.0
+
+#: Regions recognised by the model (used by the topology generator).
+KNOWN_REGIONS = ("us", "eu", "asia", "oceania", "latam", "africa")
+
+
+class LatencyModel:
+    """Deterministic-with-jitter latency model.
+
+    Parameters
+    ----------
+    jitter_fraction:
+        Maximum relative jitter applied to each query (0.2 means +/-20 %).
+    rng:
+        Random generator used for jitter.  Passing a seeded generator makes
+        traces reproducible.
+    """
+
+    def __init__(self, jitter_fraction: float = 0.2,
+                 rng: Optional[random.Random] = None):
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.jitter_fraction = jitter_fraction
+        self._rng = rng or random.Random(0)
+
+    def base_rtt(self, region_a: str, region_b: str) -> float:
+        """Round-trip time between two regions, without jitter."""
+        key = (region_a, region_b)
+        if key in REGION_RTT_MS:
+            return REGION_RTT_MS[key]
+        reverse = (region_b, region_a)
+        if reverse in REGION_RTT_MS:
+            return REGION_RTT_MS[reverse]
+        return DEFAULT_RTT_MS
+
+    def sample_rtt(self, region_a: str, region_b: str) -> float:
+        """Round-trip time for one query, with jitter applied."""
+        base = self.base_rtt(region_a, region_b)
+        if not self.jitter_fraction:
+            return base
+        jitter = self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return max(1.0, base * (1.0 + jitter))

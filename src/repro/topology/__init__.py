@@ -1,0 +1,65 @@
+"""Synthetic Internet topology: the substitute for the paper's 2004 crawl.
+
+The paper surveyed the live DNS of July 2004.  That snapshot cannot be
+re-collected, so this subpackage generates a synthetic Internet with the same
+*structural* properties the paper's analysis depends on:
+
+* a delegation hierarchy rooted at 13 root servers, with gTLD and ccTLD
+  registries, second-level domains, and deeper zones;
+* hosting providers, ISPs, universities, enterprises, governments and small
+  organisations operating nameservers, with universities forming
+  mutual-secondary webs that create long transitive dependency chains;
+* ccTLD registries (especially the ones the paper singles out: ua, by, sm,
+  mt, my, pl, it, ...) that delegate to far-flung off-site servers;
+* a BIND-version assignment per operator class calibrated so that roughly
+  17 % of servers carry a well-known vulnerability, skewed towards
+  educational and small-registry operators;
+* a simulated web-directory crawl (Yahoo!/DMOZ stand-in) that yields the list
+  of externally-visible web-server names the survey resolves, plus an
+  "Alexa top-500" cohort biased towards large multi-provider enterprises.
+
+Everything is driven by a single seeded RNG so that surveys are reproducible.
+"""
+
+from repro.topology.distributions import (
+    ZipfSampler,
+    bounded_pareto,
+    weighted_choice,
+)
+from repro.topology.tlds import (
+    GTLD_PROFILES,
+    CCTLD_PROFILES,
+    TLDProfile,
+    gtld_labels,
+    cctld_labels,
+)
+from repro.topology.operators import Organization, OperatorKind
+from repro.topology.bindpolicy import BindVersionPolicy, VERSION_POOLS
+from repro.topology.generator import (
+    GeneratorConfig,
+    InternetGenerator,
+    SyntheticInternet,
+)
+from repro.topology.webdirectory import WebDirectory, DirectoryEntry
+from repro.topology.anecdotes import AnecdotePlanter
+
+__all__ = [
+    "ZipfSampler",
+    "bounded_pareto",
+    "weighted_choice",
+    "GTLD_PROFILES",
+    "CCTLD_PROFILES",
+    "TLDProfile",
+    "gtld_labels",
+    "cctld_labels",
+    "Organization",
+    "OperatorKind",
+    "BindVersionPolicy",
+    "VERSION_POOLS",
+    "GeneratorConfig",
+    "InternetGenerator",
+    "SyntheticInternet",
+    "WebDirectory",
+    "DirectoryEntry",
+    "AnecdotePlanter",
+]

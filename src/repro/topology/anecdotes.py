@@ -1,0 +1,164 @@
+"""Planted case-study domains reproducing the paper's anecdotes.
+
+Two concrete examples anchor the paper's argument:
+
+* **fbi.gov** — served by ``dns.sprintip.com`` / ``dns2.sprintip.com``, whose
+  own domain ``sprintip.com`` is served by ``reston-ns[123].telemail.net``;
+  ``reston-ns2.telemail.net`` ran BIND 8.2.4 with four known exploits
+  (libbind, negcache, sigrec, DoS-multi), so compromising that one obscure
+  machine lets an attacker hijack the FBI's web presence.
+* **www.rkc.lviv.ua** — the most dependent name in the survey, whose TCB
+  spans universities and ISPs across a dozen countries because of how the
+  ``.ua`` hierarchy delegates.
+
+:class:`AnecdotePlanter` recreates structurally identical domains inside the
+synthetic Internet so that the examples and the hijack analysis can walk the
+same chains the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.dns.name import DomainName
+from repro.topology.operators import Organization, OperatorKind
+from repro.topology.webdirectory import DirectoryEntry
+
+#: The BIND release the paper calls out for reston-ns2.telemail.net.
+TELEMAIL_VULNERABLE_BANNER = "BIND 8.2.4"
+
+#: Names planted by the default anecdote set.
+FBI_WEB_NAME = DomainName("www.fbi.gov")
+LVIV_WEB_NAME = DomainName("www.rkc.lviv.ua")
+
+
+class AnecdotePlanter:
+    """Adds the paper's case-study domains to a generated Internet."""
+
+    def __init__(self, generator) -> None:
+        self._generator = generator
+
+    # -- public ------------------------------------------------------------------
+
+    def plant(self, internet) -> List[DomainName]:
+        """Plant every anecdote supported by the generated TLD set.
+
+        Returns the list of directory names added.
+        """
+        planted: List[DomainName] = []
+        fbi = self.plant_fbi_chain(internet)
+        if fbi is not None:
+            planted.append(fbi)
+        lviv = self.plant_lviv_chain(internet)
+        if lviv is not None:
+            planted.append(lviv)
+        return planted
+
+    # -- fbi.gov -------------------------------------------------------------------
+
+    def plant_fbi_chain(self, internet) -> Optional[DomainName]:
+        """Recreate the fbi.gov → sprintip.com → telemail.net chain."""
+        gen = self._generator
+        if "gov" not in gen._gtld_profiles or "com" not in gen._gtld_profiles \
+                or "net" not in gen._gtld_profiles:
+            return None
+
+        telemail = Organization(name="telemail", kind=OperatorKind.ISP,
+                                domain=DomainName("telemail.net"), region="us",
+                                hygiene=0.3)
+        gen._orgs.add(telemail)
+        telemail_zone = gen._get_zone(telemail.domain)
+        telemail_ns = []
+        for index in range(1, 4):
+            hostname = telemail.domain.child(f"reston-ns{index}")
+            server = gen._create_server(hostname, telemail,
+                                        home_zone=telemail_zone)
+            telemail_ns.append(hostname)
+            # The paper's smoking gun: reston-ns2 runs BIND 8.2.4 with four
+            # scripted exploits against it; its siblings are patched.
+            if index == 2:
+                server.software = TELEMAIL_VULNERABLE_BANNER
+            else:
+                server.software = "BIND 9.2.3"
+        gen._publish_zone(telemail, telemail.domain, telemail_ns,
+                          parent_apex="net")
+
+        sprintip = Organization(name="sprintip",
+                                kind=OperatorKind.HOSTING_PROVIDER,
+                                domain=DomainName("sprintip.com"), region="us",
+                                hygiene=0.9)
+        gen._orgs.add(sprintip)
+        sprintip_zone = gen._get_zone(sprintip.domain)
+        sprintip_ns = []
+        for index in range(1, 3):
+            hostname = sprintip.domain.child(f"dns{'' if index == 1 else index}")
+            server = gen._create_server(hostname, sprintip,
+                                        home_zone=sprintip_zone)
+            server.software = "BIND 9.2.3"
+            sprintip_ns.append(hostname)
+        # sprintip.com's own zone is served by the telemail machines — the
+        # indirection that puts telemail.net inside the FBI's TCB.
+        gen._publish_zone(sprintip, sprintip.domain, telemail_ns,
+                          parent_apex="com")
+
+        fbi = Organization(name="fbi", kind=OperatorKind.GOVERNMENT,
+                           domain=DomainName("fbi.gov"), region="us",
+                           hygiene=0.9)
+        gen._orgs.add(fbi)
+        fbi_zone = gen._publish_zone(fbi, fbi.domain, sprintip_ns,
+                                     parent_apex="gov")
+        gen._add_web_host(fbi_zone, "www", fbi, category="government",
+                          popularity=900.0)
+        internet.directory.add(DirectoryEntry(
+            name=FBI_WEB_NAME, tld="gov", category="government",
+            popularity=900.0, source="yahoo"))
+        return FBI_WEB_NAME
+
+    # -- www.rkc.lviv.ua ---------------------------------------------------------------
+
+    def plant_lviv_chain(self, internet) -> Optional[DomainName]:
+        """Recreate a ``.ua`` name whose TCB spans the globe."""
+        gen = self._generator
+        if "ua" not in gen._cctld_profiles:
+            return None
+
+        lviv = Organization(name="lviv-registry",
+                            kind=OperatorKind.CCTLD_REGISTRY,
+                            domain=DomainName("lviv.ua"), region="eu",
+                            hygiene=0.4)
+        gen._orgs.add(lviv)
+        lviv_zone = gen._get_zone(lviv.domain)
+        lviv_ns: List[DomainName] = []
+        for index in range(1, 3):
+            hostname = lviv.domain.child(f"ns{index}")
+            gen._create_server(hostname, lviv, home_zone=lviv_zone)
+            lviv_ns.append(hostname)
+        # Recruit secondaries from universities in as many distinct regions
+        # as possible, mirroring the Berkeley/NYU/UCLA/Monash spread.
+        seen_regions = set()
+        for university in gen._universities:
+            if university.region in seen_regions or not university.nameservers:
+                continue
+            seen_regions.add(university.region)
+            lviv_ns.append(university.nameservers[0])
+            if len(lviv_ns) >= 8:
+                break
+        gen._publish_zone(lviv, lviv.domain, lviv_ns, parent_apex="ua")
+
+        rkc = Organization(name="rkc-lviv", kind=OperatorKind.SMALL_BUSINESS,
+                           domain=DomainName("rkc.lviv.ua"), region="eu",
+                           hygiene=0.4)
+        gen._orgs.add(rkc)
+        rkc_ns = list(lviv_ns[:2])
+        if gen._isps:
+            local = [isp for isp in gen._isps if isp.domain.tld == "ua"]
+            donor = local[0] if local else gen._isps[0]
+            rkc_ns.extend(donor.nameservers[:1])
+        rkc_zone = gen._publish_zone(rkc, rkc.domain, rkc_ns,
+                                     parent_apex=lviv.domain)
+        gen._add_web_host(rkc_zone, "www", rkc, category="small-business",
+                          popularity=40.0)
+        internet.directory.add(DirectoryEntry(
+            name=LVIV_WEB_NAME, tld="ua", category="small-business",
+            popularity=40.0, source="dmoz"))
+        return LVIV_WEB_NAME

@@ -1,0 +1,239 @@
+"""Top-level-domain catalogue and per-TLD generation profiles.
+
+A :class:`TLDProfile` captures everything the generator needs to know about a
+TLD: how many registry nameservers it runs, how many of them are *off-site*
+(operated by foreign universities, ISPs, or other registries — the mechanism
+the paper blames for enormous ccTLD TCBs), what share of second-level domains
+falls under it, and how sloppy its operator community is about BIND upgrades.
+
+The profiles are calibrated against the qualitative ordering the paper
+reports:
+
+* gTLDs: ``aero`` and ``int`` have much larger TCBs than the mainstream
+  gTLDs; ``com``/``net``/``coop`` are at the small end (Figure 3).
+* ccTLDs: ``ua``, ``by``, ``sm``, ``mt``, ``my``, ``pl``, ``it`` head the
+  list of most-dependent ccTLDs (Figure 4); ``ws`` relies entirely on old
+  BIND (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class TLDProfile:
+    """Generation parameters for one top-level domain.
+
+    Attributes
+    ----------
+    label:
+        The TLD label (``"com"``, ``"ua"``, ...).
+    kind:
+        ``"gtld"`` or ``"cctld"``.
+    region:
+        Home region of the registry (used for latency and for placing
+        off-site dependencies *away* from home).
+    registry_ns_count:
+        Number of nameservers in the TLD's delegation NS set.
+    offsite_dependency_level:
+        How many *distinct external organisations* end up in the TLD zone's
+        dependency closure.  0 means the registry is self-contained (servers
+        with glue under its own infrastructure domain); larger values pull in
+        university/ISP webs and inflate the TCB of every name under the TLD.
+    sld_share:
+        Relative share of generated second-level domains placed under this
+        TLD (``com`` dominates, matching the directory composition).
+    hygiene:
+        0..1 score describing how current the registry and its typical
+        registrants keep their BIND installs (1 = modern, 0 = ancient).
+        Feeds :class:`~repro.topology.bindpolicy.BindVersionPolicy`.
+    """
+
+    label: str
+    kind: str
+    region: str
+    registry_ns_count: int
+    offsite_dependency_level: int
+    sld_share: float
+    hygiene: float
+
+    def __post_init__(self):
+        if self.kind not in ("gtld", "cctld"):
+            raise ValueError(f"unknown TLD kind: {self.kind!r}")
+        if not 0.0 <= self.hygiene <= 1.0:
+            raise ValueError("hygiene must be within [0, 1]")
+        if self.registry_ns_count < 1:
+            raise ValueError("registry_ns_count must be positive")
+
+
+def _gtld(label: str, registry_ns: int, offsite: int, share: float,
+          hygiene: float, region: str = "us") -> Tuple[str, TLDProfile]:
+    return label, TLDProfile(label=label, kind="gtld", region=region,
+                             registry_ns_count=registry_ns,
+                             offsite_dependency_level=offsite,
+                             sld_share=share, hygiene=hygiene)
+
+
+def _cctld(label: str, registry_ns: int, offsite: int, share: float,
+           hygiene: float, region: str) -> Tuple[str, TLDProfile]:
+    return label, TLDProfile(label=label, kind="cctld", region=region,
+                             registry_ns_count=registry_ns,
+                             offsite_dependency_level=offsite,
+                             sld_share=share, hygiene=hygiene)
+
+
+#: Generic TLD profiles.  The off-site level ordering follows Figure 3:
+#: aero > int > name > mil > info > edu > biz > gov > org > net > com > coop.
+GTLD_PROFILES: Dict[str, TLDProfile] = dict([
+    _gtld("com", registry_ns=13, offsite=0, share=0.46, hygiene=0.95),
+    _gtld("net", registry_ns=13, offsite=0, share=0.12, hygiene=0.95),
+    _gtld("org", registry_ns=8, offsite=1, share=0.10, hygiene=0.85),
+    _gtld("edu", registry_ns=6, offsite=3, share=0.05, hygiene=0.60),
+    _gtld("gov", registry_ns=5, offsite=1, share=0.02, hygiene=0.80),
+    _gtld("mil", registry_ns=5, offsite=4, share=0.01, hygiene=0.75),
+    _gtld("info", registry_ns=7, offsite=3, share=0.03, hygiene=0.85),
+    _gtld("biz", registry_ns=7, offsite=2, share=0.03, hygiene=0.85),
+    _gtld("name", registry_ns=5, offsite=5, share=0.01, hygiene=0.80),
+    _gtld("aero", registry_ns=5, offsite=8, share=0.005, hygiene=0.70,
+          region="eu"),
+    _gtld("int", registry_ns=6, offsite=7, share=0.005, hygiene=0.65,
+          region="eu"),
+    _gtld("coop", registry_ns=6, offsite=0, share=0.005, hygiene=0.90),
+])
+
+#: Country-code TLD profiles.  The first fifteen entries are the paper's
+#: "most vulnerable" ccTLDs in decreasing order of average TCB size
+#: (Figure 4); the rest fill out the long tail of the namespace.
+CCTLD_PROFILES: Dict[str, TLDProfile] = dict([
+    _cctld("ua", registry_ns=8, offsite=14, share=0.012, hygiene=0.35,
+           region="eu"),
+    _cctld("by", registry_ns=6, offsite=12, share=0.006, hygiene=0.35,
+           region="eu"),
+    _cctld("sm", registry_ns=4, offsite=11, share=0.002, hygiene=0.40,
+           region="eu"),
+    _cctld("mt", registry_ns=4, offsite=10, share=0.003, hygiene=0.45,
+           region="eu"),
+    _cctld("my", registry_ns=5, offsite=10, share=0.006, hygiene=0.45,
+           region="asia"),
+    _cctld("pl", registry_ns=7, offsite=9, share=0.015, hygiene=0.50,
+           region="eu"),
+    _cctld("it", registry_ns=8, offsite=8, share=0.020, hygiene=0.55,
+           region="eu"),
+    _cctld("mo", registry_ns=4, offsite=8, share=0.002, hygiene=0.45,
+           region="asia"),
+    _cctld("am", registry_ns=4, offsite=7, share=0.002, hygiene=0.45,
+           region="eu"),
+    _cctld("ie", registry_ns=5, offsite=7, share=0.005, hygiene=0.60,
+           region="eu"),
+    _cctld("tp", registry_ns=3, offsite=6, share=0.001, hygiene=0.40,
+           region="asia"),
+    _cctld("mk", registry_ns=4, offsite=6, share=0.002, hygiene=0.40,
+           region="eu"),
+    _cctld("hk", registry_ns=6, offsite=5, share=0.008, hygiene=0.60,
+           region="asia"),
+    _cctld("tw", registry_ns=7, offsite=5, share=0.010, hygiene=0.60,
+           region="asia"),
+    _cctld("cn", registry_ns=8, offsite=4, share=0.015, hygiene=0.60,
+           region="asia"),
+    # Long tail of better-run ccTLDs.
+    _cctld("uk", registry_ns=8, offsite=1, share=0.030, hygiene=0.85,
+           region="eu"),
+    _cctld("de", registry_ns=10, offsite=1, share=0.030, hygiene=0.90,
+           region="eu"),
+    _cctld("fr", registry_ns=8, offsite=2, share=0.018, hygiene=0.85,
+           region="eu"),
+    _cctld("nl", registry_ns=7, offsite=1, share=0.012, hygiene=0.90,
+           region="eu"),
+    _cctld("jp", registry_ns=8, offsite=1, share=0.018, hygiene=0.90,
+           region="asia"),
+    _cctld("kr", registry_ns=6, offsite=2, share=0.010, hygiene=0.70,
+           region="asia"),
+    _cctld("au", registry_ns=7, offsite=2, share=0.015, hygiene=0.80,
+           region="oceania"),
+    _cctld("nz", registry_ns=5, offsite=2, share=0.005, hygiene=0.80,
+           region="oceania"),
+    _cctld("ca", registry_ns=7, offsite=1, share=0.015, hygiene=0.85,
+           region="us"),
+    _cctld("br", registry_ns=7, offsite=2, share=0.012, hygiene=0.70,
+           region="latam"),
+    _cctld("mx", registry_ns=5, offsite=2, share=0.008, hygiene=0.65,
+           region="latam"),
+    _cctld("ar", registry_ns=5, offsite=2, share=0.006, hygiene=0.60,
+           region="latam"),
+    _cctld("ru", registry_ns=7, offsite=3, share=0.015, hygiene=0.55,
+           region="eu"),
+    _cctld("se", registry_ns=7, offsite=1, share=0.008, hygiene=0.90,
+           region="eu"),
+    _cctld("no", registry_ns=6, offsite=1, share=0.006, hygiene=0.90,
+           region="eu"),
+    _cctld("fi", registry_ns=5, offsite=1, share=0.005, hygiene=0.90,
+           region="eu"),
+    _cctld("es", registry_ns=6, offsite=2, share=0.010, hygiene=0.75,
+           region="eu"),
+    _cctld("ch", registry_ns=6, offsite=1, share=0.008, hygiene=0.90,
+           region="eu"),
+    _cctld("at", registry_ns=5, offsite=2, share=0.006, hygiene=0.80,
+           region="eu"),
+    _cctld("be", registry_ns=5, offsite=2, share=0.006, hygiene=0.80,
+           region="eu"),
+    _cctld("dk", registry_ns=5, offsite=1, share=0.005, hygiene=0.85,
+           region="eu"),
+    _cctld("cz", registry_ns=5, offsite=2, share=0.005, hygiene=0.65,
+           region="eu"),
+    _cctld("hu", registry_ns=5, offsite=2, share=0.004, hygiene=0.60,
+           region="eu"),
+    _cctld("gr", registry_ns=5, offsite=3, share=0.004, hygiene=0.55,
+           region="eu"),
+    _cctld("tr", registry_ns=5, offsite=3, share=0.005, hygiene=0.55,
+           region="eu"),
+    _cctld("in", registry_ns=5, offsite=3, share=0.008, hygiene=0.55,
+           region="asia"),
+    _cctld("il", registry_ns=5, offsite=2, share=0.005, hygiene=0.70,
+           region="eu"),
+    _cctld("za", registry_ns=5, offsite=2, share=0.005, hygiene=0.60,
+           region="africa"),
+    _cctld("sg", registry_ns=5, offsite=2, share=0.005, hygiene=0.75,
+           region="asia"),
+    _cctld("th", registry_ns=4, offsite=3, share=0.004, hygiene=0.55,
+           region="asia"),
+    _cctld("id", registry_ns=4, offsite=4, share=0.004, hygiene=0.45,
+           region="asia"),
+    _cctld("ws", registry_ns=3, offsite=0, share=0.001, hygiene=0.05,
+           region="oceania"),
+])
+
+#: The fifteen ccTLDs Figure 4 ranks as most dependent, in paper order.
+FIGURE4_CCTLDS: Tuple[str, ...] = (
+    "ua", "by", "sm", "mt", "my", "pl", "it", "mo", "am", "ie",
+    "tp", "mk", "hk", "tw", "cn",
+)
+
+#: The gTLDs Figure 3 plots, in paper order (decreasing TCB size).
+FIGURE3_GTLDS: Tuple[str, ...] = (
+    "aero", "int", "name", "mil", "info", "edu", "biz", "gov",
+    "org", "net", "com", "coop",
+)
+
+
+def gtld_labels() -> List[str]:
+    """All generic TLD labels in the catalogue."""
+    return list(GTLD_PROFILES)
+
+
+def cctld_labels() -> List[str]:
+    """All country-code TLD labels in the catalogue."""
+    return list(CCTLD_PROFILES)
+
+
+def all_profiles() -> Dict[str, TLDProfile]:
+    """Every profile keyed by label."""
+    combined = dict(GTLD_PROFILES)
+    combined.update(CCTLD_PROFILES)
+    return combined
+
+
+def profile_for(label: str) -> TLDProfile:
+    """Profile for ``label``; raises ``KeyError`` for unknown TLDs."""
+    return all_profiles()[label]

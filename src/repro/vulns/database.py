@@ -1,0 +1,233 @@
+"""Catalogue of known BIND vulnerabilities.
+
+The entries reproduce the ISC BIND security matrix as it stood around the
+survey date (February 2004 advisory list, used against the July 2004
+snapshot).  Each :class:`Vulnerability` records the affected version range
+within a major release line, a severity, and a :class:`Capability` describing
+what an attacker gains: remote code execution / cache corruption (enough to
+hijack names served by the box) or only denial of service.
+
+The exploit names the paper mentions for the fbi.gov case study — *libbind*,
+*negcache*, *sigrec*, and *DoS multi* — are all present, and BIND 8.2.4 is
+(correctly) matched by all four.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.vulns.bindversion import BindVersion, version_range
+
+
+class Severity(enum.IntEnum):
+    """Coarse severity buckets, ordered so that ``max()`` picks the worst."""
+
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+    CRITICAL = 4
+
+
+class Capability(enum.Enum):
+    """What a successful exploit gives the attacker."""
+
+    #: Remote code execution or equivalent control of the server; enough to
+    #: forge arbitrary answers and hijack every name the server controls.
+    COMPROMISE = "compromise"
+    #: Cache or answer corruption without full host control; still enough to
+    #: misdirect queries that pass through the server.
+    CORRUPTION = "corruption"
+    #: Crash or hang the server; useful to knock out "safe" bottlenecks.
+    DENIAL_OF_SERVICE = "dos"
+
+
+@dataclasses.dataclass(frozen=True)
+class Vulnerability:
+    """A single known vulnerability with its affected version range."""
+
+    ident: str
+    summary: str
+    branch: int                 # BIND major version line the range applies to
+    affected_low: BindVersion
+    affected_high: BindVersion
+    severity: Severity
+    capability: Capability
+    year: int
+
+    def affects(self, version: BindVersion) -> bool:
+        """True if ``version`` falls inside the affected range."""
+        if version.major != self.branch:
+            return False
+        return version.in_range(self.affected_low, self.affected_high)
+
+    def __str__(self) -> str:
+        return (f"{self.ident} (BIND {self.affected_low}..{self.affected_high}, "
+                f"{self.severity.name}, {self.capability.value})")
+
+
+def _vuln(ident: str, summary: str, low: str, high: str, severity: Severity,
+          capability: Capability, year: int) -> Vulnerability:
+    low_v, high_v = version_range(low, high)
+    return Vulnerability(ident=ident, summary=summary, branch=low_v.major,
+                         affected_low=low_v, affected_high=high_v,
+                         severity=severity, capability=capability, year=year)
+
+
+#: The default catalogue: the well-documented BIND 4/8/9 holes that the
+#: survey's analysis relies on.  Ranges are inclusive and scoped to a single
+#: major release line; a hole spanning two lines appears twice.
+DEFAULT_VULNERABILITIES: Tuple[Vulnerability, ...] = (
+    # --- BIND 4 line -------------------------------------------------------
+    _vuln("nxt4", "NXT record processing buffer overflow", "4.9.0", "4.9.6",
+          Severity.CRITICAL, Capability.COMPROMISE, 1999),
+    _vuln("infoleak4", "Information leak via inverse query", "4.9.0", "4.9.6",
+          Severity.MEDIUM, Capability.CORRUPTION, 1999),
+    _vuln("libbind4", "libbind resolver buffer overflow", "4.9.0", "4.9.10",
+          Severity.HIGH, Capability.COMPROMISE, 2002),
+    # --- BIND 8 line -------------------------------------------------------
+    _vuln("nxt", "NXT record processing remote root", "8.2.0", "8.2.1",
+          Severity.CRITICAL, Capability.COMPROMISE, 1999),
+    _vuln("zxfr", "Compressed zone transfer (ZXFR) crash", "8.2.0", "8.2.2",
+          Severity.MEDIUM, Capability.DENIAL_OF_SERVICE, 2000),
+    _vuln("tsig", "TSIG signature handling buffer overflow", "8.2.0", "8.2.3",
+          Severity.CRITICAL, Capability.COMPROMISE, 2001),
+    _vuln("libbind", "libbind/gethostbyname buffer overflow", "8.2.0", "8.2.6",
+          Severity.HIGH, Capability.COMPROMISE, 2002),
+    _vuln("negcache", "Negative cache poisoning of authoritative data",
+          "8.2.0", "8.2.6", Severity.HIGH, Capability.CORRUPTION, 2002),
+    _vuln("sigrec", "SIG record cached RR buffer overflow", "8.2.0", "8.2.6",
+          Severity.CRITICAL, Capability.COMPROMISE, 2002),
+    _vuln("dos-multi", "Multiple denial-of-service flaws (OPT/SIG)",
+          "8.2.0", "8.2.6", Severity.MEDIUM, Capability.DENIAL_OF_SERVICE, 2002),
+    _vuln("srv8", "SRV record denial of service", "8.3.0", "8.3.2",
+          Severity.MEDIUM, Capability.DENIAL_OF_SERVICE, 2002),
+    _vuln("sig8", "SIG RR overflow in BIND 8.3", "8.3.0", "8.3.3",
+          Severity.CRITICAL, Capability.COMPROMISE, 2002),
+    _vuln("maxdname", "maxdname buffer overflow", "8.3.0", "8.3.4",
+          Severity.HIGH, Capability.COMPROMISE, 2003),
+    # --- BIND 9 line -------------------------------------------------------
+    _vuln("bind9-dos", "Malformed rdataset assertion failure", "9.0.0", "9.2.0",
+          Severity.MEDIUM, Capability.DENIAL_OF_SERVICE, 2002),
+    _vuln("bind9-selfcheck", "Self check failing assertion (DoS)",
+          "9.2.0", "9.2.1", Severity.MEDIUM, Capability.DENIAL_OF_SERVICE, 2002),
+    _vuln("bind9-negcache", "Negative cache poisoning via DS records",
+          "9.2.0", "9.2.2", Severity.HIGH, Capability.CORRUPTION, 2003),
+)
+
+
+class VulnerabilityDatabase:
+    """Look-up service mapping version banners to known vulnerabilities.
+
+    Parameters
+    ----------
+    vulnerabilities:
+        The catalogue to serve.  Defaults to :data:`DEFAULT_VULNERABILITIES`.
+    treat_unknown_as_safe:
+        The paper assumes servers whose version is unknown are safe ("the
+        results presented here are optimistic"); setting this to False flips
+        that assumption for sensitivity analysis.
+    """
+
+    def __init__(self,
+                 vulnerabilities: Optional[Iterable[Vulnerability]] = None,
+                 treat_unknown_as_safe: bool = True):
+        self._vulnerabilities: List[Vulnerability] = list(
+            vulnerabilities if vulnerabilities is not None
+            else DEFAULT_VULNERABILITIES)
+        self.treat_unknown_as_safe = treat_unknown_as_safe
+        self._cache: Dict[Optional[str], Tuple[Vulnerability, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self._vulnerabilities)
+
+    def __iter__(self) -> Iterator[Vulnerability]:
+        return iter(self._vulnerabilities)
+
+    def add(self, vulnerability: Vulnerability) -> None:
+        """Add a vulnerability to the catalogue (invalidates the cache)."""
+        self._vulnerabilities.append(vulnerability)
+        self._cache.clear()
+
+    def find(self, ident: str) -> Optional[Vulnerability]:
+        """Return the vulnerability with identifier ``ident``, if present."""
+        for vulnerability in self._vulnerabilities:
+            if vulnerability.ident == ident:
+                return vulnerability
+        return None
+
+    # -- banner-level queries ----------------------------------------------------
+
+    def vulnerabilities_for(self, banner: Optional[str]
+                            ) -> Tuple[Vulnerability, ...]:
+        """All catalogue entries affecting the given version banner."""
+        if banner in self._cache:
+            return self._cache[banner]
+        version = BindVersion.parse(banner)
+        if version is None:
+            result: Tuple[Vulnerability, ...] = ()
+            if not self.treat_unknown_as_safe and banner:
+                # Pessimistic mode: unknown banners are flagged with a
+                # synthetic "unknown-software" marker entry.
+                result = (Vulnerability(
+                    ident="unknown-software",
+                    summary="unparseable or hidden version banner",
+                    branch=0, affected_low=BindVersion(0, 0, 0),
+                    affected_high=BindVersion(0, 0, 0),
+                    severity=Severity.LOW, capability=Capability.CORRUPTION,
+                    year=0),)
+        else:
+            result = tuple(v for v in self._vulnerabilities if v.affects(version))
+        self._cache[banner] = result
+        return result
+
+    def is_vulnerable(self, banner: Optional[str]) -> bool:
+        """True if any known vulnerability affects the banner."""
+        return bool(self.vulnerabilities_for(banner))
+
+    def is_compromisable(self, banner: Optional[str]) -> bool:
+        """True if the banner is affected by a hole granting control.
+
+        This counts COMPROMISE and CORRUPTION capabilities — both let an
+        attacker misdirect queries passing through the server — but not
+        DoS-only holes.
+        """
+        return any(v.capability in (Capability.COMPROMISE, Capability.CORRUPTION)
+                   for v in self.vulnerabilities_for(banner))
+
+    def worst_severity(self, banner: Optional[str]) -> Optional[Severity]:
+        """The highest severity affecting the banner, or ``None``."""
+        found = self.vulnerabilities_for(banner)
+        if not found:
+            return None
+        return max(v.severity for v in found)
+
+    def exploit_names(self, banner: Optional[str]) -> List[str]:
+        """Identifiers of the exploits affecting the banner."""
+        return [v.ident for v in self.vulnerabilities_for(banner)]
+
+    # -- server-level conveniences --------------------------------------------------
+
+    def classify_server(self, server) -> str:
+        """Classify a server as 'compromisable', 'dos-only', or 'safe'."""
+        found = self.vulnerabilities_for(server.software)
+        if not found:
+            return "safe"
+        if any(v.capability in (Capability.COMPROMISE, Capability.CORRUPTION)
+               for v in found):
+            return "compromisable"
+        return "dos-only"
+
+    def summary(self) -> Dict[str, int]:
+        """Catalogue statistics keyed by capability name."""
+        counts: Dict[str, int] = {}
+        for vulnerability in self._vulnerabilities:
+            counts[vulnerability.capability.value] = \
+                counts.get(vulnerability.capability.value, 0) + 1
+        return counts
+
+
+def default_database() -> VulnerabilityDatabase:
+    """Return a fresh database loaded with the default catalogue."""
+    return VulnerabilityDatabase()

@@ -1,0 +1,78 @@
+"""Tests for the ``repro-dns`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+#: Tiny generator arguments so each CLI invocation stays fast.
+TINY = ["--sld-count", "40", "--directory-names", "60",
+        "--universities", "10", "--seed", "11"]
+
+
+def test_parser_requires_subcommand():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_survey_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["survey"])
+    assert args.command == "survey"
+    assert args.seed == 20040722
+    assert args.output is None
+
+
+def test_survey_command_prints_headline_and_figures(capsys):
+    exit_code = main(["survey", "--max-names", "30", *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "mean_tcb_size" in output
+    assert "fraction_completely_hijackable" in output
+    assert "Figure 3" in output
+    # The ccTLD table (Figure 4) only appears when enough ccTLD names were
+    # surveyed, which a tiny --max-names run cannot guarantee.
+
+
+def test_survey_command_writes_snapshot(tmp_path, capsys):
+    snapshot = tmp_path / "snapshot.json"
+    exit_code = main(["survey", "--max-names", "25", "--output",
+                      str(snapshot), *TINY])
+    assert exit_code == 0
+    assert snapshot.exists()
+    payload = json.loads(snapshot.read_text())
+    assert payload["records"]
+    assert "snapshot written" in capsys.readouterr().out
+
+
+def test_report_command_reads_snapshot(tmp_path, capsys):
+    snapshot = tmp_path / "snapshot.json"
+    main(["survey", "--max-names", "25", "--output", str(snapshot), *TINY])
+    capsys.readouterr()
+    exit_code = main(["report", str(snapshot)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "mean_tcb_size" in output
+
+
+def test_survey_no_bottleneck_flag(capsys):
+    exit_code = main(["survey", "--max-names", "15", "--no-bottleneck", *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "mean_mincut_size" in output
+
+
+def test_inspect_known_anecdote(capsys):
+    exit_code = main(["inspect", "www.fbi.gov", *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "TCB size" in output
+    assert "classification" in output
+
+
+def test_inspect_unknown_name(capsys):
+    exit_code = main(["inspect", "www.does-not-exist.zz", *TINY])
+    assert exit_code == 1
+    assert "could not walk" in capsys.readouterr().out

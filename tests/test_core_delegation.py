@@ -1,0 +1,163 @@
+"""Tests for :mod:`repro.core.delegation` on the hand-built mini Internet."""
+
+from repro.dns.name import DomainName
+from repro.core.delegation import (
+    DelegationGraphBuilder,
+    NAME_KIND,
+    NS_KIND,
+    ZONE_KIND,
+    name_node,
+    ns_node,
+    zone_node,
+)
+
+
+def make_builder(mini_internet) -> DelegationGraphBuilder:
+    return DelegationGraphBuilder(mini_internet.make_resolver())
+
+
+# -- node helpers -----------------------------------------------------------------
+
+def test_node_key_helpers_normalise_names():
+    assert name_node("WWW.Example.COM") == (NAME_KIND,
+                                            DomainName("www.example.com"))
+    assert zone_node("com")[0] == ZONE_KIND
+    assert ns_node("ns1.example.com")[0] == NS_KIND
+
+
+# -- hosted name (small, self-contained TCB) -------------------------------------------
+
+def test_hosted_name_graph_contents(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.example.com")
+    assert graph.target == DomainName("www.example.com")
+    tcb = {str(host) for host in graph.tcb()}
+    # com registry servers plus the hosting provider's two servers.
+    assert tcb == {"ns1.gtld.net", "ns2.gtld.net",
+                   "ns1.hostco.com", "ns2.hostco.com"}
+    zones = {str(zone) for zone in graph.zones()}
+    assert {"com", "example.com", "hostco.com"} <= zones
+    assert graph.tcb_size() == 4
+
+
+def test_root_servers_excluded_from_tcb(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.example.com")
+    assert all(not host.is_subdomain_of("root-servers.net")
+               for host in graph.tcb())
+
+
+def test_direct_zones_and_authoritative_zone(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.example.com")
+    assert set(map(str, graph.direct_zones())) == {"com", "example.com"}
+    assert str(graph.authoritative_zone()) == "example.com"
+
+
+def test_hosted_name_has_no_in_bailiwick_servers(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.example.com")
+    assert graph.in_bailiwick_servers() == set()
+
+
+# -- transitive dependencies via off-site secondaries (the paper's Figure 1) --------------
+
+def test_offsite_secondary_pulls_in_partner_university(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.uni.edu")
+    tcb = {str(host) for host in graph.tcb()}
+    # uni.edu's own servers, its off-site secondary at partner.edu, and --
+    # transitively -- partner.edu's other nameserver, plus the registries.
+    assert "dns1.uni.edu" in tcb
+    assert "dns1.partner.edu" in tcb
+    assert "dns2.partner.edu" in tcb, \
+        "transitive dependency on the partner's second server missing"
+    assert "ns1.edunic.net" in tcb
+
+
+def test_in_bailiwick_count_for_self_hosted_name(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.uni.edu")
+    in_bailiwick = {str(host) for host in graph.in_bailiwick_servers()}
+    assert in_bailiwick == {"dns1.uni.edu", "dns2.uni.edu"}
+
+
+def test_dependency_path_reaches_vulnerable_server(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.uni.edu")
+    path = graph.dependency_path("dns2.partner.edu")
+    assert path
+    assert path[0] == name_node("www.uni.edu")
+    assert path[-1] == ns_node("dns2.partner.edu")
+    kinds = [node[0] for node in path]
+    assert ZONE_KIND in kinds
+    assert graph.dependency_path("not.in.graph.example") == []
+
+
+def test_edge_direction_is_dependent_to_dependency(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.uni.edu")
+    uni_zone = zone_node("uni.edu")
+    successors = set(graph.graph.successors(uni_zone))
+    assert ns_node("dns1.partner.edu") in successors
+
+
+def test_structure_accessors(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.uni.edu")
+    zones = graph.zones_of(name_node("www.uni.edu"))
+    assert zone_node("edu") in zones
+    nameservers = graph.nameservers_of_zone(zone_node("uni.edu"))
+    assert ns_node("dns1.uni.edu") in nameservers
+    assert graph.node_count() > graph.tcb_size()
+    assert graph.edge_count() >= graph.node_count() - 1
+
+
+# -- builder-level behaviour -----------------------------------------------------------------
+
+def test_universe_shared_across_names(mini_internet):
+    builder = make_builder(mini_internet)
+    builder.build("www.example.com")
+    queries_after_first = mini_internet.network.stats.queries_delivered
+    builder.build("www.hostco.com")
+    queries_after_second = mini_internet.network.stats.queries_delivered
+    # The second name shares the com/hostco chains, so it needs few
+    # additional queries compared to the first.
+    assert queries_after_second - queries_after_first < queries_after_first
+
+
+def test_build_many_returns_graph_per_name(mini_internet):
+    builder = make_builder(mini_internet)
+    graphs = builder.build_many(["www.example.com", "www.uni.edu"])
+    assert set(map(str, graphs)) == {"www.example.com", "www.uni.edu"}
+
+
+def test_chain_is_cached(mini_internet):
+    builder = make_builder(mini_internet)
+    first = builder.chain("www.example.com")
+    second = builder.chain("www.example.com")
+    assert first is second
+    assert builder.queries_saved_by_cache >= 1
+
+
+def test_discovered_nameservers_accumulate(mini_internet):
+    builder = make_builder(mini_internet)
+    builder.build("www.example.com")
+    discovered_first = len(builder.discovered_nameservers())
+    builder.build("www.uni.edu")
+    discovered_second = len(builder.discovered_nameservers())
+    assert discovered_second > discovered_first
+
+
+def test_unresolvable_name_yields_empty_graph(mini_internet):
+    builder = make_builder(mini_internet)
+    graph = builder.build("www.nonexistent.zz")
+    assert graph.tcb_size() == 0
+
+
+def test_separate_graphs_do_not_share_nodes_with_unrelated_names(mini_internet):
+    builder = make_builder(mini_internet)
+    example = builder.build("www.example.com")
+    uni = builder.build("www.uni.edu")
+    assert ns_node("dns1.uni.edu") not in example.graph
+    assert name_node("www.example.com") not in uni.graph

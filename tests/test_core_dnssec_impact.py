@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.core.dnssec_impact` (Section 5 experiments)."""
+
+import pytest
+
+from repro.core.dnssec_impact import (
+    DNSSECImpactAnalyzer,
+    deploy_dnssec,
+)
+from repro.core.survey import Survey
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+
+
+@pytest.fixture(scope="module")
+def signed_world():
+    """A small Internet, its survey, and a full DNSSEC deployment."""
+    config = GeneratorConfig(seed=77, sld_count=80, directory_name_count=120,
+                             university_count=16, hosting_provider_count=6,
+                             isp_count=4, alexa_count=20)
+    internet = InternetGenerator(config).generate()
+    results = Survey(internet, popular_count=20).run()
+    deployment = deploy_dnssec(internet, fraction=1.0)
+    return internet, results, deployment
+
+
+def test_deploy_rejects_bad_fraction(signed_world):
+    internet, _results, _deployment = signed_world
+    with pytest.raises(ValueError):
+        deploy_dnssec(internet, fraction=1.5)
+
+
+def test_full_deployment_signs_every_zone(signed_world):
+    internet, _results, deployment = signed_world
+    assert deployment.signed_count == len(internet.zones)
+    assert deployment.ds_published > 0
+    assert deployment.fraction_requested == 1.0
+
+
+def test_full_deployment_secures_most_names(signed_world):
+    internet, results, deployment = signed_world
+    analyzer = DNSSECImpactAnalyzer(internet, deployment)
+    report = analyzer.analyze(results, max_names=40)
+    assert report.names_checked == 40
+    assert report.fraction_secure >= 0.9
+    assert report.secure + report.insecure == report.names_checked
+    # With a full deployment, every hijackable name is at least detectable.
+    assert report.hijackable_undetected <= report.hijackable * 0.2
+
+
+def test_partial_deployment_leaves_islands():
+    config = GeneratorConfig(seed=78, sld_count=60, directory_name_count=90,
+                             university_count=12, hosting_provider_count=5,
+                             isp_count=3, alexa_count=15)
+    internet = InternetGenerator(config).generate()
+    results = Survey(internet, popular_count=15).run()
+    deployment = deploy_dnssec(internet, fraction=0.3)
+    analyzer = DNSSECImpactAnalyzer(internet, deployment)
+    report = analyzer.analyze(results, max_names=40)
+    assert 0.0 < report.fraction_secure < 1.0
+    assert report.insecure > 0
+
+
+def test_zero_deployment_secures_nothing_below_tlds():
+    config = GeneratorConfig(seed=79, sld_count=40, directory_name_count=60,
+                             university_count=8, hosting_provider_count=4,
+                             isp_count=2, alexa_count=10,
+                             plant_anecdotes=False)
+    internet = InternetGenerator(config).generate()
+    results = Survey(internet, popular_count=10).run()
+    deployment = deploy_dnssec(internet, fraction=0.0, always_sign_tlds=False)
+    analyzer = DNSSECImpactAnalyzer(internet, deployment)
+    report = analyzer.analyze(results, max_names=25)
+    assert report.fraction_secure == 0.0
+    assert report.hijackable_detected == 0
+
+
+def test_dnssec_detects_forged_answers_but_not_dos(signed_world):
+    """The paper's point: DNSSEC turns silent hijacks into detectable ones,
+    yet the delegation chain (and thus denial of service) is unchanged."""
+    internet, results, deployment = signed_world
+    analyzer = DNSSECImpactAnalyzer(internet, deployment)
+    hijackable = [record for record in results.resolved_records()
+                  if record.classification in ("complete", "dos-assisted")]
+    if not hijackable:
+        pytest.skip("no hijackable names in this tiny survey")
+    record = hijackable[0]
+    validation = analyzer.validate_name(record.name)
+    assert validation.is_secure
+    # Signing did not change the delegation structure: the bottleneck that
+    # made the name hijackable is still there.
+    fresh = Survey(internet, popular_count=10).run(names=[record.name])
+    assert fresh.records[0].mincut_size == record.mincut_size
+
+
+def test_report_to_dict_keys(signed_world):
+    internet, results, deployment = signed_world
+    report = DNSSECImpactAnalyzer(internet, deployment).analyze(
+        results, max_names=10)
+    payload = report.to_dict()
+    assert set(payload) == {"deployment_fraction", "names_checked",
+                            "fraction_secure", "hijackable",
+                            "hijackable_detected", "hijackable_undetected"}

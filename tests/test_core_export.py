@@ -1,0 +1,58 @@
+"""Tests for :mod:`repro.core.export`."""
+
+from repro.dns.name import DomainName
+from repro.core.delegation import DelegationGraphBuilder
+from repro.core.export import to_ascii_tree, to_dot, to_graphml, write_dot
+
+
+def build_graph(mini_internet, name="www.uni.edu"):
+    builder = DelegationGraphBuilder(mini_internet.make_resolver())
+    return builder.build(name)
+
+
+def test_ascii_tree_contains_all_dependencies(mini_internet):
+    graph = build_graph(mini_internet)
+    text = to_ascii_tree(graph)
+    assert text.splitlines()[0].startswith("name www.uni.edu")
+    for hostname in graph.tcb():
+        assert str(hostname) in text
+    for zone in graph.zones():
+        assert str(zone) in text
+
+
+def test_ascii_tree_marks_vulnerable_and_repeats(mini_internet):
+    graph = build_graph(mini_internet)
+    text = to_ascii_tree(graph,
+                         {DomainName("dns2.partner.edu"): True})
+    assert "[VULNERABLE]" in text
+    assert "(see above)" in text
+
+
+def test_ascii_tree_depth_limit(mini_internet):
+    graph = build_graph(mini_internet)
+    shallow = to_ascii_tree(graph, max_depth=1)
+    assert len(shallow.splitlines()) < len(to_ascii_tree(graph).splitlines())
+
+
+def test_dot_output_structure(mini_internet):
+    graph = build_graph(mini_internet)
+    dot = to_dot(graph, {DomainName("dns2.partner.edu"): True})
+    assert dot.startswith("digraph delegation {")
+    assert dot.rstrip().endswith("}")
+    assert '"ns:dns2.partner.edu" [' in dot
+    assert "lightcoral" in dot
+    assert "->" in dot
+    # Every edge in the graph appears in the DOT text.
+    assert dot.count("->") == graph.edge_count()
+
+
+def test_write_dot_and_graphml(tmp_path, mini_internet):
+    graph = build_graph(mini_internet)
+    dot_path = write_dot(graph, tmp_path / "out" / "graph.dot")
+    assert dot_path.exists()
+    assert "digraph" in dot_path.read_text()
+    graphml_path = to_graphml(graph, tmp_path / "out" / "graph.graphml")
+    assert graphml_path.exists()
+    content = graphml_path.read_text()
+    assert "graphml" in content
+    assert "ns:dns1.uni.edu" in content

@@ -1,0 +1,71 @@
+"""Tests for :mod:`repro.core.snapshot`."""
+
+import json
+
+import pytest
+
+from repro.core.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    load_results,
+    results_from_dict,
+    results_to_dict,
+    save_results,
+)
+
+
+def test_roundtrip_through_dict(small_survey):
+    payload = results_to_dict(small_survey)
+    assert payload["format_version"] == SNAPSHOT_FORMAT_VERSION
+    restored = results_from_dict(payload)
+    assert len(restored) == len(small_survey)
+    assert restored.vulnerable_servers == small_survey.vulnerable_servers
+    assert restored.popular_names == small_survey.popular_names
+    assert restored.server_names_controlled == \
+        small_survey.server_names_controlled
+
+
+def test_roundtrip_preserves_headline(small_survey):
+    restored = results_from_dict(results_to_dict(small_survey))
+    original = small_survey.headline()
+    recovered = restored.headline()
+    for key, value in original.items():
+        assert recovered[key] == pytest.approx(value), key
+
+
+def test_roundtrip_preserves_record_fields(small_survey):
+    restored = results_from_dict(results_to_dict(small_survey))
+    original = {str(r.name): r for r in small_survey.records}
+    for record in restored.records:
+        source = original[str(record.name)]
+        assert record.tcb_size == source.tcb_size
+        assert record.classification == source.classification
+        assert record.tcb_servers == source.tcb_servers
+        assert record.mincut_servers == source.mincut_servers
+
+
+def test_roundtrip_preserves_fingerprints(small_survey):
+    restored = results_from_dict(results_to_dict(small_survey))
+    assert set(restored.fingerprints) == set(small_survey.fingerprints)
+    for hostname, result in list(small_survey.fingerprints.items())[:20]:
+        recovered = restored.fingerprints[hostname]
+        assert recovered.banner == result.banner
+        assert recovered.vulnerabilities == result.vulnerabilities
+
+
+def test_save_and_load_file(small_survey, tmp_path):
+    path = save_results(small_survey, tmp_path / "nested" / "snapshot.json",
+                        indent=1)
+    assert path.exists()
+    with path.open() as handle:
+        raw = json.load(handle)
+    assert raw["format_version"] == SNAPSHOT_FORMAT_VERSION
+    restored = load_results(path)
+    assert len(restored) == len(small_survey)
+    assert restored.metadata == small_survey.metadata
+
+
+def test_unsupported_version_rejected(small_survey):
+    payload = results_to_dict(small_survey)
+    payload["format_version"] = 999
+    with pytest.raises(ValueError):
+        results_from_dict(payload)

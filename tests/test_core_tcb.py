@@ -1,0 +1,73 @@
+"""Tests for :mod:`repro.core.tcb`."""
+
+from repro.dns.name import DomainName
+from repro.core.delegation import DelegationGraphBuilder
+from repro.core.tcb import TCBReport, compute_tcb_report
+
+
+def build_graph(mini_internet, name):
+    builder = DelegationGraphBuilder(mini_internet.make_resolver())
+    return builder.build(name)
+
+
+def test_report_without_vulnerability_map(mini_internet):
+    graph = build_graph(mini_internet, "www.example.com")
+    report = compute_tcb_report(graph)
+    assert report.size == 4
+    assert report.vulnerable_count == 0
+    assert report.safe_count == 4
+    assert report.safety_percentage == 100.0
+    assert not report.has_vulnerable_dependency
+
+
+def test_report_with_vulnerability_map(mini_internet):
+    graph = build_graph(mini_internet, "www.example.com")
+    vulnerability_map = {DomainName("ns2.hostco.com"): True}
+    report = compute_tcb_report(graph, vulnerability_map)
+    assert report.vulnerable_count == 1
+    assert report.compromisable_count == 1
+    assert report.safety_percentage == 75.0
+    assert report.has_vulnerable_dependency
+    assert DomainName("ns2.hostco.com") in report.vulnerable
+
+
+def test_compromisable_map_can_differ(mini_internet):
+    graph = build_graph(mini_internet, "www.example.com")
+    vulnerability_map = {DomainName("ns2.hostco.com"): True}
+    compromisable_map = {DomainName("ns2.hostco.com"): False}
+    report = compute_tcb_report(graph, vulnerability_map, compromisable_map)
+    assert report.vulnerable_count == 1
+    assert report.compromisable_count == 0
+
+
+def test_in_bailiwick_and_external_counts(mini_internet):
+    graph = build_graph(mini_internet, "www.uni.edu")
+    report = compute_tcb_report(graph)
+    assert report.in_bailiwick_count == 2
+    assert report.external_count == report.size - 2
+    assert report.external_count > 0
+
+
+def test_missing_hosts_in_map_treated_as_safe(mini_internet):
+    graph = build_graph(mini_internet, "www.uni.edu")
+    report = compute_tcb_report(graph, {})
+    assert report.vulnerable_count == 0
+
+
+def test_empty_tcb_is_fully_safe():
+    report = TCBReport(name=DomainName("www.example.zz"), servers=set(),
+                       in_bailiwick=set(), vulnerable=set(),
+                       compromisable=set())
+    assert report.size == 0
+    assert report.safety_percentage == 100.0
+
+
+def test_to_dict_roundtrippable_fields(mini_internet):
+    graph = build_graph(mini_internet, "www.example.com")
+    report = compute_tcb_report(graph, {DomainName("ns2.hostco.com"): True})
+    payload = report.to_dict()
+    assert payload["name"] == "www.example.com"
+    assert payload["size"] == 4
+    assert payload["vulnerable"] == 1
+    assert "ns1.hostco.com" in payload["servers"]
+    assert isinstance(payload["safety_percentage"], float)

@@ -1,0 +1,92 @@
+"""Tests for :mod:`repro.dns.message`."""
+
+from repro.dns.message import Message, Question, make_query, make_response
+from repro.dns.name import DomainName
+from repro.dns.rdtypes import RCode, RRClass, RRType
+from repro.dns.records import ResourceRecord
+
+
+def test_question_create_normalises():
+    question = Question.create("Example.COM", "ns", "in")
+    assert question.name == DomainName("example.com")
+    assert question.rtype is RRType.NS
+    assert question.rclass is RRClass.IN
+    assert "example.com" in str(question)
+
+
+def test_make_query_assigns_unique_ids():
+    first = make_query("a.com")
+    second = make_query("b.com")
+    assert first.qid != second.qid
+    assert not first.is_response
+
+
+def test_make_response_copies_question_and_id():
+    query = make_query("example.com", RRType.A)
+    response = make_response(query, authoritative=True)
+    assert response.qid == query.qid
+    assert response.question == query.question
+    assert response.is_response
+    assert response.authoritative
+
+
+def test_referral_detection():
+    query = make_query("www.example.com")
+    response = make_response(query)
+    response.authority.append(
+        ResourceRecord.create("example.com", RRType.NS, "ns1.example.com"))
+    assert response.is_referral
+    # Adding an answer makes it a final answer, not a referral.
+    response.answers.append(
+        ResourceRecord.create("www.example.com", RRType.A, "10.0.0.1"))
+    assert not response.is_referral
+
+
+def test_nxdomain_is_not_referral():
+    query = make_query("missing.example.com")
+    response = make_response(query, rcode=RCode.NXDOMAIN)
+    response.authority.append(
+        ResourceRecord.create("example.com", RRType.NS, "ns1.example.com"))
+    assert response.is_nxdomain
+    assert not response.is_referral
+
+
+def test_referral_nameservers_extraction():
+    query = make_query("www.example.com")
+    response = make_response(query)
+    response.authority.append(
+        ResourceRecord.create("example.com", RRType.NS, "ns1.example.com"))
+    response.authority.append(
+        ResourceRecord.create("example.com", RRType.NS, "ns2.example.com"))
+    assert response.referral_nameservers() == [
+        DomainName("ns1.example.com"), DomainName("ns2.example.com")]
+
+
+def test_glue_addresses_lookup():
+    query = make_query("www.example.com")
+    response = make_response(query)
+    response.additional.append(
+        ResourceRecord.create("ns1.example.com", RRType.A, "10.0.0.53"))
+    response.additional.append(
+        ResourceRecord.create("ns2.example.com", RRType.A, "10.0.0.54"))
+    assert response.glue_addresses("ns1.example.com") == ["10.0.0.53"]
+    assert response.glue_addresses("missing.example.com") == []
+
+
+def test_answer_rrset_filtering():
+    query = make_query("www.example.com")
+    response = make_response(query)
+    cname = ResourceRecord.create("www.example.com", RRType.CNAME,
+                                  "host.example.com")
+    address = ResourceRecord.create("host.example.com", RRType.A, "10.0.0.1")
+    response.answers.extend([cname, address])
+    assert response.answer_rrset() == [cname, address]
+    assert response.answer_rrset(RRType.A) == [address]
+
+
+def test_message_str_mentions_kind_and_rcode():
+    query = make_query("example.com")
+    assert "query" in str(query)
+    response = make_response(query, rcode=RCode.REFUSED)
+    assert "response" in str(response)
+    assert "REFUSED" in str(response)

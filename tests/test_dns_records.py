@@ -1,0 +1,198 @@
+"""Tests for :mod:`repro.dns.records` and :mod:`repro.dns.rdtypes`."""
+
+import pytest
+
+from repro.dns.errors import ZoneError
+from repro.dns.name import DomainName
+from repro.dns.rdtypes import DEFAULT_TTL, OpCode, RCode, RRClass, RRType
+from repro.dns.records import (
+    MXData,
+    ResourceRecord,
+    RRSet,
+    SOAData,
+    normalize_rdata,
+)
+
+
+# -- rdtypes enums -----------------------------------------------------------------
+
+def test_rrtype_from_text():
+    assert RRType.from_text("a") is RRType.A
+    assert RRType.from_text(" NS ") is RRType.NS
+    with pytest.raises(ValueError):
+        RRType.from_text("BOGUS")
+
+
+def test_rrtype_numeric_values_match_rfc():
+    assert RRType.A == 1
+    assert RRType.NS == 2
+    assert RRType.CNAME == 5
+    assert RRType.SOA == 6
+    assert RRType.TXT == 16
+    assert RRType.AAAA == 28
+
+
+def test_rrclass_from_text():
+    assert RRClass.from_text("in") is RRClass.IN
+    assert RRClass.from_text("CH") is RRClass.CH
+    with pytest.raises(ValueError):
+        RRClass.from_text("XX")
+
+
+def test_rcode_is_error():
+    assert not RCode.NOERROR.is_error
+    assert RCode.NXDOMAIN.is_error
+    assert RCode.SERVFAIL.is_error
+
+
+def test_opcode_values():
+    assert OpCode.QUERY == 0
+    assert OpCode.UPDATE == 5
+
+
+# -- rdata normalisation --------------------------------------------------------------
+
+def test_normalize_ns_rdata_to_domain_name():
+    rdata = normalize_rdata(RRType.NS, "ns1.example.com")
+    assert isinstance(rdata, DomainName)
+    assert rdata == DomainName("ns1.example.com")
+
+
+def test_normalize_a_rdata_to_string():
+    assert normalize_rdata(RRType.A, "10.0.0.1") == "10.0.0.1"
+
+
+def test_normalize_mx_from_tuple():
+    rdata = normalize_rdata(RRType.MX, (10, "mail.example.com"))
+    assert isinstance(rdata, MXData)
+    assert rdata.preference == 10
+    assert rdata.exchange == DomainName("mail.example.com")
+
+
+def test_normalize_mx_rejects_garbage():
+    with pytest.raises(ZoneError):
+        normalize_rdata(RRType.MX, "not an mx")
+
+
+def test_normalize_soa_requires_soadata():
+    with pytest.raises(ZoneError):
+        normalize_rdata(RRType.SOA, "bogus")
+
+
+# -- ResourceRecord ----------------------------------------------------------------------
+
+def test_record_create_normalises_fields():
+    record = ResourceRecord.create("WWW.Example.COM", "a", "10.0.0.1", ttl=60)
+    assert record.name == DomainName("www.example.com")
+    assert record.rtype is RRType.A
+    assert record.rdata == "10.0.0.1"
+    assert record.ttl == 60
+    assert record.rclass is RRClass.IN
+
+
+def test_record_create_rejects_negative_ttl():
+    with pytest.raises(ZoneError):
+        ResourceRecord.create("example.com", RRType.A, "10.0.0.1", ttl=-1)
+
+
+def test_record_default_ttl():
+    record = ResourceRecord.create("example.com", RRType.A, "10.0.0.1")
+    assert record.ttl == DEFAULT_TTL
+
+
+def test_record_target_for_name_rdata():
+    ns = ResourceRecord.create("example.com", RRType.NS, "ns1.example.com")
+    assert ns.target == DomainName("ns1.example.com")
+    a = ResourceRecord.create("example.com", RRType.A, "10.0.0.1")
+    assert a.target is None
+    mx = ResourceRecord.create("example.com", RRType.MX,
+                               (5, "mail.example.com"))
+    assert mx.target == DomainName("mail.example.com")
+
+
+def test_record_is_hashable_and_comparable():
+    a = ResourceRecord.create("example.com", RRType.A, "10.0.0.1")
+    b = ResourceRecord.create("example.com", RRType.A, "10.0.0.1")
+    c = ResourceRecord.create("example.com", RRType.A, "10.0.0.2")
+    assert a == b
+    assert a != c
+    assert len({a, b, c}) == 2
+
+
+def test_record_to_text_contains_all_fields():
+    record = ResourceRecord.create("example.com", RRType.A, "10.0.0.1", ttl=30)
+    text = record.to_text()
+    assert "example.com" in text
+    assert "30" in text
+    assert "A" in text
+    assert "10.0.0.1" in text
+
+
+def test_soa_record_and_text():
+    soa = SOAData(mname=DomainName("ns1.example.com"),
+                  rname=DomainName("hostmaster.example.com"), serial=42)
+    record = ResourceRecord.create("example.com", RRType.SOA, soa)
+    assert "42" in str(record)
+
+
+# -- RRSet -----------------------------------------------------------------------------------
+
+def test_rrset_accepts_matching_records_and_deduplicates():
+    rrset = RRSet("example.com", RRType.NS)
+    first = ResourceRecord.create("example.com", RRType.NS, "ns1.example.com")
+    rrset.add(first)
+    rrset.add(ResourceRecord.create("example.com", RRType.NS,
+                                    "ns2.example.com"))
+    rrset.add(first)  # duplicate
+    assert len(rrset) == 2
+    assert first in rrset
+
+
+def test_rrset_rejects_foreign_records():
+    rrset = RRSet("example.com", RRType.NS)
+    with pytest.raises(ZoneError):
+        rrset.add(ResourceRecord.create("other.com", RRType.NS,
+                                        "ns1.example.com"))
+    with pytest.raises(ZoneError):
+        rrset.add(ResourceRecord.create("example.com", RRType.A, "10.0.0.1"))
+
+
+def test_rrset_preserves_insertion_order():
+    rrset = RRSet("example.com", RRType.NS, records=[
+        ResourceRecord.create("example.com", RRType.NS, "ns2.example.com"),
+        ResourceRecord.create("example.com", RRType.NS, "ns1.example.com"),
+    ])
+    assert rrset.targets() == [DomainName("ns2.example.com"),
+                               DomainName("ns1.example.com")]
+
+
+def test_rrset_ttl_is_minimum():
+    rrset = RRSet("example.com", RRType.A, records=[
+        ResourceRecord.create("example.com", RRType.A, "10.0.0.1", ttl=300),
+        ResourceRecord.create("example.com", RRType.A, "10.0.0.2", ttl=60),
+    ])
+    assert rrset.ttl == 60
+
+
+def test_rrset_addresses_only_from_address_records():
+    rrset = RRSet("example.com", RRType.A, records=[
+        ResourceRecord.create("example.com", RRType.A, "10.0.0.1"),
+    ])
+    assert rrset.addresses() == ["10.0.0.1"]
+
+
+def test_rrset_bool_and_equality():
+    empty = RRSet("example.com", RRType.A)
+    assert not empty
+    a = RRSet("example.com", RRType.A, records=[
+        ResourceRecord.create("example.com", RRType.A, "10.0.0.1")])
+    b = RRSet("example.com", RRType.A, records=[
+        ResourceRecord.create("example.com", RRType.A, "10.0.0.1")])
+    assert a == b
+    assert a != empty
+
+
+def test_rrset_accepts_string_type_and_class():
+    rrset = RRSet("example.com", "txt", "ch")
+    assert rrset.rtype is RRType.TXT
+    assert rrset.rclass is RRClass.CH

@@ -1,0 +1,179 @@
+"""Tests for :mod:`repro.dns.server`."""
+
+import pytest
+
+from repro.dns.errors import ZoneError
+from repro.dns.message import make_query
+from repro.dns.name import DomainName
+from repro.dns.rdtypes import RCode, RRClass, RRType
+from repro.dns.server import AuthoritativeServer, ServerStatus, VERSION_BIND
+from repro.dns.zone import Zone
+
+
+def make_server() -> AuthoritativeServer:
+    server = AuthoritativeServer("ns1.example.com", addresses=["10.0.0.53"],
+                                 software="BIND 8.2.4", operator="example")
+    zone = Zone("example.com")
+    zone.set_apex_nameservers(["ns1.example.com"])
+    zone.add("ns1.example.com", RRType.A, "10.0.0.53")
+    zone.add("www.example.com", RRType.A, "10.0.0.80")
+    zone.add("alias.example.com", RRType.CNAME, "www.example.com")
+    zone.add("external.example.com", RRType.CNAME, "www.elsewhere.net")
+    zone.delegate("sub.example.com", ["ns1.sub.example.com"],
+                  glue={"ns1.sub.example.com": ["10.1.0.53"]})
+    server.add_zone(zone)
+    return server
+
+
+# -- zone management -------------------------------------------------------------
+
+def test_find_zone_picks_deepest():
+    server = make_server()
+    deep = Zone("deep.example.com")
+    deep.set_apex_nameservers(["ns1.example.com"])
+    server.add_zone(deep)
+    assert server.find_zone("www.deep.example.com").apex == \
+        DomainName("deep.example.com")
+    assert server.find_zone("www.example.com").apex == DomainName("example.com")
+    assert server.find_zone("other.org") is None
+
+
+def test_zone_listing_and_removal():
+    server = make_server()
+    assert server.zone_apexes() == [DomainName("example.com")]
+    server.remove_zone("example.com")
+    assert server.zones() == []
+
+
+def test_is_authoritative_for():
+    server = make_server()
+    assert server.is_authoritative_for("www.example.com")
+    assert not server.is_authoritative_for("www.sub.example.com")
+    assert not server.is_authoritative_for("other.org")
+
+
+# -- query answering ----------------------------------------------------------------
+
+def test_authoritative_answer():
+    server = make_server()
+    response = server.query("www.example.com")
+    assert response.authoritative
+    assert response.rcode is RCode.NOERROR
+    assert [str(r.rdata) for r in response.answers] == ["10.0.0.80"]
+    assert server.stats.answers == 1
+
+
+def test_referral_below_zone_cut():
+    server = make_server()
+    response = server.query("www.sub.example.com")
+    assert response.is_referral
+    assert response.referral_nameservers() == [DomainName("ns1.sub.example.com")]
+    assert response.glue_addresses("ns1.sub.example.com") == ["10.1.0.53"]
+    assert server.stats.referrals == 1
+
+
+def test_nxdomain_for_missing_name():
+    server = make_server()
+    response = server.query("missing.example.com")
+    assert response.rcode is RCode.NXDOMAIN
+    assert server.stats.nxdomains == 1
+
+
+def test_nodata_for_existing_name_wrong_type():
+    server = make_server()
+    response = server.query("www.example.com", RRType.MX)
+    assert response.rcode is RCode.NOERROR
+    assert response.answers == []
+
+
+def test_refused_outside_authority():
+    server = make_server()
+    response = server.query("www.other.org")
+    assert response.rcode is RCode.REFUSED
+    assert server.stats.refused == 1
+
+
+def test_cname_chain_within_zone():
+    server = make_server()
+    response = server.query("alias.example.com")
+    types = [r.rtype for r in response.answers]
+    assert RRType.CNAME in types
+    assert RRType.A in types
+
+
+def test_cname_pointing_outside_zone_returns_partial_chain():
+    server = make_server()
+    response = server.query("external.example.com")
+    assert [r.rtype for r in response.answers] == [RRType.CNAME]
+    assert response.rcode is RCode.NOERROR
+
+
+def test_version_bind_fingerprinting():
+    server = make_server()
+    response = server.handle_query(
+        make_query(VERSION_BIND, RRType.TXT, RRClass.CH))
+    assert response.rcode is RCode.NOERROR
+    assert str(response.answers[0].rdata) == "BIND 8.2.4"
+
+
+def test_version_bind_refused_when_hidden():
+    server = make_server()
+    server.software = None
+    response = server.handle_query(
+        make_query(VERSION_BIND, RRType.TXT, RRClass.CH))
+    assert response.rcode is RCode.REFUSED
+
+
+def test_other_chaos_queries_not_implemented():
+    server = make_server()
+    response = server.handle_query(
+        make_query("hostname.bind", RRType.TXT, RRClass.CH))
+    assert response.rcode is RCode.NOTIMP
+
+
+# -- operational state -----------------------------------------------------------------
+
+def test_fail_and_restore():
+    server = make_server()
+    assert server.is_up
+    server.fail()
+    assert not server.is_up
+    assert server.status is ServerStatus.DOWN
+    server.restore()
+    assert server.is_up
+
+
+def test_hijack_requires_compromise():
+    server = make_server()
+    with pytest.raises(ZoneError):
+        server.hijack("www.example.com", "6.6.6.6")
+    server.compromise()
+    server.hijack("www.example.com", "6.6.6.6")
+    response = server.query("www.example.com")
+    assert [str(r.rdata) for r in response.answers] == ["6.6.6.6"]
+
+
+def test_compromised_server_answers_foreign_names_it_hijacked():
+    server = make_server()
+    server.compromise()
+    server.hijack("www.victim.gov", "6.6.6.6")
+    response = server.query("www.victim.gov")
+    assert [str(r.rdata) for r in response.answers] == ["6.6.6.6"]
+
+
+def test_restore_clears_hijacked_records():
+    server = make_server()
+    server.compromise()
+    server.hijack("www.example.com", "6.6.6.6")
+    server.restore()
+    response = server.query("www.example.com")
+    assert [str(r.rdata) for r in response.answers] == ["10.0.0.80"]
+
+
+def test_stats_reset():
+    server = make_server()
+    server.query("www.example.com")
+    assert server.stats.queries == 1
+    server.stats.reset()
+    assert server.stats.queries == 0
+    assert server.stats.answers == 0

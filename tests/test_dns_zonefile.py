@@ -1,0 +1,127 @@
+"""Tests for :mod:`repro.dns.zonefile`."""
+
+import pytest
+
+from repro.dns.errors import ZoneError
+from repro.dns.name import DomainName
+from repro.dns.rdtypes import RRType
+from repro.dns.zone import Zone
+from repro.dns.zonefile import (
+    ZoneFileParser,
+    load_zone_file,
+    write_zone_file,
+    zone_to_text,
+)
+
+SAMPLE = """\
+$ORIGIN example.com.
+$TTL 3600
+@   IN SOA ns1.example.com. hostmaster.example.com. 2004072201 7200 3600 1209600 3600
+@   IN NS  ns1
+@   IN NS  ns2.offsite.net.
+ns1 IN A   10.0.0.53
+www 600 IN A 10.0.0.80
+    IN A 10.0.0.81
+mail IN MX 10 mx1.example.com.
+mx1  IN A  10.0.0.25
+alias IN CNAME www
+info IN TXT "hello world ; not a comment"
+; a delegated child with glue
+sub      IN NS ns1.sub
+sub      IN NS ns9.elsewhere.org.
+ns1.sub  IN A  10.1.0.53
+"""
+
+
+def test_parse_sample_zone_records():
+    zone = ZoneFileParser().parse(SAMPLE)
+    assert zone.apex == DomainName("example.com")
+    assert zone.soa is not None and zone.soa.serial == 2004072201
+    assert [str(ns) for ns in zone.apex_nameservers()] == [
+        "ns1.example.com", "ns2.offsite.net"]
+    www = zone.get_rrset("www.example.com", RRType.A)
+    assert sorted(www.addresses()) == ["10.0.0.80", "10.0.0.81"]
+    assert www.ttl == 600
+    mx = zone.get_rrset("mail.example.com", RRType.MX).records[0].rdata
+    assert mx.preference == 10
+    assert mx.exchange == DomainName("mx1.example.com")
+    cname = zone.get_rrset("alias.example.com", RRType.CNAME)
+    assert cname.targets() == [DomainName("www.example.com")]
+    txt = zone.get_rrset("info.example.com", RRType.TXT).records[0]
+    assert str(txt.rdata) == "hello world ; not a comment"
+
+
+def test_parse_reconstructs_delegation_and_glue():
+    zone = ZoneFileParser().parse(SAMPLE)
+    delegation = zone.get_delegation("sub.example.com")
+    assert delegation is not None
+    assert [str(ns) for ns in delegation.nameservers] == [
+        "ns1.sub.example.com", "ns9.elsewhere.org"]
+    assert delegation.glue[DomainName("ns1.sub.example.com")] == ["10.1.0.53"]
+    # Glue is not authoritative zone data.
+    assert not zone.is_authoritative_for("ns1.sub.example.com")
+
+
+def test_parse_relative_and_at_names():
+    text = ("$ORIGIN test.org.\n"
+            "@ IN SOA ns.test.org. admin.test.org. 1 2 3 4 5\n"
+            "@ IN NS ns\n"
+            "ns IN A 10.0.0.1\n")
+    zone = ZoneFileParser().parse(text)
+    assert zone.apex_nameservers() == [DomainName("ns.test.org")]
+
+
+def test_parse_requires_origin():
+    with pytest.raises(ZoneError):
+        ZoneFileParser().parse("@ IN NS ns1.example.com.\n")
+    zone = ZoneFileParser().parse("@ IN NS ns1.example.com.\n",
+                                  origin="example.com")
+    assert zone.apex == DomainName("example.com")
+
+
+def test_parse_rejects_bad_records():
+    with pytest.raises(ZoneError):
+        ZoneFileParser().parse("$ORIGIN x.org.\n@ IN BOGUS data\n")
+    with pytest.raises(ZoneError):
+        ZoneFileParser().parse("$ORIGIN x.org.\n@ IN SOA too few\n")
+    with pytest.raises(ZoneError):
+        ZoneFileParser().parse("$ORIGIN x.org.\n@ IN\n")
+    with pytest.raises(ZoneError):
+        ZoneFileParser().parse("$ORIGIN x.org.\n  IN A 10.0.0.1\n")
+
+
+def test_roundtrip_through_text():
+    original = ZoneFileParser().parse(SAMPLE)
+    text = zone_to_text(original)
+    recovered = ZoneFileParser().parse(text)
+    assert recovered.apex == original.apex
+    assert recovered.apex_nameservers() == original.apex_nameservers()
+    assert recovered.get_rrset("www.example.com", RRType.A).addresses() == \
+        original.get_rrset("www.example.com", RRType.A).addresses()
+    delegation = recovered.get_delegation("sub.example.com")
+    assert delegation is not None
+    assert delegation.glue[DomainName("ns1.sub.example.com")] == ["10.1.0.53"]
+
+
+def test_roundtrip_generated_zone(small_internet, tmp_path):
+    """Zones built by the topology generator survive a file round trip."""
+    zone = small_internet.zone("com")
+    path = write_zone_file(zone, tmp_path / "com.zone")
+    recovered = load_zone_file(path)
+    assert recovered.apex == zone.apex
+    assert set(map(str, recovered.apex_nameservers())) == \
+        set(map(str, zone.apex_nameservers()))
+    assert recovered.delegation_count() == zone.delegation_count()
+    sample_child = next(iter(zone.iter_delegations())).child
+    assert recovered.get_delegation(sample_child) is not None
+
+
+def test_write_zone_file_creates_directories(tmp_path):
+    zone = Zone("write-test.org")
+    zone.set_apex_nameservers(["ns1.write-test.org"])
+    zone.add("ns1.write-test.org", RRType.A, "10.0.0.1")
+    path = write_zone_file(zone, tmp_path / "deep" / "dir" / "zone.db")
+    assert path.exists()
+    content = path.read_text()
+    assert "$ORIGIN write-test.org." in content
+    assert "SOA" in content.splitlines()[2]

@@ -1,0 +1,190 @@
+"""Cross-module integration tests: paper-level claims on the small survey.
+
+These tests assert the *qualitative* findings of the paper hold on the
+generated topology (with loose numeric bands appropriate for the scaled-down
+fixture), plus consistency properties that tie the survey, delegation
+graphs, vulnerability database, and hijack analysis together.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.delegation import DelegationGraphBuilder
+from repro.core.mincut import BottleneckAnalyzer
+from repro.core.report import CDFSeries
+from repro.core.survey import Survey
+from repro.netsim.failures import FailureInjector
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+from repro.vulns.database import default_database
+
+
+# -- paper-level qualitative claims -------------------------------------------------------
+
+def test_tcb_is_much_larger_than_in_bailiwick_control(small_survey):
+    """Claim: a name depends on dozens of servers but administers only ~2."""
+    headline = small_survey.headline()
+    assert headline["mean_tcb_size"] >= 10
+    assert headline["mean_in_bailiwick"] <= 5
+    assert headline["mean_tcb_size"] > 5 * headline["mean_in_bailiwick"]
+
+
+def test_tcb_distribution_is_heavy_tailed(small_survey):
+    sizes = small_survey.tcb_sizes()
+    cdf = CDFSeries.from_values(sizes)
+    mean = sum(sizes) / len(sizes)
+    median = cdf.value_at_percentile(50)
+    assert mean > median, "heavy tail: mean should exceed median"
+    assert max(sizes) > 3 * median
+
+
+def test_vulnerability_amplification(small_survey):
+    """Claim: x % vulnerable servers affect far more than x % of names."""
+    server_fraction = small_survey.vulnerable_server_fraction()
+    name_fraction = small_survey.fraction_with_vulnerable_dependency()
+    assert 0.05 < server_fraction < 0.40
+    assert name_fraction > 1.5 * server_fraction
+
+
+def test_a_substantial_fraction_is_completely_hijackable(small_survey):
+    fraction = small_survey.fraction_completely_hijackable()
+    assert 0.10 <= fraction <= 0.55
+
+
+def test_mincuts_are_small(small_survey):
+    assert 1.0 <= small_survey.mean_mincut_size() <= 5.0
+
+
+def test_cctlds_depend_on_more_servers_than_gtlds(small_survey):
+    gtld = small_survey.mean_tcb_by_tld("gtld", minimum_samples=1)
+    cctld = small_survey.mean_tcb_by_tld("cctld", minimum_samples=1)
+    worst_cctld = max(cctld.values())
+    assert worst_cctld > gtld["com"]
+    assert worst_cctld > 2 * gtld["com"]
+
+
+def test_a_few_servers_control_a_large_share_of_names(small_survey):
+    analyzer = small_survey.value_analyzer()
+    high = analyzer.high_leverage_servers(fraction=0.10)
+    assert high, "some servers should control >10% of names"
+    assert len(high) < 0.2 * analyzer.server_count
+    assert analyzer.mean_names_controlled() > \
+        2 * analyzer.median_names_controlled()
+
+
+def test_edu_servers_appear_among_high_value_servers(small_survey):
+    edu_ranking = small_survey.server_value_ranking(tld_filter=("edu",))
+    assert edu_ranking
+    total = len(small_survey.resolved_records())
+    assert edu_ranking[0].names_controlled > 0.02 * total
+
+
+# -- cross-module consistency ------------------------------------------------------------------
+
+def test_survey_vulnerable_servers_match_database(small_internet, small_survey):
+    database = default_database()
+    for hostname in list(small_survey.server_names_controlled)[:200]:
+        server = small_internet.server(hostname)
+        if server is None:
+            continue
+        expected = database.is_vulnerable(server.software)
+        assert (hostname in small_survey.vulnerable_servers) == expected
+
+
+def test_tcb_servers_exist_on_network(small_internet, small_survey):
+    for record in small_survey.resolved_records()[:100]:
+        for hostname in record.tcb_servers:
+            assert small_internet.network.find_server(hostname) is not None
+
+
+def test_rebuilding_graph_reproduces_record(small_internet, small_survey):
+    survey = Survey(small_internet, popular_count=10)
+    sample = random.Random(0).sample(small_survey.resolved_records(), 10)
+    for record in sample:
+        fresh = survey.builder.build(record.name)
+        assert fresh.tcb() == record.tcb_servers
+
+
+def test_bottleneck_recomputation_matches_record(small_internet, small_survey):
+    survey = Survey(small_internet, popular_count=10)
+    resolved = [r for r in small_survey.resolved_records() if r.mincut_size]
+    sample = random.Random(1).sample(resolved, min(10, len(resolved)))
+    for record in sample:
+        graph = survey.builder.build(record.name)
+        compromisable = {host: host in small_survey.compromisable_servers
+                         for host in graph.tcb()}
+        result = BottleneckAnalyzer(compromisable).analyze(graph)
+        assert result.size == record.mincut_size
+        assert result.safe_in_cut == record.mincut_safe
+
+
+# -- what-if experiments across substrates ----------------------------------------------------------
+
+def test_failing_bottleneck_servers_breaks_resolution(small_internet,
+                                                      small_survey):
+    """Removing every server in a name's min-cut must make it unresolvable:
+    the min-cut really is a cut."""
+    records = [r for r in small_survey.resolved_records()
+               if 0 < r.mincut_size <= 3 and not r.is_popular]
+    record = records[0]
+    injector = FailureInjector(small_internet.network)
+    injector.fail_servers(record.mincut_servers)
+    try:
+        resolver = small_internet.make_resolver()
+        trace = resolver.resolve(record.name)
+        assert not trace.succeeded
+    finally:
+        injector.revert()
+    # After reverting, resolution works again.
+    assert small_internet.make_resolver().resolve(record.name).succeeded
+
+
+def test_failing_non_cut_server_does_not_break_resolution(small_internet,
+                                                          small_survey):
+    records = [r for r in small_survey.resolved_records()
+               if r.tcb_size - r.mincut_size > 5]
+    record = records[0]
+    non_cut = sorted(record.tcb_servers - record.mincut_servers)[:1]
+    injector = FailureInjector(small_internet.network)
+    injector.fail_servers(non_cut)
+    try:
+        trace = small_internet.make_resolver().resolve(record.name)
+        assert trace.succeeded
+    finally:
+        injector.revert()
+
+
+# -- property-based end-to-end checks -----------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_tiny_internet_always_resolvable(seed):
+    """Any seed must produce an Internet whose directory names resolve."""
+    config = GeneratorConfig(seed=seed, sld_count=15, directory_name_count=25,
+                             university_count=6, hosting_provider_count=3,
+                             isp_count=2, plant_anecdotes=False)
+    internet = InternetGenerator(config).generate()
+    resolver = internet.make_resolver()
+    entries = internet.directory.entries()[:10]
+    assert entries
+    for entry in entries:
+        assert resolver.resolve(entry.name).succeeded, str(entry.name)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_tiny_survey_invariants(seed):
+    config = GeneratorConfig(seed=seed, sld_count=12, directory_name_count=20,
+                             university_count=5, hosting_provider_count=3,
+                             isp_count=2, plant_anecdotes=False)
+    internet = InternetGenerator(config).generate()
+    results = Survey(internet, popular_count=5).run(max_names=15)
+    for record in results.resolved_records():
+        assert record.mincut_size <= record.tcb_size
+        assert record.vulnerable_in_tcb <= record.tcb_size
+        assert record.mincut_servers <= record.tcb_servers
+        if record.classification == "complete":
+            assert record.vulnerable_in_tcb > 0

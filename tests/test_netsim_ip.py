@@ -1,0 +1,99 @@
+"""Tests for :mod:`repro.netsim.ip`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.ip import (
+    AddressExhaustedError,
+    IPv4Allocator,
+    int_to_ipv4,
+    ipv4_to_int,
+    is_valid_ipv4,
+    parse_prefix,
+)
+
+
+@pytest.mark.parametrize("address", ["0.0.0.0", "10.0.0.1", "255.255.255.255",
+                                     "192.168.1.254"])
+def test_valid_addresses(address):
+    assert is_valid_ipv4(address)
+
+
+@pytest.mark.parametrize("address", ["", "10.0.0", "10.0.0.0.1", "256.0.0.1",
+                                     "10.-1.0.1", "a.b.c.d", "01.2.3.4",
+                                     "10..0.1"])
+def test_invalid_addresses(address):
+    assert not is_valid_ipv4(address)
+
+
+def test_ipv4_int_roundtrip_known_values():
+    assert ipv4_to_int("0.0.0.1") == 1
+    assert ipv4_to_int("1.0.0.0") == 1 << 24
+    assert int_to_ipv4(ipv4_to_int("10.20.30.40")) == "10.20.30.40"
+
+
+def test_ipv4_to_int_rejects_invalid():
+    with pytest.raises(ValueError):
+        ipv4_to_int("999.0.0.1")
+    with pytest.raises(ValueError):
+        int_to_ipv4(1 << 33)
+
+
+def test_parse_prefix():
+    network, length = parse_prefix("10.1.2.0/24")
+    assert int_to_ipv4(network) == "10.1.2.0"
+    assert length == 24
+    # Host bits are masked off.
+    network, _ = parse_prefix("10.1.2.77/24")
+    assert int_to_ipv4(network) == "10.1.2.0"
+
+
+@pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "x/24",
+                                 "10.0.0.0/-1"])
+def test_parse_prefix_rejects_bad_input(bad):
+    with pytest.raises(ValueError):
+        parse_prefix(bad)
+
+
+def test_allocator_assigns_unique_addresses():
+    allocator = IPv4Allocator()
+    seen = {allocator.allocate(pool="x", owner=f"host{i}") for i in range(50)}
+    assert len(seen) == 50
+    assert all(is_valid_ipv4(address) for address in seen)
+
+
+def test_allocator_separates_pools():
+    allocator = IPv4Allocator()
+    a = allocator.allocate(pool="org-a")
+    b = allocator.allocate(pool="org-b")
+    assert a.rsplit(".", 1)[0] != b.rsplit(".", 1)[0]
+
+
+def test_allocator_tracks_owners():
+    allocator = IPv4Allocator()
+    address = allocator.allocate(pool="x", owner="ns1.example.com")
+    assert allocator.owner_of(address) == "ns1.example.com"
+    assert allocator.owner_of("203.0.113.1") is None
+    assert allocator.allocated_count() == 1
+    assert dict(allocator.iter_allocations())[address] == "ns1.example.com"
+
+
+def test_explicit_pool_registration():
+    allocator = IPv4Allocator()
+    allocator.register_pool("registry", "192.5.6.0/24")
+    address = allocator.allocate(pool="registry")
+    assert address.startswith("192.5.6.")
+
+
+def test_pool_exhaustion_raises():
+    allocator = IPv4Allocator()
+    allocator.register_pool("tiny", "10.9.9.0/30")
+    allocator.allocate(pool="tiny")
+    allocator.allocate(pool="tiny")
+    with pytest.raises(AddressExhaustedError):
+        allocator.allocate(pool="tiny")
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_int_ipv4_roundtrip_property(value):
+    assert ipv4_to_int(int_to_ipv4(value)) == value

@@ -1,0 +1,162 @@
+"""Tests for :mod:`repro.topology.distributions`."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.distributions import (
+    ZipfSampler,
+    bounded_pareto,
+    log_uniform_int,
+    truncated_geometric,
+    weighted_choice,
+)
+
+
+# -- Zipf sampler -----------------------------------------------------------------
+
+def test_zipf_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, exponent=-1)
+
+
+def test_zipf_samples_within_range():
+    sampler = ZipfSampler(10, exponent=1.0)
+    rng = random.Random(1)
+    draws = [sampler.sample(rng) for _ in range(1000)]
+    assert min(draws) >= 1
+    assert max(draws) <= 10
+
+
+def test_zipf_rank_one_is_most_frequent():
+    sampler = ZipfSampler(20, exponent=1.2)
+    rng = random.Random(2)
+    draws = [sampler.sample(rng) for _ in range(5000)]
+    counts = {rank: draws.count(rank) for rank in (1, 10, 20)}
+    assert counts[1] > counts[10] > counts[20]
+
+
+def test_zipf_probabilities_sum_to_one():
+    sampler = ZipfSampler(50, exponent=0.8)
+    total = sum(sampler.probability(rank) for rank in range(1, 51))
+    assert total == pytest.approx(1.0, abs=1e-9)
+    with pytest.raises(ValueError):
+        sampler.probability(0)
+
+
+def test_zipf_zero_exponent_is_uniform():
+    sampler = ZipfSampler(4, exponent=0.0)
+    for rank in range(1, 5):
+        assert sampler.probability(rank) == pytest.approx(0.25)
+
+
+def test_zipf_sample_index_is_zero_based():
+    sampler = ZipfSampler(5)
+    rng = random.Random(3)
+    indexes = {sampler.sample_index(rng) for _ in range(200)}
+    assert indexes <= set(range(5))
+    assert 0 in indexes
+
+
+# -- bounded Pareto ---------------------------------------------------------------------
+
+def test_bounded_pareto_stays_in_bounds():
+    rng = random.Random(4)
+    for _ in range(500):
+        value = bounded_pareto(rng, 1.0, 100.0, alpha=1.1)
+        assert 1.0 <= value <= 100.0
+
+
+def test_bounded_pareto_is_skewed_low():
+    rng = random.Random(5)
+    draws = [bounded_pareto(rng, 1.0, 1000.0, alpha=1.2) for _ in range(2000)]
+    median = sorted(draws)[len(draws) // 2]
+    mean = sum(draws) / len(draws)
+    assert median < mean
+
+
+def test_bounded_pareto_rejects_bad_bounds():
+    rng = random.Random(6)
+    with pytest.raises(ValueError):
+        bounded_pareto(rng, 0.0, 10.0)
+    with pytest.raises(ValueError):
+        bounded_pareto(rng, 10.0, 1.0)
+
+
+# -- weighted choice -----------------------------------------------------------------------
+
+def test_weighted_choice_respects_weights():
+    rng = random.Random(7)
+    draws = [weighted_choice(rng, ["a", "b"], [0.99, 0.01])
+             for _ in range(1000)]
+    assert draws.count("a") > 900
+
+
+def test_weighted_choice_validation():
+    rng = random.Random(8)
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a"], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, [], [])
+    with pytest.raises(ValueError):
+        weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+
+
+# -- truncated geometric ----------------------------------------------------------------------
+
+def test_truncated_geometric_bounds():
+    rng = random.Random(9)
+    draws = [truncated_geometric(rng, 0.5, 2, 5) for _ in range(500)]
+    assert min(draws) >= 2
+    assert max(draws) <= 5
+
+
+def test_truncated_geometric_p_one_returns_minimum():
+    rng = random.Random(10)
+    assert truncated_geometric(rng, 1.0, 3, 10) == 3
+
+
+def test_truncated_geometric_validation():
+    rng = random.Random(11)
+    with pytest.raises(ValueError):
+        truncated_geometric(rng, 0.0, 1, 5)
+    with pytest.raises(ValueError):
+        truncated_geometric(rng, 0.5, 5, 1)
+
+
+# -- log-uniform ---------------------------------------------------------------------------------
+
+def test_log_uniform_int_bounds_and_validation():
+    rng = random.Random(12)
+    draws = [log_uniform_int(rng, 1, 1000) for _ in range(500)]
+    assert min(draws) >= 1
+    assert max(draws) <= 1001  # rounding can land one above the top
+    with pytest.raises(ValueError):
+        log_uniform_int(rng, 0, 10)
+
+
+# -- property-based checks --------------------------------------------------------------------------
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=200),
+       st.floats(min_value=0.0, max_value=2.5),
+       st.integers(min_value=0, max_value=2 ** 31))
+def test_zipf_sample_always_valid_rank(n, exponent, seed):
+    sampler = ZipfSampler(n, exponent=exponent)
+    rng = random.Random(seed)
+    rank = sampler.sample(rng)
+    assert 1 <= rank <= n
+
+
+@settings(max_examples=30)
+@given(st.floats(min_value=0.01, max_value=0.99),
+       st.integers(min_value=1, max_value=5),
+       st.integers(min_value=5, max_value=20),
+       st.integers(min_value=0, max_value=2 ** 31))
+def test_truncated_geometric_always_in_range(p, minimum, maximum, seed):
+    rng = random.Random(seed)
+    value = truncated_geometric(rng, p, minimum, maximum)
+    assert minimum <= value <= maximum

@@ -1,0 +1,253 @@
+"""Tests for the synthetic Internet generator and the planted anecdotes.
+
+These tests use the session-scoped ``small_internet`` fixture; its
+configuration is small but exercises every builder stage (registries, ccTLDs,
+providers, ISPs, universities, generic SLDs, anecdotes).
+"""
+
+import pytest
+
+from repro.dns.name import DomainName, ROOT_NAME
+from repro.dns.rdtypes import RRType
+from repro.topology.anecdotes import FBI_WEB_NAME, LVIV_WEB_NAME
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+from repro.topology.operators import OperatorKind
+from repro.vulns.database import default_database
+
+
+# -- configuration validation -----------------------------------------------------
+
+def test_config_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        GeneratorConfig(sld_count=-1).validate()
+    with pytest.raises(ValueError):
+        GeneratorConfig(offsite_secondary_prob=1.5).validate()
+    with pytest.raises(ValueError):
+        GeneratorConfig(hosting_provider_count=0).validate()
+    with pytest.raises(ValueError):
+        GeneratorConfig(university_group_sizes=(2, 3),
+                        university_group_weights=(1.0,)).validate()
+
+
+def test_generator_rejects_invalid_config_at_construction():
+    with pytest.raises(ValueError):
+        InternetGenerator(GeneratorConfig(multi_provider_prob=2.0))
+
+
+# -- structural invariants ------------------------------------------------------------
+
+def test_root_zone_and_hints(small_internet):
+    root_zone = small_internet.zone(ROOT_NAME)
+    assert root_zone is not None
+    assert len(root_zone.apex_nameservers()) == 13
+    assert len(small_internet.root_hints) == 13
+    for hostname, addresses in small_internet.root_hints.items():
+        assert hostname.is_subdomain_of("root-servers.net")
+        assert addresses
+
+
+def test_every_tld_is_delegated_from_root(small_internet):
+    root_zone = small_internet.zone(ROOT_NAME)
+    for label in ("com", "net", "edu", "gov", "ua", "de"):
+        delegation = root_zone.get_delegation(label)
+        assert delegation is not None, label
+        assert delegation.nameservers
+        zone = small_internet.zone(label)
+        assert zone is not None
+        assert zone.apex_nameservers()
+
+
+def test_all_servers_registered_on_network(small_internet):
+    for hostname, server in small_internet.servers.items():
+        assert small_internet.network.find_server(hostname) is server
+        assert server.addresses
+    # Other tests may register extra (attacker) hosts on the shared network,
+    # so the network can only ever know about at least as many servers.
+    assert small_internet.network.server_count() >= \
+        small_internet.server_count()
+    assert small_internet.non_root_server_count() == \
+        small_internet.server_count() - 13
+
+
+def test_every_zone_has_apex_ns_and_serving_servers(small_internet):
+    for apex, zone in small_internet.zones.items():
+        nameservers = zone.apex_nameservers()
+        assert nameservers, f"zone {apex} has no NS"
+        served = [small_internet.server(ns) for ns in nameservers
+                  if small_internet.server(ns) is not None]
+        assert any(zone in server.zones() for server in served), \
+            f"zone {apex} not attached to any of its nameservers"
+
+
+def test_delegations_match_child_zone_location(small_internet):
+    com_zone = small_internet.zone("com")
+    for delegation in com_zone.iter_delegations():
+        child_zone = small_internet.zone(delegation.child)
+        assert child_zone is not None
+        for nameserver in delegation.nameservers:
+            # In-bailiwick delegation nameservers must carry glue.
+            if nameserver.is_subdomain_of(delegation.child):
+                assert nameserver in delegation.glue
+
+
+def test_nameserver_hostnames_have_address_records(small_internet):
+    missing = []
+    for hostname in small_internet.servers:
+        if hostname.is_subdomain_of("root-servers.net"):
+            continue
+        holder = None
+        for apex, zone in small_internet.zones.items():
+            if hostname.is_subdomain_of(apex) and \
+                    zone.get_rrset(hostname, RRType.A):
+                holder = zone
+                break
+        missing.append(hostname) if holder is None else None
+    assert not [h for h in missing if h is not None]
+
+
+def test_operator_registry_covers_all_servers(small_internet):
+    for hostname in small_internet.servers:
+        org = small_internet.organizations.operator_of(hostname)
+        assert org is not None, hostname
+
+
+def test_directory_names_resolve(small_internet):
+    resolver = small_internet.make_resolver()
+    entries = small_internet.directory.entries()[:40]
+    for entry in entries:
+        trace = resolver.resolve(entry.name)
+        assert trace.succeeded, f"{entry.name} did not resolve"
+
+
+def test_directory_composition(small_internet):
+    directory = small_internet.directory
+    assert len(directory) >= 200
+    counts = directory.tld_counts()
+    assert counts.get("com", 0) > counts.get("ua", 0)
+    assert "edu" in counts
+    categories = {entry.category for entry in directory}
+    assert {"small-business", "enterprise", "university"} <= categories
+
+
+def test_vulnerable_server_fraction_in_plausible_band(small_internet):
+    database = default_database()
+    servers = [server for hostname, server in small_internet.servers.items()
+               if not hostname.is_subdomain_of("root-servers.net")]
+    vulnerable = sum(1 for server in servers
+                     if database.is_vulnerable(server.software))
+    fraction = vulnerable / len(servers)
+    assert 0.08 <= fraction <= 0.35
+
+
+def test_gtld_registry_servers_are_safe(small_internet):
+    database = default_database()
+    for hostname, server in small_internet.servers.items():
+        org = small_internet.organizations.operator_of(hostname)
+        if org is not None and org.kind in (OperatorKind.ROOT,
+                                            OperatorKind.GTLD_REGISTRY):
+            assert not database.is_vulnerable(server.software), hostname
+
+
+def test_universities_form_exchange_groups(small_internet):
+    universities = small_internet.organizations.of_kind(OperatorKind.UNIVERSITY)
+    assert universities
+    offsite = 0
+    for university in universities:
+        zone = small_internet.zone(university.domain)
+        if zone is None:
+            continue
+        for nameserver in zone.apex_nameservers():
+            if not nameserver.is_subdomain_of(university.domain):
+                offsite += 1
+    assert offsite > 0, "no university uses an off-site secondary"
+
+
+def test_seed_reproducibility():
+    config = GeneratorConfig(seed=5, sld_count=40, directory_name_count=60,
+                             university_count=10, hosting_provider_count=4,
+                             isp_count=3)
+    first = InternetGenerator(config).generate()
+    second = InternetGenerator(config).generate()
+    assert sorted(map(str, first.servers)) == sorted(map(str, second.servers))
+    assert [str(e.name) for e in first.directory] == \
+        [str(e.name) for e in second.directory]
+    first_banner = {str(h): s.software for h, s in first.servers.items()}
+    second_banner = {str(h): s.software for h, s in second.servers.items()}
+    assert first_banner == second_banner
+
+
+def test_different_seeds_differ():
+    base = GeneratorConfig(seed=5, sld_count=40, directory_name_count=60,
+                           university_count=10, hosting_provider_count=4,
+                           isp_count=3)
+    other = GeneratorConfig(seed=6, sld_count=40, directory_name_count=60,
+                            university_count=10, hosting_provider_count=4,
+                            isp_count=3)
+    first = InternetGenerator(base).generate()
+    second = InternetGenerator(other).generate()
+    first_banner = {str(h): s.software for h, s in first.servers.items()}
+    second_banner = {str(h): s.software for h, s in second.servers.items()}
+    assert first_banner != second_banner
+
+
+def test_summary_keys(small_internet):
+    summary = small_internet.summary()
+    assert set(summary) == {"servers", "zones", "organizations",
+                            "directory_names", "tlds"}
+    assert summary["servers"] > 100
+
+
+def test_restricted_tld_set():
+    config = GeneratorConfig(seed=2, sld_count=30, directory_name_count=40,
+                             university_count=6, hosting_provider_count=3,
+                             isp_count=2, include_cctlds=["de", "uk"],
+                             plant_anecdotes=False)
+    internet = InternetGenerator(config).generate()
+    cctlds = {entry.tld for entry in internet.directory if len(entry.tld) == 2}
+    assert cctlds <= {"de", "uk"}
+
+
+# -- anecdotes --------------------------------------------------------------------------------
+
+def test_fbi_anecdote_planted(small_internet):
+    assert FBI_WEB_NAME in small_internet.directory
+    fbi_zone = small_internet.zone("fbi.gov")
+    assert fbi_zone is not None
+    ns_names = {str(ns) for ns in fbi_zone.apex_nameservers()}
+    assert ns_names == {"dns.sprintip.com", "dns2.sprintip.com"}
+    sprintip_zone = small_internet.zone("sprintip.com")
+    assert {str(ns) for ns in sprintip_zone.apex_nameservers()} == {
+        "reston-ns1.telemail.net", "reston-ns2.telemail.net",
+        "reston-ns3.telemail.net"}
+    weak = small_internet.server("reston-ns2.telemail.net")
+    assert weak.software == "BIND 8.2.4"
+    assert default_database().is_compromisable(weak.software)
+
+
+def test_fbi_name_resolves(small_internet):
+    resolver = small_internet.make_resolver()
+    trace = resolver.resolve(FBI_WEB_NAME)
+    assert trace.succeeded
+
+
+def test_lviv_anecdote_planted(small_internet):
+    assert LVIV_WEB_NAME in small_internet.directory
+    lviv_zone = small_internet.zone("lviv.ua")
+    assert lviv_zone is not None
+    regions = set()
+    for nameserver in lviv_zone.apex_nameservers():
+        server = small_internet.server(nameserver)
+        if server is not None:
+            regions.add(server.region)
+    assert len(regions) >= 2, "lviv.ua secondaries should span regions"
+    resolver = small_internet.make_resolver()
+    assert resolver.resolve(LVIV_WEB_NAME).succeeded
+
+
+def test_anecdotes_can_be_disabled():
+    config = GeneratorConfig(seed=3, sld_count=30, directory_name_count=40,
+                             university_count=6, hosting_provider_count=3,
+                             isp_count=2, plant_anecdotes=False)
+    internet = InternetGenerator(config).generate()
+    assert FBI_WEB_NAME not in internet.directory
+    assert internet.zone("fbi.gov") is None

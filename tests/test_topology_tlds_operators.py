@@ -1,0 +1,197 @@
+"""Tests for TLD profiles, operator organisations, and the BIND policy."""
+
+import random
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.topology.bindpolicy import (
+    BindVersionPolicy,
+    DEFAULT_HIDDEN_FRACTION,
+    KIND_HYGIENE,
+    VERSION_POOLS,
+)
+from repro.topology.operators import (
+    OperatorKind,
+    Organization,
+    OrganizationRegistry,
+)
+from repro.topology.tlds import (
+    CCTLD_PROFILES,
+    FIGURE3_GTLDS,
+    FIGURE4_CCTLDS,
+    GTLD_PROFILES,
+    TLDProfile,
+    all_profiles,
+    cctld_labels,
+    gtld_labels,
+    profile_for,
+)
+from repro.vulns.database import default_database
+
+
+# -- TLD profiles -----------------------------------------------------------------
+
+def test_catalogue_sizes():
+    assert len(GTLD_PROFILES) == 12
+    assert len(CCTLD_PROFILES) >= 40
+    assert set(gtld_labels()) == set(GTLD_PROFILES)
+    assert set(cctld_labels()) == set(CCTLD_PROFILES)
+
+
+def test_figure_orderings_are_present_in_catalogue():
+    assert set(FIGURE3_GTLDS) <= set(GTLD_PROFILES)
+    assert set(FIGURE4_CCTLDS) <= set(CCTLD_PROFILES)
+    assert len(FIGURE4_CCTLDS) == 15
+
+
+def test_paper_cctlds_are_heavier_than_long_tail():
+    worst = [CCTLD_PROFILES[label].offsite_dependency_level
+             for label in FIGURE4_CCTLDS[:5]]
+    tail = [CCTLD_PROFILES[label].offsite_dependency_level
+            for label in ("uk", "de", "nl", "jp", "se")]
+    assert min(worst) > max(tail)
+
+
+def test_aero_and_int_heavier_than_com():
+    assert GTLD_PROFILES["aero"].offsite_dependency_level > \
+        GTLD_PROFILES["com"].offsite_dependency_level
+    assert GTLD_PROFILES["int"].offsite_dependency_level > \
+        GTLD_PROFILES["net"].offsite_dependency_level
+
+
+def test_com_dominates_sld_share():
+    assert GTLD_PROFILES["com"].sld_share == max(
+        profile.sld_share for profile in all_profiles().values())
+
+
+def test_ws_models_the_all_vulnerable_community():
+    assert CCTLD_PROFILES["ws"].hygiene <= 0.1
+
+
+def test_profile_for_and_unknown():
+    assert profile_for("com").kind == "gtld"
+    assert profile_for("ua").kind == "cctld"
+    with pytest.raises(KeyError):
+        profile_for("zz")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        TLDProfile(label="x", kind="weird", region="us", registry_ns_count=2,
+                   offsite_dependency_level=0, sld_share=0.1, hygiene=0.5)
+    with pytest.raises(ValueError):
+        TLDProfile(label="x", kind="gtld", region="us", registry_ns_count=0,
+                   offsite_dependency_level=0, sld_share=0.1, hygiene=0.5)
+    with pytest.raises(ValueError):
+        TLDProfile(label="x", kind="gtld", region="us", registry_ns_count=2,
+                   offsite_dependency_level=0, sld_share=0.1, hygiene=1.5)
+
+
+# -- organisations ---------------------------------------------------------------------
+
+def test_organization_tracks_nameservers_and_zones():
+    org = Organization(name="cornell", kind=OperatorKind.UNIVERSITY,
+                       domain=DomainName("cornell.edu"))
+    org.add_nameserver("cudns.cit.cornell.edu")
+    org.add_nameserver("cudns.cit.cornell.edu")
+    org.add_hosted_zone("cornell.edu")
+    assert len(org.nameservers) == 1
+    assert org.tld == "edu"
+    assert org.is_educational
+    assert org.kind.provides_secondary_service
+    assert not org.kind.is_registry
+
+
+def test_operator_kind_classification():
+    assert OperatorKind.GTLD_REGISTRY.is_registry
+    assert OperatorKind.CCTLD_REGISTRY.is_registry
+    assert not OperatorKind.ENTERPRISE.provides_secondary_service
+    assert OperatorKind.ISP.provides_secondary_service
+
+
+def test_registry_indexing_and_lookup():
+    registry = OrganizationRegistry()
+    org = Organization(name="hostco", kind=OperatorKind.HOSTING_PROVIDER,
+                       domain=DomainName("hostco.com"))
+    org.add_nameserver("ns1.hostco.com")
+    registry.add(org)
+    assert registry.by_name("hostco") is org
+    assert registry.by_domain("hostco.com") is org
+    assert registry.operator_of("ns1.hostco.com") is org
+    assert registry.operator_of("ns9.hostco.com") is None
+    assert registry.of_kind(OperatorKind.HOSTING_PROVIDER) == [org]
+    assert len(registry) == 1
+    # Adding the same name again returns the existing object.
+    assert registry.add(Organization(name="hostco",
+                                     kind=OperatorKind.HOSTING_PROVIDER,
+                                     domain=DomainName("hostco.com"))) is org
+
+
+# -- BIND version policy ----------------------------------------------------------------------
+
+def test_version_pools_classified_correctly():
+    database = default_database()
+    for banner in VERSION_POOLS["safe"]:
+        assert not database.is_vulnerable(banner), banner
+    for banner in VERSION_POOLS["vulnerable"]:
+        assert database.is_vulnerable(banner), banner
+    for banner in VERSION_POOLS["hidden"]:
+        assert not database.is_vulnerable(banner), banner
+
+
+def test_kind_hygiene_ordering_matches_paper_narrative():
+    assert KIND_HYGIENE[OperatorKind.GTLD_REGISTRY] >= \
+        KIND_HYGIENE[OperatorKind.UNIVERSITY]
+    assert KIND_HYGIENE[OperatorKind.ENTERPRISE] > \
+        KIND_HYGIENE[OperatorKind.SMALL_BUSINESS]
+    assert KIND_HYGIENE[OperatorKind.ROOT] == 1.0
+
+
+def test_effective_hygiene_bounds_and_modifiers():
+    policy = BindVersionPolicy(rng=random.Random(0))
+    clean = policy.effective_hygiene(OperatorKind.ENTERPRISE, 1.0, 1.0)
+    dirty = policy.effective_hygiene(OperatorKind.ENTERPRISE, 0.0, 0.0)
+    assert 0.0 <= dirty < clean <= 1.0
+
+
+def test_hygiene_scale_validation():
+    with pytest.raises(ValueError):
+        BindVersionPolicy(hygiene_scale=0.0)
+    with pytest.raises(ValueError):
+        BindVersionPolicy(hidden_fraction=1.0)
+
+
+def test_assignment_fractions_track_hygiene():
+    rng = random.Random(42)
+    policy = BindVersionPolicy(rng=rng, hidden_fraction=0.0)
+    draws = [policy.assign(OperatorKind.SMALL_BUSINESS, tld_hygiene=0.5,
+                           org_hygiene=0.5) for _ in range(2000)]
+    database = default_database()
+    vulnerable = sum(1 for banner in draws if database.is_vulnerable(banner))
+    fraction = vulnerable / len(draws)
+    expected = 1.0 - policy.effective_hygiene(OperatorKind.SMALL_BUSINESS,
+                                              0.5, 0.5)
+    assert abs(fraction - expected) < 0.06
+    summary = policy.assignment_summary()
+    assert summary["vulnerable"] == vulnerable
+    assert summary["hidden"] == 0
+
+
+def test_hidden_fraction_produces_hidden_banners():
+    policy = BindVersionPolicy(rng=random.Random(1), hidden_fraction=0.5)
+    draws = [policy.assign(OperatorKind.ENTERPRISE) for _ in range(500)]
+    hidden = sum(1 for banner in draws if banner in VERSION_POOLS["hidden"])
+    assert 150 < hidden < 350
+
+
+def test_default_hidden_fraction_is_modest():
+    assert 0.0 < DEFAULT_HIDDEN_FRACTION < 0.2
+
+
+def test_pools_accessors_return_copies():
+    policy = BindVersionPolicy()
+    pool = policy.vulnerable_pool()
+    pool.append("BOGUS")
+    assert "BOGUS" not in policy.vulnerable_pool()
+    assert policy.safe_pool()

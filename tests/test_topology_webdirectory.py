@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.topology.webdirectory`."""
+
+import random
+
+from repro.dns.name import DomainName
+from repro.topology.webdirectory import DirectoryEntry, WebDirectory
+
+
+def build_directory() -> WebDirectory:
+    directory = WebDirectory()
+    directory.add_name("www.popular.com", category="enterprise",
+                       popularity=100.0, source="yahoo")
+    directory.add_name("www.ordinary.com", category="small-business",
+                       popularity=2.0)
+    directory.add_name("www.site.ua", category="small-business",
+                       popularity=1.0)
+    directory.add_name("www.uni.edu", category="university", popularity=10.0)
+    return directory
+
+
+def test_add_deduplicates_by_name():
+    directory = build_directory()
+    assert not directory.add_name("www.popular.com", popularity=5.0)
+    assert len(directory) == 4
+
+
+def test_entry_lookup_and_contains():
+    directory = build_directory()
+    assert "www.popular.com" in directory
+    assert DomainName("WWW.POPULAR.COM") in directory
+    assert "www.missing.com" not in directory
+    entry = directory.entry("www.popular.com")
+    assert entry is not None
+    assert entry.source == "yahoo"
+
+
+def test_tld_is_derived_when_not_given():
+    directory = WebDirectory()
+    directory.add_name("www.example.org")
+    assert directory.entry("www.example.org").tld == "org"
+
+
+def test_tld_counts_and_ordering():
+    directory = build_directory()
+    counts = directory.tld_counts()
+    assert counts == {"com": 2, "ua": 1, "edu": 1}
+    assert directory.tlds()[0] == "com"
+
+
+def test_by_tld_and_by_category():
+    directory = build_directory()
+    assert len(directory.by_tld("com")) == 2
+    assert [e.name for e in directory.by_category("university")] == \
+        [DomainName("www.uni.edu")]
+
+
+def test_alexa_top_orders_by_popularity():
+    directory = build_directory()
+    top2 = directory.alexa_top(2)
+    assert [str(e.name) for e in top2] == ["www.popular.com", "www.uni.edu"]
+    assert len(directory.alexa_top(100)) == 4
+
+
+def test_uniform_sample_without_replacement():
+    directory = build_directory()
+    sample = directory.sample(3, rng=random.Random(1))
+    assert len(sample) == 3
+    assert len({e.name for e in sample}) == 3
+    assert directory.sample(10) == directory.entries()
+
+
+def test_weighted_sample_prefers_popular_entries():
+    directory = WebDirectory()
+    directory.add_name("www.huge.com", popularity=1000.0)
+    for index in range(30):
+        directory.add_name(f"www.small{index}.com", popularity=1.0)
+    hits = 0
+    for seed in range(30):
+        sample = directory.weighted_sample(5, rng=random.Random(seed))
+        if any(str(e.name) == "www.huge.com" for e in sample):
+            hits += 1
+    assert hits >= 25
+
+
+def test_summary_counts_gtld_vs_cctld():
+    directory = build_directory()
+    summary = directory.summary()
+    assert summary["names"] == 4
+    assert summary["tlds"] == 3
+    assert summary["gtld_names"] == 3
+    assert summary["cctld_names"] == 1
+
+
+def test_entry_normalises_name():
+    entry = DirectoryEntry(name="WWW.Example.COM", tld="com",
+                           category="x", popularity=1.0)
+    assert entry.name == DomainName("www.example.com")

@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.vulns.bindversion`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vulns.bindversion import BindVersion, version_range
+
+
+@pytest.mark.parametrize("banner,expected", [
+    ("BIND 8.2.4", (8, 2, 4)),
+    ("BIND 8.2.4-REL", (8, 2, 4)),
+    ("9.2.1", (9, 2, 1)),
+    ("named 8.3.1", (8, 3, 1)),
+    ("bind-9.2.3-P1", (9, 2, 3)),
+    ("BIND 4.9", (4, 9, 0)),
+    ("8.2.2-P5", (8, 2, 2)),
+    ("BIND 9.2.4rc2", (9, 2, 4)),
+])
+def test_parse_known_banners(banner, expected):
+    version = BindVersion.parse(banner)
+    assert version is not None
+    assert version.key == expected
+
+
+@pytest.mark.parametrize("banner", [None, "", "SECRET", "go away",
+                                    "surely not dns software"])
+def test_parse_unparseable_banners(banner):
+    assert BindVersion.parse(banner) is None
+
+
+def test_ordering_within_branch():
+    assert BindVersion.parse("8.2.3") < BindVersion.parse("8.2.4")
+    assert BindVersion.parse("8.2.4") < BindVersion.parse("8.3.0")
+    assert BindVersion.parse("8.2.4") <= BindVersion.parse("BIND 8.2.4-REL")
+    assert BindVersion.parse("9.2.0") > BindVersion.parse("8.4.7")
+
+
+def test_equality_ignores_suffix():
+    assert BindVersion.parse("8.2.4-REL") == BindVersion.parse("8.2.4")
+    assert hash(BindVersion.parse("8.2.4-REL")) == hash(BindVersion.parse("8.2.4"))
+
+
+def test_in_range_inclusive():
+    low, high = version_range("8.2.0", "8.2.6")
+    assert BindVersion.parse("8.2.0").in_range(low, high)
+    assert BindVersion.parse("8.2.6").in_range(low, high)
+    assert BindVersion.parse("8.2.4").in_range(low, high)
+    assert not BindVersion.parse("8.3.0").in_range(low, high)
+    assert not BindVersion.parse("8.1.9").in_range(low, high)
+
+
+def test_same_branch():
+    assert BindVersion.parse("8.2.4").same_branch(BindVersion.parse("8.4.7"))
+    assert not BindVersion.parse("8.2.4").same_branch(BindVersion.parse("9.2.4"))
+
+
+def test_version_range_rejects_garbage_and_inversion():
+    with pytest.raises(ValueError):
+        version_range("not a version", "8.2.6")
+    with pytest.raises(ValueError):
+        version_range("8.2.6", "8.2.0")
+
+
+def test_str_roundtrips_core_fields():
+    version = BindVersion.parse("BIND 8.2.4-REL")
+    assert str(version) == "8.2.4-REL"
+    assert BindVersion.parse(str(version)) == version
+
+
+@given(st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=20),
+       st.integers(min_value=0, max_value=20))
+def test_parse_roundtrip_property(major, minor, patch):
+    banner = f"BIND {major}.{minor}.{patch}"
+    version = BindVersion.parse(banner)
+    assert version.key == (major, minor, patch)
+    assert BindVersion.parse(str(version)) == version
+
+
+@given(st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)),
+       st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9)))
+def test_ordering_matches_tuple_ordering(a, b):
+    va = BindVersion(*a)
+    vb = BindVersion(*b)
+    assert (va < vb) == (a < b)
+    assert (va == vb) == (a == b)

@@ -1,0 +1,159 @@
+"""Tests for :mod:`repro.vulns.database` and fingerprinting."""
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.vulns.bindversion import BindVersion
+from repro.vulns.database import (
+    Capability,
+    DEFAULT_VULNERABILITIES,
+    Severity,
+    Vulnerability,
+    VulnerabilityDatabase,
+    default_database,
+)
+from repro.vulns.fingerprint import Fingerprinter
+
+
+# -- catalogue content --------------------------------------------------------------
+
+def test_catalogue_is_nonempty_and_covers_three_branches():
+    branches = {vuln.branch for vuln in DEFAULT_VULNERABILITIES}
+    assert branches == {4, 8, 9}
+    assert len(DEFAULT_VULNERABILITIES) >= 12
+
+
+def test_bind_824_matches_the_papers_four_exploits():
+    """The fbi.gov anecdote: BIND 8.2.4 has libbind, negcache, sigrec, and
+    the DoS-multi hole."""
+    database = default_database()
+    exploits = set(database.exploit_names("BIND 8.2.4"))
+    assert {"libbind", "negcache", "sigrec", "dos-multi"} <= exploits
+
+
+def test_modern_versions_are_clean():
+    database = default_database()
+    for banner in ("BIND 9.2.3", "BIND 8.4.5", "BIND 9.3.0"):
+        assert not database.is_vulnerable(banner)
+        assert database.worst_severity(banner) is None
+
+
+def test_affected_ranges_respect_branches():
+    database = default_database()
+    # 9.2.1 is affected by BIND 9 holes but not by the 8.x sigrec hole.
+    exploits = set(database.exploit_names("BIND 9.2.1"))
+    assert "sigrec" not in exploits
+    assert exploits, "9.2.1 should match at least one BIND 9 advisory"
+
+
+def test_is_compromisable_distinguishes_dos_only():
+    dos_only = Vulnerability(
+        ident="dos-test", summary="crash only", branch=8,
+        affected_low=BindVersion(8, 1, 0), affected_high=BindVersion(8, 1, 9),
+        severity=Severity.MEDIUM, capability=Capability.DENIAL_OF_SERVICE,
+        year=2000)
+    database = VulnerabilityDatabase([dos_only])
+    assert database.is_vulnerable("BIND 8.1.2")
+    assert not database.is_compromisable("BIND 8.1.2")
+
+
+def test_unknown_banner_treated_as_safe_by_default():
+    database = default_database()
+    assert not database.is_vulnerable("SECRET")
+    assert not database.is_vulnerable(None)
+
+
+def test_unknown_banner_pessimistic_mode():
+    database = VulnerabilityDatabase(treat_unknown_as_safe=False)
+    assert database.is_vulnerable("SECRET")
+    assert not database.is_vulnerable(None)
+
+
+def test_worst_severity_and_find():
+    database = default_database()
+    assert database.worst_severity("BIND 8.2.4") is Severity.CRITICAL
+    assert database.find("libbind") is not None
+    assert database.find("no-such-exploit") is None
+
+
+def test_add_invalidates_cache():
+    database = VulnerabilityDatabase([])
+    assert not database.is_vulnerable("BIND 7.0.0")
+    database.add(Vulnerability(
+        ident="custom", summary="made up", branch=7,
+        affected_low=BindVersion(7, 0, 0), affected_high=BindVersion(7, 9, 9),
+        severity=Severity.LOW, capability=Capability.COMPROMISE, year=2004))
+    assert database.is_vulnerable("BIND 7.0.0")
+    assert len(database) == 1
+
+
+def test_classify_server():
+    database = default_database()
+
+    class FakeServer:
+        def __init__(self, software):
+            self.software = software
+
+    assert database.classify_server(FakeServer("BIND 9.2.3")) == "safe"
+    assert database.classify_server(FakeServer("BIND 8.2.4")) == "compromisable"
+
+
+def test_summary_counts_by_capability():
+    database = default_database()
+    summary = database.summary()
+    assert summary["compromise"] >= 5
+    assert summary["dos"] >= 2
+    assert sum(summary.values()) == len(database)
+
+
+def test_vulnerability_str_mentions_range():
+    vuln = default_database().find("sigrec")
+    assert "8.2" in str(vuln)
+
+
+# -- fingerprinting over the mini Internet ---------------------------------------------
+
+def test_fingerprint_vulnerable_server(mini_internet):
+    fingerprinter = Fingerprinter(mini_internet.network, default_database())
+    result = fingerprinter.fingerprint("dns2.partner.edu")
+    assert result.reachable
+    assert result.banner == "BIND 8.2.4"
+    assert result.disclosed
+    assert result.is_vulnerable
+    assert "sigrec" in result.vulnerabilities
+
+
+def test_fingerprint_safe_server(mini_internet):
+    fingerprinter = Fingerprinter(mini_internet.network, default_database())
+    result = fingerprinter.fingerprint("dns1.partner.edu")
+    assert result.banner == "BIND 9.2.3"
+    assert not result.is_vulnerable
+
+
+def test_fingerprint_unreachable_server(mini_internet):
+    mini_internet.servers[DomainName("dns2.partner.edu")].fail()
+    fingerprinter = Fingerprinter(mini_internet.network, default_database())
+    result = fingerprinter.fingerprint("dns2.partner.edu")
+    assert not result.reachable
+    assert result.banner is None
+    assert not result.is_vulnerable
+
+
+def test_fingerprint_results_are_cached(mini_internet):
+    fingerprinter = Fingerprinter(mini_internet.network, default_database())
+    first = fingerprinter.fingerprint("dns2.partner.edu")
+    queries_before = mini_internet.network.stats.queries_delivered
+    second = fingerprinter.fingerprint("dns2.partner.edu")
+    assert first is second
+    assert mini_internet.network.stats.queries_delivered == queries_before
+
+
+def test_fingerprint_all_and_views(mini_internet):
+    fingerprinter = Fingerprinter(mini_internet.network, default_database())
+    hostnames = ["dns1.partner.edu", "dns2.partner.edu", "ns1.hostco.com",
+                 "ns2.hostco.com"]
+    results = fingerprinter.fingerprint_all(hostnames)
+    assert len(results) == 4
+    vulnerable = {str(h) for h in fingerprinter.vulnerable_hostnames()}
+    assert vulnerable == {"dns2.partner.edu", "ns2.hostco.com"}
+    assert fingerprinter.disclosure_rate() == 1.0
