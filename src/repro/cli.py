@@ -52,6 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a JSON snapshot of the results here")
     survey.add_argument("--no-bottleneck", action="store_true",
                         help="skip the min-cut bottleneck analysis")
+    survey.add_argument("--backend", type=str, default="serial",
+                        choices=("serial", "thread", "sharded"),
+                        help="survey execution backend (all backends "
+                             "produce identical results)")
+    survey.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker/shard count for the thread and "
+                             "sharded backends")
+    survey.add_argument("--progress", action="store_true",
+                        help="print survey progress to stderr")
 
     report = subparsers.add_parser(
         "report", help="summarise a previously saved snapshot")
@@ -63,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("name", type=str,
                          help="domain name to analyse (e.g. www.fbi.gov)")
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _add_generator_arguments(parser: argparse.ArgumentParser) -> None:
@@ -101,11 +117,28 @@ def _print_tld_tables(results: SurveyResults) -> None:
         print(format_table(rows, headers=("tld", "mean TCB")))
 
 
+class ProgressPrinter:
+    """Prints coarse survey progress to stderr (every ~2% and at the end)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._last_printed = -1
+
+    def __call__(self, done: int, total: int) -> None:
+        step = max(total // 50, 1)
+        if done != total and done - self._last_printed < step:
+            return
+        self._last_printed = done
+        print(f"surveyed {done}/{total} names", file=self.stream)
+
+
 def _command_survey(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     internet = InternetGenerator(config).generate()
-    survey = Survey(internet, include_bottleneck=not args.no_bottleneck)
-    results = survey.run(max_names=args.max_names)
+    survey = Survey(internet, include_bottleneck=not args.no_bottleneck,
+                    backend=args.backend, workers=args.workers)
+    progress = ProgressPrinter() if args.progress else None
+    results = survey.run(max_names=args.max_names, progress=progress)
     _print_headline(results)
     _print_tld_tables(results)
     if args.output:

@@ -14,13 +14,20 @@ contribution, on top of the DNS / network / topology substrates:
   extraction, and an end-to-end hijack simulator.
 * :mod:`repro.core.value` -- nameserver value ranking: how many names each
   server controls (Figures 8-9).
-* :mod:`repro.core.survey` -- the survey orchestrator tying it all together.
+* :mod:`repro.core.survey` -- the survey facade tying it all together.
+* :mod:`repro.core.engine` -- the staged survey engine (discovery, closure,
+  fingerprinting, analysis) with serial / thread / sharded backends.
 * :mod:`repro.core.report` -- CDFs, summary statistics, and per-figure data
   series.
 * :mod:`repro.core.snapshot` -- JSON persistence of survey results.
 """
 
-from repro.core.delegation import DelegationGraph, DelegationGraphBuilder
+from repro.core.delegation import (
+    ClosureIndex,
+    DelegationGraph,
+    DelegationGraphBuilder,
+    TCBView,
+)
 from repro.core.tcb import TCBReport, compute_tcb_report
 from repro.core.mincut import BottleneckAnalyzer, BottleneckResult
 from repro.core.hijack import (
@@ -32,6 +39,12 @@ from repro.core.hijack import (
 )
 from repro.core.value import NameserverValueAnalyzer, ServerValue
 from repro.core.survey import Survey, SurveyResults, NameRecord
+from repro.core.engine import (
+    EngineConfig,
+    SurveyAggregator,
+    SurveyEngine,
+    WorkerContext,
+)
 from repro.core.report import (
     CDFSeries,
     summary_stats,
@@ -52,8 +65,14 @@ from repro.core.dnssec_impact import (
 )
 
 __all__ = [
+    "ClosureIndex",
     "DelegationGraph",
     "DelegationGraphBuilder",
+    "TCBView",
+    "EngineConfig",
+    "SurveyAggregator",
+    "SurveyEngine",
+    "WorkerContext",
     "TCBReport",
     "compute_tcb_report",
     "BottleneckAnalyzer",

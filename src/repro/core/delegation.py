@@ -11,9 +11,17 @@ delegation path, and so on.
 queries through an :class:`~repro.dns.resolver.IterativeResolver` — exactly
 what the survey did against the live Internet — and accumulates everything it
 learns in a shared *universe* graph so that work is never repeated across the
-hundreds of thousands of names in a survey.  :meth:`build` then projects the
-universe onto the subgraph reachable from one name, which is that name's
-delegation graph.
+hundreds of thousands of names in a survey.  Two projections of the universe
+are offered:
+
+* :meth:`DelegationGraphBuilder.build` materialises a full
+  :class:`DelegationGraph` (a copied subgraph) for interactive inspection
+  and hijack-path extraction;
+* :meth:`DelegationGraphBuilder.tcb_view` returns a zero-copy
+  :class:`TCBView` whose TCB comes from a memoized per-node closure index
+  (:class:`ClosureIndex`) — the fast path the survey engine uses, which
+  never copies a graph and never recomputes a closure that is already
+  known.
 
 Graph encoding
 --------------
@@ -33,7 +41,18 @@ accounting.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    MutableMapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -67,57 +86,218 @@ def ns_node(name: NameLike) -> NodeKey:
     return (NS_KIND, DomainName(name))
 
 
-class DelegationGraph:
-    """The delegation graph of a single domain name.
+class ClosureIndex:
+    """Memoized nameserver closures over a (possibly cyclic) universe graph.
 
-    Wraps a :class:`networkx.DiGraph` whose nodes follow the encoding
-    described in the module docstring, and provides the accessors the
-    analyses need (TCB extraction, zone/nameserver views, dependency paths).
+    For every node the index answers "which non-excluded nameserver hostnames
+    are reachable from here?" with a shared :class:`frozenset`.  Closures are
+    computed with an iterative Tarjan SCC pass — mutually dependent zones
+    (mutual secondaries) collapse into one component sharing one closure —
+    and memoized per node, so surveying name *N+1* only ever explores the
+    part of the universe that no earlier name reached.
+
+    The builder keeps the memo correct as the universe grows: whenever a node
+    that already existed gains a new out-edge, the memo entries of that node
+    and of everything that can reach it are dropped (see :meth:`invalidate`).
+    Companion memos (e.g. the survey engine's shared bottleneck memo) can be
+    registered to be purged on the same events.
     """
 
-    def __init__(self, target: NameLike, graph: nx.DiGraph,
-                 excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES):
-        self.target = DomainName(target)
-        self.graph = graph
-        self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
-        if name_node(self.target) not in graph:
-            graph.add_node(name_node(self.target))
+    def __init__(self, graph: nx.DiGraph,
+                 excluded_suffixes: Sequence[DomainName] = ()):
+        self._graph = graph
+        self._excluded = tuple(DomainName(s) for s in excluded_suffixes)
+        self._memo: Dict[NodeKey, FrozenSet[DomainName]] = {}
+        self._adjacency: Dict[NodeKey,
+                              Tuple[List[NodeKey], List[NodeKey]]] = {}
+        self._companions: List[MutableMapping[NodeKey, object]] = []
+        self.computations = 0
+        self.invalidations = 0
+        #: Bumped whenever memoized state is actually dropped; callers that
+        #: key derived caches on graph structure can compare versions
+        #: instead of registering a per-node companion.
+        self.version = 0
 
-    # -- basic views -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memo)
 
-    def _is_excluded(self, hostname: DomainName) -> bool:
-        return any(hostname.is_subdomain_of(suffix)
-                   for suffix in self.excluded_suffixes)
+    def register_companion(self,
+                           memo: MutableMapping[NodeKey, object]) -> None:
+        """Purge ``memo``'s entries alongside this index's on invalidation."""
+        self._companions.append(memo)
 
-    def nameservers(self, include_excluded: bool = False) -> List[DomainName]:
-        """All nameserver hostnames in the graph."""
-        hosts = [key[1] for key in self.graph.nodes if key[0] == NS_KIND]
-        if not include_excluded:
-            hosts = [h for h in hosts if not self._is_excluded(h)]
-        return sorted(hosts)
+    def _own_contribution(self, node: NodeKey) -> Set[DomainName]:
+        kind, name = node
+        if kind == NS_KIND and not any(
+                name.is_subdomain_of(suffix) for suffix in self._excluded):
+            return {name}
+        return set()
 
-    def zones(self) -> List[DomainName]:
-        """All zone apexes in the graph."""
-        return sorted(key[1] for key in self.graph.nodes if key[0] == ZONE_KIND)
+    def closure(self, node: NodeKey) -> FrozenSet[DomainName]:
+        """The set of non-excluded nameservers reachable from ``node``."""
+        memo = self._memo
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        graph = self._graph
+        if node not in graph:
+            return frozenset()
+
+        # Iterative Tarjan: SCCs are closed in reverse topological order, so
+        # when a component is popped every successor outside it is already
+        # memoized and the component's closure is the union of its members'
+        # own contributions and those successor closures.
+        index: Dict[NodeKey, int] = {}
+        low: Dict[NodeKey, int] = {}
+        on_stack: Set[NodeKey] = set()
+        scc_stack: List[NodeKey] = []
+        partial: Dict[NodeKey, Set[DomainName]] = {}
+        work: List[Tuple[NodeKey, Iterator[NodeKey]]] = []
+        counter = 0
+
+        def open_node(n: NodeKey) -> None:
+            nonlocal counter
+            index[n] = low[n] = counter
+            counter += 1
+            scc_stack.append(n)
+            on_stack.add(n)
+            partial[n] = self._own_contribution(n)
+            work.append((n, iter(graph.successors(n))))
+
+        open_node(node)
+        while work:
+            current, successors = work[-1]
+            descended = False
+            for succ in successors:
+                done = memo.get(succ)
+                if done is not None:
+                    partial[current] |= done
+                elif succ not in index:
+                    open_node(succ)
+                    descended = True
+                    break
+                elif succ in on_stack:
+                    if index[succ] < low[current]:
+                        low[current] = index[succ]
+            if descended:
+                continue
+            work.pop()
+            if low[current] == index[current]:
+                members: List[NodeKey] = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    if member == current:
+                        break
+                union: Set[DomainName] = set()
+                for member in members:
+                    union |= partial.pop(member)
+                shared = frozenset(union)
+                for member in members:
+                    memo[member] = shared
+                self.computations += len(members)
+            if work:
+                parent = work[-1][0]
+                if low[current] < low[parent]:
+                    low[parent] = low[current]
+                finished = memo.get(current)
+                if finished is not None:
+                    partial[parent] |= finished
+        return memo[node]
+
+    def successors_split(self, node: NodeKey
+                         ) -> Tuple[List[NodeKey], List[NodeKey]]:
+        """The node's successors split into (zones, nameservers).
+
+        Successor order is preserved.  The split lists are cached (the
+        bottleneck recursion reads them millions of times per survey) and
+        dropped by the same invalidation pass as the closures; callers must
+        not mutate them.
+        """
+        cached = self._adjacency.get(node)
+        if cached is not None:
+            return cached
+        zones: List[NodeKey] = []
+        nameservers: List[NodeKey] = []
+        if node not in self._graph:
+            # Not cached: the node may be added (with edges) later, which
+            # would not trigger invalidation for a first-ever edge.
+            return (zones, nameservers)
+        for succ in self._graph.successors(node):
+            if succ[0] == ZONE_KIND:
+                zones.append(succ)
+            elif succ[0] == NS_KIND:
+                nameservers.append(succ)
+        split = (zones, nameservers)
+        self._adjacency[node] = split
+        return split
+
+    def clear(self) -> None:
+        """Drop every memoized closure (companion memos included)."""
+        self._memo.clear()
+        self._adjacency.clear()
+        for companion in self._companions:
+            companion.clear()
+        self.version += 1
+
+    def invalidate(self, node: NodeKey) -> None:
+        """Drop memoized closures for ``node`` and everything reaching it."""
+        if not self._memo and not self._adjacency \
+                and not any(self._companions):
+            return
+        if node not in self._graph:
+            return
+        seen = {node}
+        stack = [node]
+        dropped = 0
+        predecessors = self._graph.predecessors
+        while stack:
+            current = stack.pop()
+            if self._memo.pop(current, None) is not None:
+                self.invalidations += 1
+                dropped += 1
+            if self._adjacency.pop(current, None) is not None:
+                dropped += 1
+            for companion in self._companions:
+                if companion.pop(current, None) is not None:
+                    dropped += 1
+            for pred in predecessors(current):
+                if pred not in seen:
+                    seen.add(pred)
+                    stack.append(pred)
+        if dropped:
+            self.version += 1
+
+
+class DelegationView:
+    """Read-only accessors shared by :class:`DelegationGraph` / :class:`TCBView`.
+
+    Subclasses provide ``target`` (the surveyed name), ``graph`` (a DiGraph
+    in the module's node encoding that contains at least everything reachable
+    from the target), ``excluded_suffixes``, and an implementation of
+    :meth:`tcb`.  All structure accessors follow successor edges from the
+    target, so they observe exactly the nodes a per-name subgraph copy would
+    contain even when ``graph`` is the whole shared universe.
+    """
+
+    target: DomainName
+    graph: nx.DiGraph
+    excluded_suffixes: Tuple[DomainName, ...]
+
+    # -- TCB ------------------------------------------------------------------
 
     def tcb(self) -> Set[DomainName]:
-        """The trusted computing base: nameservers the target depends on.
-
-        Root servers are excluded, matching the paper's TCB accounting.
-        """
-        return set(self.nameservers(include_excluded=False))
+        """The trusted computing base: nameservers the target depends on."""
+        raise NotImplementedError
 
     def tcb_size(self) -> int:
         """Number of nameservers in the TCB."""
         return len(self.tcb())
 
-    def node_count(self) -> int:
-        """Total nodes (names + zones + nameservers) in the graph."""
-        return self.graph.number_of_nodes()
-
-    def edge_count(self) -> int:
-        """Total dependency edges in the graph."""
-        return self.graph.number_of_edges()
+    def _is_excluded(self, hostname: DomainName) -> bool:
+        return any(hostname.is_subdomain_of(suffix)
+                   for suffix in self.excluded_suffixes)
 
     # -- structure accessors used by the bottleneck analysis -----------------------
 
@@ -170,10 +350,108 @@ class DelegationGraph:
         except nx.NetworkXNoPath:
             return []
 
+
+class DelegationGraph(DelegationView):
+    """The delegation graph of a single domain name.
+
+    Wraps a :class:`networkx.DiGraph` whose nodes follow the encoding
+    described in the module docstring, and provides the accessors the
+    analyses need (TCB extraction, zone/nameserver views, dependency paths).
+    """
+
+    def __init__(self, target: NameLike, graph: nx.DiGraph,
+                 excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES):
+        self.target = DomainName(target)
+        self.graph = graph
+        self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
+        if name_node(self.target) not in graph:
+            graph.add_node(name_node(self.target))
+
+    # -- basic views -----------------------------------------------------------
+
+    def nameservers(self, include_excluded: bool = False) -> List[DomainName]:
+        """All nameserver hostnames in the graph."""
+        hosts = [key[1] for key in self.graph.nodes if key[0] == NS_KIND]
+        if not include_excluded:
+            hosts = [h for h in hosts if not self._is_excluded(h)]
+        return sorted(hosts)
+
+    def zones(self) -> List[DomainName]:
+        """All zone apexes in the graph."""
+        return sorted(key[1] for key in self.graph.nodes if key[0] == ZONE_KIND)
+
+    def tcb(self) -> Set[DomainName]:
+        """The trusted computing base: nameservers the target depends on.
+
+        Root servers are excluded, matching the paper's TCB accounting.
+        """
+        return {key[1] for key in self.graph.nodes
+                if key[0] == NS_KIND and not self._is_excluded(key[1])}
+
+    def node_count(self) -> int:
+        """Total nodes (names + zones + nameservers) in the graph."""
+        return self.graph.number_of_nodes()
+
+    def edge_count(self) -> int:
+        """Total dependency edges in the graph."""
+        return self.graph.number_of_edges()
+
     def __repr__(self) -> str:
         return (f"DelegationGraph({self.target!s}, "
                 f"{self.tcb_size()} nameservers, "
                 f"{len(self.zones())} zones)")
+
+
+class TCBView(DelegationView):
+    """A zero-copy per-name view backed by the shared universe graph.
+
+    Provides everything the TCB report and the bottleneck analysis need —
+    :meth:`tcb` / :meth:`tcb_size` / :meth:`in_bailiwick_servers` /
+    :meth:`zones_of` / :meth:`nameservers_of_zone` — without materialising a
+    copied subgraph.  The TCB itself comes from the builder's
+    :class:`ClosureIndex` and is fixed at construction time; ask the builder
+    for a fresh view (or a full :class:`DelegationGraph`) after the universe
+    has grown.
+    """
+
+    def __init__(self, target: NameLike, universe: nx.DiGraph,
+                 closure: FrozenSet[DomainName],
+                 excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES,
+                 structure: Optional[ClosureIndex] = None):
+        self.target = DomainName(target)
+        self.graph = universe
+        self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
+        self._closure = closure
+        self._structure = structure
+
+    def zones_of(self, node: NodeKey) -> List[NodeKey]:
+        if self._structure is None:
+            return super().zones_of(node)
+        return self._structure.successors_split(node)[0]
+
+    def nameservers_of_zone(self, zone: NodeKey) -> List[NodeKey]:
+        if self._structure is None:
+            return super().nameservers_of_zone(zone)
+        return self._structure.successors_split(zone)[1]
+
+    def tcb(self) -> Set[DomainName]:
+        return set(self._closure)
+
+    def tcb_size(self) -> int:
+        return len(self._closure)
+
+    def tcb_frozen(self) -> FrozenSet[DomainName]:
+        """The TCB as the shared (do-not-mutate) frozenset."""
+        return self._closure
+
+    def in_bailiwick_servers(self) -> Set[DomainName]:
+        zone = self.authoritative_zone()
+        if zone is None:
+            return set()
+        return {host for host in self._closure if host.is_subdomain_of(zone)}
+
+    def __repr__(self) -> str:
+        return f"TCBView({self.target!s}, {self.tcb_size()} nameservers)"
 
 
 class DelegationGraphBuilder:
@@ -197,6 +475,7 @@ class DelegationGraphBuilder:
         self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
         self.max_depth = max_depth
         self._universe = nx.DiGraph()
+        self._closures = ClosureIndex(self._universe, self.excluded_suffixes)
         self._chain_cache: Dict[DomainName, List[ZoneCut]] = {}
         self._expanded_hosts: Set[DomainName] = set()
         self._expanded_names: Set[DomainName] = set()
@@ -209,8 +488,17 @@ class DelegationGraphBuilder:
         """The shared dependency graph accumulated across all builds."""
         return self._universe
 
+    @property
+    def closures(self) -> ClosureIndex:
+        """The memoized closure index over the universe."""
+        return self._closures
+
     def build(self, name: NameLike) -> DelegationGraph:
-        """Build (or retrieve from the universe) the graph for ``name``."""
+        """Build (or retrieve from the universe) the graph for ``name``.
+
+        Materialises a copied per-name subgraph — use :meth:`tcb_view` when
+        only the TCB / bottleneck accessors are needed.
+        """
         target = DomainName(name)
         self._ensure_name(target)
         source = name_node(target)
@@ -218,6 +506,35 @@ class DelegationGraphBuilder:
         subgraph = self._universe.subgraph(reachable).copy()
         return DelegationGraph(target, subgraph,
                                excluded_suffixes=self.excluded_suffixes)
+
+    def tcb_view(self, name: NameLike) -> TCBView:
+        """Discover ``name`` and return a zero-copy view of its closure."""
+        target = DomainName(name)
+        self._ensure_name(target)
+        closure = self._closures.closure(name_node(target))
+        return TCBView(target, self._universe, closure,
+                       excluded_suffixes=self.excluded_suffixes,
+                       structure=self._closures)
+
+    def closure_of(self, name: NameLike) -> FrozenSet[DomainName]:
+        """The memoized TCB of ``name`` (discovering it if needed)."""
+        target = DomainName(name)
+        self._ensure_name(target)
+        return self._closures.closure(name_node(target))
+
+    def absorb(self, other: "DelegationGraphBuilder") -> None:
+        """Fold another builder's discovered universe into this one.
+
+        Used by the sharded survey backends to merge per-shard universes
+        back into the primary builder: nodes, edges, chain caches, and
+        expansion markers are adopted, and the closure memo is reset because
+        merged edges may extend existing closures.
+        """
+        self._universe.update(other._universe)
+        self._chain_cache.update(other._chain_cache)
+        self._expanded_hosts |= other._expanded_hosts
+        self._expanded_names |= other._expanded_names
+        self._closures.clear()
 
     def build_many(self, names: Iterable[NameLike]) -> Dict[DomainName, DelegationGraph]:
         """Build graphs for many names, sharing every intermediate result."""
@@ -251,6 +568,18 @@ class DelegationGraphBuilder:
         return any(hostname.is_subdomain_of(suffix)
                    for suffix in self.excluded_suffixes)
 
+    def _add_edge(self, dependent: NodeKey, dependency: NodeKey) -> None:
+        """Add a dependency edge, invalidating stale closures if needed."""
+        universe = self._universe
+        if universe.has_edge(dependent, dependency):
+            return
+        known = dependent in universe
+        universe.add_edge(dependent, dependency)
+        if known:
+            # The dependent (and everything that reaches it) may have a
+            # memoized closure that no longer covers this new dependency.
+            self._closures.invalidate(dependent)
+
     def _ensure_name(self, target: DomainName) -> None:
         """Add the target name's chain (and its closure) to the universe."""
         if target in self._expanded_names:
@@ -265,12 +594,12 @@ class DelegationGraphBuilder:
                       depth: int) -> None:
         """Record ``dependent -> zone -> nameservers`` and expand hostnames."""
         znode = zone_node(cut.zone)
-        self._universe.add_edge(dependent, znode)
+        self._add_edge(dependent, znode)
         for hostname in cut.nameservers:
             if self._is_excluded(hostname):
                 continue
             hnode = ns_node(hostname)
-            self._universe.add_edge(znode, hnode)
+            self._add_edge(znode, hnode)
             self._expand_host(hostname, depth + 1)
 
     def _expand_host(self, hostname: DomainName, depth: int) -> None:

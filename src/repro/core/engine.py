@@ -1,0 +1,439 @@
+"""The staged survey engine: discovery, closure, fingerprinting, analysis.
+
+:class:`SurveyEngine` is the scalable successor of the original per-name
+``Survey`` loop.  It decomposes the measurement pipeline into four explicit
+stages with shared, reusable state:
+
+1. **discovery** — walk a name's delegation chains through the iterative
+   resolver, growing the shared universe graph (chains are cached, hosts are
+   expanded once survey-wide);
+2. **closure** — read the name's trusted computing base from the builder's
+   memoized :class:`~repro.core.delegation.ClosureIndex` as a zero-copy
+   :class:`~repro.core.delegation.TCBView` (no ``nx.descendants``, no
+   subgraph copies);
+3. **fingerprinting** — ``version.bind`` every newly discovered TCB member
+   exactly once, folding the verdicts into shared vulnerability maps;
+4. **analysis** — TCB report, bottleneck (min-cut) with a cross-name shared
+   memo, and hijack classification, emitted as a
+   :class:`~repro.core.survey.NameRecord`.
+
+Records stream into a :class:`SurveyAggregator`, which folds per-name
+results incrementally (no intermediate per-name graphs are retained) and
+finally assembles a :class:`~repro.core.survey.SurveyResults`.
+
+Execution backends
+------------------
+
+``serial``
+    One worker context, names processed in directory order.  This is the
+    reference backend: every other backend must produce identical results.
+``thread``
+    The directory is striped over ``workers`` shards, each with its own
+    resolver (cloned cache), builder, fingerprinter, and analysis memos, and
+    the shards run concurrently on a thread pool.
+``sharded``
+    Same partitioning, but shards run sequentially — a deterministic batch
+    mode that bounds per-shard memory and mirrors how a multi-process or
+    multi-host deployment would split the directory.
+
+Shard outputs (universes, chain caches, fingerprint maps, vulnerability
+maps) are merged back deterministically in shard order, and records are
+reassembled in directory order, so **the same seed yields byte-identical
+results on every backend** (query answers are time-independent, so thread
+interleaving cannot change them; only the netsim transport accounting —
+simulated clock and query counters — is interleaving-ordered).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.dns.name import DomainName, NameLike
+from repro.core.delegation import (
+    DelegationGraphBuilder,
+    NodeKey,
+    TCBView,
+    name_node,
+)
+from repro.core.mincut import BottleneckAnalyzer
+from repro.core.survey import NameRecord, SurveyResults
+from repro.core.tcb import compute_tcb_report
+from repro.vulns.database import VulnerabilityDatabase, default_database
+from repro.vulns.fingerprint import Fingerprinter, FingerprintResult
+from repro.topology.webdirectory import DirectoryEntry
+
+#: Execution backends understood by the engine.
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "sharded")
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclasses.dataclass
+class EngineConfig:
+    """Tuning knobs for a :class:`SurveyEngine` run."""
+
+    backend: str = "serial"
+    workers: int = 1
+    shard_count: Optional[int] = None
+    popular_count: int = 500
+    include_bottleneck: bool = True
+    use_glue: bool = True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend: {self.backend!r} "
+                             f"(expected one of {BACKENDS})")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+
+    def effective_shards(self) -> int:
+        """How many shards a partitioned backend should use."""
+        if self.shard_count is not None:
+            return self.shard_count
+        return max(self.workers, 1)
+
+
+class WorkerContext:
+    """Per-shard execution state: resolver, builder, fingerprinter, memos.
+
+    The serial backend uses a single context; the partitioned backends give
+    every shard its own so no mutable state crosses shard boundaries.  The
+    bottleneck memo is registered as a companion of the builder's closure
+    index, so universe growth invalidates both in one pass.
+    """
+
+    def __init__(self, internet, database: VulnerabilityDatabase, resolver):
+        self.resolver = resolver
+        self.builder = DelegationGraphBuilder(resolver)
+        self.fingerprinter = Fingerprinter(internet.network, database)
+        self.database = database
+        self.vulnerability_map: Dict[DomainName, bool] = {}
+        self.compromisable_map: Dict[DomainName, bool] = {}
+        self.mincut_memo: Dict[NodeKey, object] = {}
+        self.builder.closures.register_companion(self.mincut_memo)
+        # Nothing in the universe points back at a name node, so every
+        # name-independent analysis output (TCB report counts, bailiwick,
+        # bottleneck, classification) is a pure function of the name's
+        # ordered direct-zone chain given a fixed universe: names sharing an
+        # SLD chain share the whole analysis.  Keyed on the closure-index
+        # version so any structural invalidation clears it.
+        self.analysis_by_chain: Dict[Tuple[NodeKey, ...],
+                                     Dict[str, object]] = {}
+        self.analysis_by_chain_version = self.builder.closures.version
+        # The analyzer reads the live (growing) compromisable map: every TCB
+        # member is fingerprinted before its name is analysed, and a host's
+        # flag never changes once set, so this matches per-name snapshots.
+        self.analyzer = BottleneckAnalyzer(vulnerability_aware=True,
+                                           shared_memo=self.mincut_memo)
+        self.analyzer.vulnerability_map = self.compromisable_map
+
+    def chain_analysis_cache(self, version: int
+                             ) -> Dict[Tuple[NodeKey, ...], Dict[str, object]]:
+        """The per-chain analysis cache, cleared if the universe changed."""
+        if self.analysis_by_chain_version != version:
+            self.analysis_by_chain.clear()
+            self.analysis_by_chain_version = version
+        return self.analysis_by_chain
+
+    def fingerprint(self, hostname: DomainName) -> None:
+        """Fingerprint one server and keep the vulnerability maps current."""
+        if hostname in self.vulnerability_map:
+            return
+        result = self.fingerprinter.fingerprint(hostname)
+        self.vulnerability_map[hostname] = result.is_vulnerable
+        self.compromisable_map[hostname] = self.database.is_compromisable(
+            result.banner)
+
+
+class SurveyAggregator:
+    """Streams per-name records into aggregate survey state.
+
+    Thread-safe: the partitioned backends fold records from several shards
+    concurrently.  Records are keyed by their directory index so the final
+    record list is in directory order regardless of completion order.
+    """
+
+    def __init__(self, total: int,
+                 progress: Optional[ProgressCallback] = None):
+        self._records: Dict[int, NameRecord] = {}
+        self._counts: Dict[DomainName, int] = {}
+        self._fingerprints: Dict[DomainName, FingerprintResult] = {}
+        self._vulnerability_map: Dict[DomainName, bool] = {}
+        self._compromisable_map: Dict[DomainName, bool] = {}
+        self._total = total
+        self._progress = progress
+        self._lock = threading.Lock()
+        self.completed = 0
+
+    def add_record(self, index: int, record: NameRecord) -> None:
+        """Fold one name's record into the aggregate state."""
+        with self._lock:
+            self._records[index] = record
+            if record.resolved:
+                counts = self._counts
+                for host in record.tcb_servers:
+                    counts[host] = counts.get(host, 0) + 1
+            self.completed += 1
+            done = self.completed
+        if self._progress is not None:
+            self._progress(done, self._total)
+
+    def merge_context(self, context: WorkerContext) -> None:
+        """Adopt a worker context's fingerprints and vulnerability maps."""
+        with self._lock:
+            self._fingerprints.update(context.fingerprinter.results())
+            self._vulnerability_map.update(context.vulnerability_map)
+            self._compromisable_map.update(context.compromisable_map)
+
+    def results(self, popular: Set[DomainName],
+                metadata: Dict[str, object]) -> SurveyResults:
+        """Assemble the final :class:`SurveyResults`."""
+        records = [self._records[index] for index in sorted(self._records)]
+        return SurveyResults(
+            records=records,
+            server_names_controlled=dict(self._counts),
+            vulnerable_servers={host for host, flag
+                                in self._vulnerability_map.items() if flag},
+            compromisable_servers={host for host, flag
+                                   in self._compromisable_map.items() if flag},
+            fingerprints=dict(self._fingerprints),
+            popular_names=popular,
+            metadata=metadata)
+
+
+class SurveyEngine:
+    """Runs the staged measurement pipeline against a synthetic Internet.
+
+    Parameters
+    ----------
+    internet:
+        The :class:`~repro.topology.generator.SyntheticInternet` to survey.
+    vulnerability_db:
+        Catalogue used to interpret fingerprints; defaults to the standard
+        BIND catalogue.
+    config:
+        Backend selection and survey options (:class:`EngineConfig`).
+    """
+
+    def __init__(self, internet,
+                 vulnerability_db: Optional[VulnerabilityDatabase] = None,
+                 config: Optional[EngineConfig] = None):
+        self.internet = internet
+        self.database = vulnerability_db or default_database()
+        self.config = config or EngineConfig()
+        self.config.validate()
+        self._root = WorkerContext(
+            internet, self.database,
+            internet.make_resolver(use_glue=self.config.use_glue))
+
+    # -- facade-compatible accessors ----------------------------------------------
+
+    @property
+    def resolver(self):
+        """The primary worker's resolver (shards clone from it)."""
+        return self._root.resolver
+
+    @property
+    def builder(self) -> DelegationGraphBuilder:
+        """The primary worker's delegation-graph builder."""
+        return self._root.builder
+
+    @property
+    def fingerprinter(self) -> Fingerprinter:
+        """The primary worker's fingerprinter."""
+        return self._root.fingerprinter
+
+    def vulnerability_maps(self) -> Tuple[Dict[DomainName, bool],
+                                          Dict[DomainName, bool]]:
+        """Copies of the (vulnerable, compromisable) per-hostname flags."""
+        return (dict(self._root.vulnerability_map),
+                dict(self._root.compromisable_map))
+
+    # -- name selection -----------------------------------------------------------------
+
+    def _select_entries(self, names: Optional[Iterable[NameLike]],
+                        max_names: Optional[int]) -> List[DirectoryEntry]:
+        directory = self.internet.directory
+        if names is not None:
+            selected: List[DirectoryEntry] = []
+            for name in names:
+                entry = directory.entry(name)
+                if entry is None:
+                    entry = DirectoryEntry(name=DomainName(name),
+                                           tld=DomainName(name).tld or "",
+                                           category="adhoc", popularity=1.0)
+                selected.append(entry)
+            return selected
+        entries = directory.entries()
+        if max_names is not None and max_names < len(entries):
+            entries = entries[:max_names]
+        return entries
+
+    # -- main pipeline --------------------------------------------------------------------
+
+    def run(self, names: Optional[Iterable[NameLike]] = None,
+            max_names: Optional[int] = None,
+            progress: Optional[ProgressCallback] = None) -> SurveyResults:
+        """Survey the given names (default: the whole directory)."""
+        entries = self._select_entries(names, max_names)
+        popular = {entry.name for entry in
+                   self.internet.directory.alexa_top(self.config.popular_count)}
+        aggregator = SurveyAggregator(total=len(entries), progress=progress)
+
+        backend = self.config.backend
+        if backend == "serial" or self.config.effective_shards() == 1:
+            self._run_shard(self._root, list(enumerate(entries)), popular,
+                            aggregator)
+        else:
+            self._run_partitioned(entries, popular, aggregator,
+                                  parallel=(backend == "thread"))
+
+        metadata = {
+            "popular_count": self.config.popular_count,
+            "include_bottleneck": self.config.include_bottleneck,
+            "names_requested": len(entries),
+            "backend": backend,
+            "workers": self.config.workers,
+            "shards": (1 if backend == "serial"
+                       else self.config.effective_shards()),
+        }
+        return aggregator.results(popular, metadata)
+
+    # -- backends -----------------------------------------------------------------------
+
+    def _run_shard(self, context: WorkerContext,
+                   indexed_entries: List[Tuple[int, DirectoryEntry]],
+                   popular: Set[DomainName],
+                   aggregator: SurveyAggregator) -> None:
+        """Survey one shard's entries on one worker context."""
+        for index, entry in indexed_entries:
+            record = self._survey_entry(context, entry, entry.name in popular)
+            aggregator.add_record(index, record)
+        aggregator.merge_context(context)
+
+    def _run_partitioned(self, entries: List[DirectoryEntry],
+                         popular: Set[DomainName],
+                         aggregator: SurveyAggregator,
+                         parallel: bool) -> None:
+        """Stripe the directory over shards; run them serially or threaded."""
+        shard_count = min(self.config.effective_shards(), max(len(entries), 1))
+        indexed = list(enumerate(entries))
+        shards = [indexed[offset::shard_count] for offset in range(shard_count)]
+        contexts = [WorkerContext(self.internet, self.database,
+                                  self._root.resolver.clone())
+                    for _ in shards]
+        if parallel:
+            with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+                futures = [
+                    pool.submit(self._run_shard, context, shard, popular,
+                                aggregator)
+                    for context, shard in zip(contexts, shards)]
+                for future in futures:
+                    future.result()
+        else:
+            for context, shard in zip(contexts, shards):
+                self._run_shard(context, shard, popular, aggregator)
+        # Deterministic merge in shard order: the primary builder adopts
+        # every shard universe so post-run inspection (`engine.builder`)
+        # sees the complete dependency graph.
+        for context in contexts:
+            self._root.builder.absorb(context.builder)
+            self._root.fingerprinter.absorb(context.fingerprinter)
+            self._root.vulnerability_map.update(context.vulnerability_map)
+            self._root.compromisable_map.update(context.compromisable_map)
+
+    # -- stages -------------------------------------------------------------------------
+
+    def _survey_entry(self, context: WorkerContext, entry: DirectoryEntry,
+                      is_popular: bool) -> NameRecord:
+        """Run one name through discovery, closure, fingerprint, analysis."""
+        # Stages 1+2: discovery (chain walking) and memoized closure.
+        view = context.builder.tcb_view(entry.name)
+
+        # Names sharing a direct-zone chain share everything but identity:
+        # reuse the analysis computed for the first such name.
+        cache = context.chain_analysis_cache(context.builder.closures.version)
+        key = tuple(view.zones_of(name_node(view.target)))
+        analysis = cache.get(key)
+        if analysis is None:
+            analysis = self._analyze_view(context, view)
+            cache[key] = analysis
+
+        return NameRecord(
+            name=entry.name, tld=entry.tld, category=entry.category,
+            is_popular=is_popular, resolved=analysis["resolved"],
+            tcb_size=analysis["tcb_size"],
+            in_bailiwick=analysis["in_bailiwick"],
+            vulnerable_in_tcb=analysis["vulnerable_in_tcb"],
+            compromisable_in_tcb=analysis["compromisable_in_tcb"],
+            safety_percentage=analysis["safety_percentage"],
+            mincut_size=analysis["mincut_size"],
+            mincut_safe=analysis["mincut_safe"],
+            mincut_vulnerable=analysis["mincut_vulnerable"],
+            classification=analysis["classification"],
+            tcb_servers=set(analysis["tcb_servers"]),
+            mincut_servers=set(analysis["mincut_servers"]))
+
+    def _analyze_view(self, context: WorkerContext,
+                      view: TCBView) -> Dict[str, object]:
+        """Stages 3+4: fingerprinting and analysis for one delegation chain."""
+        tcb = view.tcb_frozen()
+        resolved = bool(tcb)
+
+        # Stage 3: fingerprint newly discovered TCB members.
+        for hostname in tcb:
+            context.fingerprint(hostname)
+
+        # Stage 4: TCB report, bottleneck, classification.
+        report = compute_tcb_report(view, context.vulnerability_map,
+                                    context.compromisable_map)
+        mincut_size = 0
+        mincut_safe = 0
+        mincut_vulnerable = 0
+        mincut_servers: Set[DomainName] = set()
+        classification = "safe"
+        if resolved and self.config.include_bottleneck:
+            bottleneck = context.analyzer.analyze(view)
+            if bottleneck.feasible:
+                mincut_size = bottleneck.size
+                mincut_safe = bottleneck.safe_in_cut
+                mincut_vulnerable = bottleneck.vulnerable_in_cut
+                mincut_servers = set(bottleneck.cut_servers)
+                if bottleneck.fully_vulnerable:
+                    classification = "complete"
+                elif bottleneck.one_safe_server and mincut_vulnerable > 0:
+                    classification = "dos-assisted"
+                elif report.vulnerable_count > 0:
+                    classification = "partial"
+        elif report.vulnerable_count > 0:
+            classification = "partial"
+
+        return {
+            "resolved": resolved,
+            "tcb_size": report.size,
+            "in_bailiwick": report.in_bailiwick_count,
+            "vulnerable_in_tcb": report.vulnerable_count,
+            "compromisable_in_tcb": report.compromisable_count,
+            "safety_percentage": report.safety_percentage,
+            "mincut_size": mincut_size,
+            "mincut_safe": mincut_safe,
+            "mincut_vulnerable": mincut_vulnerable,
+            "classification": classification,
+            "tcb_servers": tcb,
+            "mincut_servers": mincut_servers,
+        }

@@ -93,18 +93,47 @@ class BottleneckResult:
 
 
 class BottleneckAnalyzer:
-    """Computes minimum attack sets over delegation graphs."""
+    """Computes minimum attack sets over delegation graphs.
+
+    Parameters
+    ----------
+    vulnerability_map:
+        Per-hostname "has an exploitable hole" flags; hosts missing from the
+        map count as safe.
+    vulnerability_aware:
+        Whether the cut minimises the number of *safe* servers (lexicographic
+        cost) or just its total size.
+    shared_memo:
+        Optional cross-call memo, used by the survey engine to reuse blocking
+        costs across the thousands of names that share a universe graph.
+        Only *clean* results — computed without truncating a dependency cycle
+        and without consuming a truncation-tainted value — are published to
+        it, because those are the only results independent of the path the
+        recursion took to reach the node (a node on a cycle always observes
+        its own truncation and therefore never qualifies).  Entries must be
+        purged when the underlying graph or the vulnerability flags of
+        already-analysed hosts change; the engine registers the memo with the
+        builder's :class:`~repro.core.delegation.ClosureIndex` for exactly
+        that.
+    """
 
     def __init__(self, vulnerability_map: Optional[Mapping[DomainName, bool]] = None,
-                 vulnerability_aware: bool = True):
+                 vulnerability_aware: bool = True,
+                 shared_memo: Optional[Dict[NodeKey, Tuple[Tuple[int, int],
+                                            FrozenSet[DomainName]]]] = None):
         self.vulnerability_map = dict(vulnerability_map or {})
         self.vulnerability_aware = vulnerability_aware
+        self.shared_memo = shared_memo
+        self._taint_events = 0
+        self._tainted: Set[NodeKey] = set()
 
     # -- public -------------------------------------------------------------------
 
     def analyze(self, graph: DelegationGraph) -> BottleneckResult:
         """Compute the optimal attack set for ``graph``'s target name."""
         memo: Dict[NodeKey, Tuple[Tuple[int, int], FrozenSet[DomainName]]] = {}
+        self._taint_events = 0
+        self._tainted = set()
         cost, servers = self._block_name(graph, name_node(graph.target),
                                          memo, frozenset())
         feasible = cost < _INFINITY
@@ -129,37 +158,40 @@ class BottleneckAnalyzer:
     def _is_vulnerable(self, hostname: DomainName) -> bool:
         return bool(self.vulnerability_map.get(hostname, False))
 
-    def _attack_cost(self, hostname: DomainName) -> Tuple[int, int]:
-        """Cost of directly attacking one server.
-
-        Under the vulnerability-aware weighting, compromising an already
-        vulnerable server is "free" in the primary component (no safe server
-        consumed) but still counts toward the cut size in the secondary
-        component, so ties prefer smaller cuts.
-        """
-        if self.vulnerability_aware and self._is_vulnerable(hostname):
-            return (0, 1)
-        return (1, 1)
-
     # -- recursion ---------------------------------------------------------------------
 
     def _block_name(self, graph: DelegationGraph, node: NodeKey,
                     memo: Dict, in_progress: FrozenSet[NodeKey]
                     ) -> Tuple[Tuple[int, int], FrozenSet[DomainName]]:
         """Cheapest way to block every resolution path of a name/host node."""
-        if node in memo:
-            return memo[node]
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                # The consumer inherits this value's context-dependence.
+                self._taint_events += 1
+            return cached
+        shared = self.shared_memo
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
         if node in in_progress:
             # Cyclic dependency (mutual secondaries): this branch cannot be
             # used to block the node more cheaply than attacking servers
             # directly, so treat it as unblockable here.
+            self._taint_events += 1
             return _INFINITY, frozenset()
         in_progress = in_progress | {node}
+        events_before = self._taint_events
 
         zones = graph.zones_of(node)
         if not zones:
             result = (_INFINITY, frozenset())
             memo[node] = result
+            if shared is not None:
+                # A node with no zone dependencies is unblockable regardless
+                # of how the recursion reached it.
+                shared[node] = result
             return result
 
         best_cost: Tuple[int, int] = _INFINITY
@@ -171,6 +203,11 @@ class BottleneckAnalyzer:
         result = (best_cost, best_servers)
         if best_cost < _INFINITY:
             memo[node] = result
+            if self._taint_events == events_before:
+                if shared is not None:
+                    shared[node] = result
+            else:
+                self._tainted.add(node)
         return result
 
     def _block_zone(self, graph: DelegationGraph, zone: NodeKey,
@@ -182,9 +219,18 @@ class BottleneckAnalyzer:
             return _INFINITY, frozenset()
         total = (0, 0)
         servers: Set[DomainName] = set()
+        # Direct attack cost, inlined (this loop runs millions of times per
+        # survey): compromising an already-vulnerable server is "free" in
+        # the primary component (no safe server consumed) but still counts
+        # toward the cut size in the secondary, so ties prefer smaller cuts.
+        vulnerability_aware = self.vulnerability_aware
+        vulnerability_get = self.vulnerability_map.get
         for ns in nameservers:
             hostname = ns[1]
-            direct_cost = self._attack_cost(hostname)
+            if vulnerability_aware and vulnerability_get(hostname, False):
+                direct_cost = (0, 1)
+            else:
+                direct_cost = (1, 1)
             indirect_cost, indirect_servers = self._block_name(
                 graph, ns, memo, in_progress)
             if indirect_cost < direct_cost:

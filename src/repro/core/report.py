@@ -73,8 +73,10 @@ def summary_stats(values: Sequence[float]) -> Dict[str, float]:
         return {"count": 0.0, "mean": 0.0, "median": 0.0, "p90": 0.0,
                 "p99": 0.0, "min": 0.0, "max": 0.0, "stddev": 0.0}
     count = len(data)
-    mean = sum(data) / count
-    variance = sum((v - mean) ** 2 for v in data) / count
+    # fsum + clamping keep the mean inside [min, max] even for samples of
+    # denormals, where naive summation rounds below the smallest element.
+    mean = min(max(math.fsum(data) / count, data[0]), data[-1])
+    variance = math.fsum((v - mean) ** 2 for v in data) / count
     return {
         "count": float(count),
         "mean": mean,

@@ -24,18 +24,13 @@ from typing import (
     Optional,
     Sequence,
     Set,
-    Tuple,
 )
 
 from repro.dns.name import DomainName, NameLike
-from repro.core.delegation import DelegationGraphBuilder
-from repro.core.mincut import BottleneckAnalyzer
-from repro.core.tcb import compute_tcb_report
 from repro.core.value import NameserverValueAnalyzer, ServerValue
 from repro.core.report import CDFSeries, average_by_group, summary_stats
-from repro.vulns.database import VulnerabilityDatabase, default_database
-from repro.vulns.fingerprint import Fingerprinter, FingerprintResult
-from repro.topology.webdirectory import DirectoryEntry
+from repro.vulns.database import VulnerabilityDatabase
+from repro.vulns.fingerprint import FingerprintResult
 
 
 @dataclasses.dataclass
@@ -102,6 +97,8 @@ class SurveyResults:
     fingerprints: Dict[DomainName, FingerprintResult]
     popular_names: Set[DomainName]
     metadata: Dict[str, object] = dataclasses.field(default_factory=dict)
+    _record_index: Optional[Dict[DomainName, NameRecord]] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     # -- cohorts ------------------------------------------------------------------
 
@@ -124,12 +121,16 @@ class SurveyResults:
         return grouped
 
     def record_for(self, name: NameLike) -> Optional[NameRecord]:
-        """The record for ``name``, if it was surveyed."""
-        target = DomainName(name)
-        for record in self.records:
-            if record.name == target:
-                return record
-        return None
+        """The record for ``name``, if it was surveyed.
+
+        Backed by a name-indexed dictionary built on first use, so repeated
+        lookups are O(1) instead of scanning the record list.
+        """
+        index = self._record_index
+        if index is None or len(index) != len(self.records):
+            index = {record.name: record for record in self.records}
+            self._record_index = index
+        return index.get(DomainName(name))
 
     # -- figure 2: TCB size distribution ----------------------------------------------
 
@@ -264,6 +265,14 @@ class SurveyResults:
 class Survey:
     """Runs the measurement pipeline against a synthetic Internet.
 
+    ``Survey`` is a thin backwards-compatible facade over
+    :class:`~repro.core.engine.SurveyEngine` — the staged pipeline that
+    separates discovery, closure, fingerprinting, and analysis, with
+    memoized dependency closures and pluggable execution backends.  Code
+    that only needs "survey this Internet" keeps using this class; code
+    that wants to tune the execution (shard counts, custom aggregation)
+    should use the engine directly.
+
     Parameters
     ----------
     internet:
@@ -275,40 +284,46 @@ class Survey:
         Size of the "Alexa top-N" popular cohort.
     include_bottleneck:
         Whether to run the (slightly more expensive) min-cut analysis.
+    backend:
+        Execution backend: ``"serial"`` (default), ``"thread"``, or
+        ``"sharded"``.  All backends produce identical results for the same
+        seed.
+    workers:
+        Worker/shard count for the partitioned backends.
     """
 
     def __init__(self, internet, vulnerability_db: Optional[VulnerabilityDatabase] = None,
                  popular_count: int = 500, include_bottleneck: bool = True,
-                 use_glue: bool = True):
+                 use_glue: bool = True, backend: str = "serial",
+                 workers: int = 1):
+        from repro.core.engine import EngineConfig, SurveyEngine
         self.internet = internet
-        self.database = vulnerability_db or default_database()
         self.popular_count = popular_count
         self.include_bottleneck = include_bottleneck
-        self.resolver = internet.make_resolver(use_glue=use_glue)
-        self.builder = DelegationGraphBuilder(self.resolver)
-        self.fingerprinter = Fingerprinter(internet.network, self.database)
-        self._vulnerability_map: Dict[DomainName, bool] = {}
-        self._compromisable_map: Dict[DomainName, bool] = {}
+        self.engine = SurveyEngine(
+            internet, vulnerability_db,
+            EngineConfig(backend=backend, workers=workers,
+                         popular_count=popular_count,
+                         include_bottleneck=include_bottleneck,
+                         use_glue=use_glue))
+        self.database = self.engine.database
 
-    # -- name selection -----------------------------------------------------------------
+    # -- engine pass-throughs (kept for backwards compatibility) --------------------
 
-    def _select_entries(self, names: Optional[Iterable[NameLike]],
-                        max_names: Optional[int]) -> List[DirectoryEntry]:
-        directory = self.internet.directory
-        if names is not None:
-            selected: List[DirectoryEntry] = []
-            for name in names:
-                entry = directory.entry(name)
-                if entry is None:
-                    entry = DirectoryEntry(name=DomainName(name),
-                                           tld=DomainName(name).tld or "",
-                                           category="adhoc", popularity=1.0)
-                selected.append(entry)
-            return selected
-        entries = directory.entries()
-        if max_names is not None and max_names < len(entries):
-            entries = entries[:max_names]
-        return entries
+    @property
+    def resolver(self):
+        """The engine's primary resolver."""
+        return self.engine.resolver
+
+    @property
+    def builder(self):
+        """The engine's primary delegation-graph builder."""
+        return self.engine.builder
+
+    @property
+    def fingerprinter(self):
+        """The engine's primary fingerprinter."""
+        return self.engine.fingerprinter
 
     # -- main pipeline --------------------------------------------------------------------
 
@@ -317,95 +332,9 @@ class Survey:
             progress: Optional[Callable[[int, int], None]] = None
             ) -> SurveyResults:
         """Survey the given names (default: the whole directory)."""
-        entries = self._select_entries(names, max_names)
-        popular = {entry.name for entry in
-                   self.internet.directory.alexa_top(self.popular_count)}
+        return self.engine.run(names=names, max_names=max_names,
+                               progress=progress)
 
-        records: List[NameRecord] = []
-        for index, entry in enumerate(entries):
-            records.append(self._survey_one(entry, entry.name in popular))
-            if progress is not None:
-                progress(index + 1, len(entries))
-
-        vulnerability_map, compromisable_map = self._vulnerability_maps()
-        counts: Dict[DomainName, int] = {}
-        for record in records:
-            if not record.resolved:
-                continue
-            for host in record.tcb_servers:
-                counts[host] = counts.get(host, 0) + 1
-
-        return SurveyResults(
-            records=records,
-            server_names_controlled=counts,
-            vulnerable_servers={host for host, flag in vulnerability_map.items()
-                                if flag},
-            compromisable_servers={host for host, flag in
-                                   compromisable_map.items() if flag},
-            fingerprints=self.fingerprinter.results(),
-            popular_names=popular,
-            metadata={
-                "popular_count": self.popular_count,
-                "include_bottleneck": self.include_bottleneck,
-                "names_requested": len(entries),
-            })
-
-    def _fingerprint(self, hostname: DomainName) -> None:
-        """Fingerprint one server and keep the vulnerability maps current."""
-        if hostname in self._vulnerability_map:
-            return
-        result = self.fingerprinter.fingerprint(hostname)
-        self._vulnerability_map[hostname] = result.is_vulnerable
-        self._compromisable_map[hostname] = self.database.is_compromisable(
-            result.banner)
-
-    def _survey_one(self, entry: DirectoryEntry, is_popular: bool) -> NameRecord:
-        """Resolve and analyse a single directory entry."""
-        graph = self.builder.build(entry.name)
-        resolved = graph.tcb_size() > 0
-        tcb = graph.tcb()
-        for hostname in tcb:
-            self._fingerprint(hostname)
-        vulnerability_map = self._vulnerability_map
-        compromisable_map = self._compromisable_map
-        report = compute_tcb_report(graph, vulnerability_map, compromisable_map)
-
-        mincut_size = 0
-        mincut_safe = 0
-        mincut_vulnerable = 0
-        mincut_servers: Set[DomainName] = set()
-        classification = "safe"
-        if resolved and self.include_bottleneck:
-            analyzer = BottleneckAnalyzer(compromisable_map,
-                                          vulnerability_aware=True)
-            bottleneck = analyzer.analyze(graph)
-            if bottleneck.feasible:
-                mincut_size = bottleneck.size
-                mincut_safe = bottleneck.safe_in_cut
-                mincut_vulnerable = bottleneck.vulnerable_in_cut
-                mincut_servers = set(bottleneck.cut_servers)
-                if bottleneck.fully_vulnerable:
-                    classification = "complete"
-                elif bottleneck.one_safe_server and mincut_vulnerable > 0:
-                    classification = "dos-assisted"
-                elif report.vulnerable_count > 0:
-                    classification = "partial"
-        elif report.vulnerable_count > 0:
-            classification = "partial"
-
-        return NameRecord(
-            name=entry.name, tld=entry.tld, category=entry.category,
-            is_popular=is_popular, resolved=resolved,
-            tcb_size=report.size, in_bailiwick=report.in_bailiwick_count,
-            vulnerable_in_tcb=report.vulnerable_count,
-            compromisable_in_tcb=report.compromisable_count,
-            safety_percentage=report.safety_percentage,
-            mincut_size=mincut_size, mincut_safe=mincut_safe,
-            mincut_vulnerable=mincut_vulnerable,
-            classification=classification,
-            tcb_servers=tcb, mincut_servers=mincut_servers)
-
-    def _vulnerability_maps(self) -> Tuple[Dict[DomainName, bool],
-                                           Dict[DomainName, bool]]:
+    def _vulnerability_maps(self):
         """Per-hostname vulnerability flags derived from fingerprints."""
-        return dict(self._vulnerability_map), dict(self._compromisable_map)
+        return self.engine.vulnerability_maps()

@@ -122,6 +122,22 @@ class ResolverCache:
             oldest = min(self._entries, key=lambda k: self._entries[k].inserted_at)
             del self._entries[oldest]
 
+    def clone(self) -> "ResolverCache":
+        """An independent snapshot of this cache.
+
+        Entries are copied (records lists included) so the clone can be
+        handed to another survey shard without sharing mutable state; the
+        clone starts with fresh statistics.
+        """
+        twin = ResolverCache(max_entries=self.max_entries,
+                             negative_ttl=self.negative_ttl)
+        twin._entries = {
+            key: CacheEntry(records=list(entry.records), rcode=entry.rcode,
+                            inserted_at=entry.inserted_at,
+                            expires_at=entry.expires_at)
+            for key, entry in self._entries.items()}
+        return twin
+
     def flush(self) -> None:
         """Drop every entry (stats are preserved)."""
         self._entries.clear()

@@ -194,7 +194,8 @@ class DomainName:
         ``proper=True`` excludes the case where the two names are equal.
         Every name is a subdomain of the root.
         """
-        other = DomainName(other)
+        if not isinstance(other, DomainName):
+            other = DomainName(other)
         if len(other._labels) > len(self._labels):
             return False
         if proper and len(other._labels) == len(self._labels):

@@ -104,13 +104,23 @@ class ZoneCut:
 
     @property
     def nameservers(self) -> List[DomainName]:
-        """Union of parent-side and apex NS sets, preserving order."""
+        """Union of parent-side and apex NS sets, preserving order.
+
+        Cuts are immutable once the chain walk has filled both NS lists, so
+        the merged union is memoized (keyed on the list lengths, which is how
+        the walk extends a cut).  Callers must not mutate the returned list.
+        """
+        token = (len(self.parent_nameservers), len(self.apex_nameservers))
+        cached = getattr(self, "_merged_nameservers", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
         seen: Set[DomainName] = set()
         merged: List[DomainName] = []
         for ns in list(self.parent_nameservers) + list(self.apex_nameservers):
             if ns not in seen:
                 seen.add(ns)
                 merged.append(ns)
+        self._merged_nameservers = (token, merged)
         return merged
 
 
@@ -155,8 +165,45 @@ class IterativeResolver:
         self.max_queries = max_queries
         self.max_depth = max_depth
         self._rng = rng or random.Random(0)
+        # Apex NS answers are a property of the zone (the simulated network
+        # is deterministic), so the zone-cut walk shares them across names:
+        # every chain through "com" would otherwise re-issue the same NS
+        # query.  Keyed on the target list as well so a walk arriving with
+        # different candidate servers cannot be served a stale answer.
+        self._apex_ns_cache: Dict[Tuple[DomainName, Tuple[str, ...]],
+                                  List[DomainName]] = {}
+        # Zone-cut chain prefixes: for every referral cut discovered by a
+        # live walk, the chain from the top down to that cut plus the exact
+        # candidate servers the walk would query next.  Later walks for
+        # names under the same zone replay the prefix instead of re-walking
+        # root -> TLD -> ... (only with deterministic "first" selection).
+        self._chain_prefix_cache: Dict[
+            DomainName,
+            Tuple[List[ZoneCut],
+                  List[Tuple[DomainName, Optional[str]]]]] = {}
 
     # -- public API -------------------------------------------------------------
+
+    def clone(self, cache: Optional[ResolverCache] = None,
+              share_cache: bool = False) -> "IterativeResolver":
+        """A new resolver with the same configuration.
+
+        By default the clone receives an independent snapshot of this
+        resolver's cache (warm, but safe to use from another survey shard);
+        pass ``share_cache=True`` to share the live cache object instead, or
+        supply an explicit ``cache``.  The RNG state is copied so a cloned
+        ``selection="random"`` resolver replays the same choices.
+        """
+        if cache is None:
+            cache = self.cache if share_cache else self.cache.clone()
+        rng = random.Random()
+        rng.setstate(self._rng.getstate())
+        return IterativeResolver(
+            self.network,
+            {name: list(addresses)
+             for name, addresses in self.root_hints.items()},
+            cache=cache, use_glue=self.use_glue, selection=self.selection,
+            max_queries=self.max_queries, max_depth=self.max_depth, rng=rng)
 
     def resolve(self, name: NameLike, rtype: RRType = RRType.A) -> ResolutionTrace:
         """Resolve ``name`` iteratively and return the full trace."""
@@ -187,9 +234,31 @@ class IterativeResolver:
         trace = ResolutionTrace(qname=qname, rtype=RRType.A)
         cuts: List[ZoneCut] = []
 
-        current_zone = ROOT_NAME
-        current_servers = self._root_server_candidates()
+        # The walk down to a shared ancestor zone (root -> com -> sld...) is
+        # identical for every name below it, so replay the deepest cached
+        # prefix and continue live from there.  Prefixes record the exact
+        # candidate-server state of the live walk at that point, which keeps
+        # the replayed walk byte-identical; caching is only sound for the
+        # deterministic "first" selection and the apex-inclusive mode the
+        # delegation builder uses.
+        use_prefix_cache = include_apex_ns and self.selection == "first"
+        current_servers: Optional[List[Tuple[DomainName, Optional[str]]]] = None
         visited_zones: Set[DomainName] = {ROOT_NAME}
+        if use_prefix_cache:
+            prefix_zone: Optional[DomainName] = None
+            for ancestor in qname.ancestors(include_self=True):
+                if ancestor in self._chain_prefix_cache and (
+                        prefix_zone is None or
+                        ancestor.depth > prefix_zone.depth):
+                    prefix_zone = ancestor
+            if prefix_zone is not None:
+                cached_cuts, cached_servers = \
+                    self._chain_prefix_cache[prefix_zone]
+                cuts = list(cached_cuts)
+                current_servers = list(cached_servers)
+                visited_zones |= {cut.zone for cut in cuts}
+        if current_servers is None:
+            current_servers = self._root_server_candidates()
 
         for _ in range(self.max_depth):
             result = self._query_candidates(
@@ -208,9 +277,11 @@ class IterativeResolver:
                     cut.apex_nameservers = self._lookup_apex_ns(
                         child, response, trace, budget)
                 cuts.append(cut)
-                current_zone = child
                 current_servers = self._candidates_from_referral(
                     response, trace, budget, resolve_addresses=False)
+                if use_prefix_cache and child not in self._chain_prefix_cache:
+                    self._chain_prefix_cache[child] = (list(cuts),
+                                                       list(current_servers))
                 continue
             # Authoritative answer, NXDOMAIN, or NODATA: chain is complete.
             break
@@ -445,6 +516,18 @@ class IterativeResolver:
                                      targets: List[str],
                                      trace: ResolutionTrace, budget: "_Budget"
                                      ) -> List[DomainName]:
+        key = (zone, tuple(targets))
+        cached = self._apex_ns_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        nameservers = self._lookup_apex_ns_uncached(zone, targets, trace,
+                                                    budget)
+        self._apex_ns_cache[key] = list(nameservers)
+        return nameservers
+
+    def _lookup_apex_ns_uncached(self, zone: DomainName, targets: List[str],
+                                 trace: ResolutionTrace, budget: "_Budget"
+                                 ) -> List[DomainName]:
         for target in targets:
             budget.spend(zone)
             query = make_query(zone, RRType.NS)

@@ -95,6 +95,10 @@ class Fingerprinter:
             self.fingerprint(hostname)
         return dict(self._results)
 
+    def absorb(self, other: "Fingerprinter") -> None:
+        """Adopt another fingerprinter's cached results (shard merging)."""
+        self._results.update(other._results)
+
     def results(self) -> Dict[DomainName, FingerprintResult]:
         """All results collected so far."""
         return dict(self._results)

@@ -76,3 +76,27 @@ def test_inspect_unknown_name(capsys):
     exit_code = main(["inspect", "www.does-not-exist.zz", *TINY])
     assert exit_code == 1
     assert "could not walk" in capsys.readouterr().out
+
+
+def test_survey_backend_and_workers_flags(capsys):
+    exit_code = main(["survey", "--max-names", "25", "--backend", "thread",
+                      "--workers", "2", *TINY])
+    assert exit_code == 0
+    assert "mean_tcb_size" in capsys.readouterr().out
+
+
+def test_survey_backends_agree_on_headline(capsys):
+    outputs = {}
+    for backend in ("serial", "sharded"):
+        main(["survey", "--max-names", "30", "--backend", backend,
+              "--workers", "3", *TINY])
+        outputs[backend] = capsys.readouterr().out
+    assert outputs["serial"] == outputs["sharded"]
+
+
+def test_survey_progress_flag_prints_to_stderr(capsys):
+    exit_code = main(["survey", "--max-names", "20", "--progress", *TINY])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "surveyed 20/20 names" in captured.err
+    assert "surveyed 20/20 names" not in captured.out

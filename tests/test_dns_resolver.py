@@ -181,3 +181,49 @@ def test_zone_cut_nameservers_union_preserves_order(mini_internet):
     cuts = resolver.zone_cut_chain("www.example.com")
     com_cut = cuts[0]
     assert com_cut.nameservers[0] == com_cut.parent_nameservers[0]
+
+
+def test_zone_cut_nameservers_memoized(mini_internet):
+    resolver = mini_internet.make_resolver()
+    cuts = resolver.zone_cut_chain("www.example.com")
+    com_cut = cuts[0]
+    first = com_cut.nameservers
+    assert com_cut.nameservers is first
+    # Extending a cut (how the chain walk fills it) drops the stale union.
+    com_cut.apex_nameservers = list(com_cut.apex_nameservers) + \
+        [DomainName("late.gtld.net")]
+    assert DomainName("late.gtld.net") in com_cut.nameservers
+
+
+def test_zone_cut_chain_prefix_cache_is_transparent(mini_internet):
+    shared = mini_internet.make_resolver()
+    for qname in ("www.example.com", "www.hostco.com", "ns1.hostco.com",
+                  "www.uni.edu", "www.partner.edu"):
+        fresh = mini_internet.make_resolver()
+        shared_cuts = shared.zone_cut_chain(qname)
+        fresh_cuts = fresh.zone_cut_chain(qname)
+        assert [str(cut.zone) for cut in shared_cuts] == \
+            [str(cut.zone) for cut in fresh_cuts]
+        assert [[str(ns) for ns in cut.nameservers] for cut in shared_cuts] \
+            == [[str(ns) for ns in cut.nameservers] for cut in fresh_cuts]
+    # The shared resolver reused prefixes, so it issued fewer queries for
+    # the later names than a cold walk needs for the first.
+    assert shared._chain_prefix_cache
+
+
+def test_resolver_clone_is_independent(mini_internet):
+    resolver = mini_internet.make_resolver()
+    resolver.resolve("www.example.com")
+    clone = resolver.clone()
+    assert clone is not resolver
+    assert clone.cache is not resolver.cache
+    assert len(clone.cache) == len(resolver.cache)
+    trace = clone.resolve("www.example.com")
+    assert trace.succeeded
+    assert trace.query_count == 0, "clone must start with a warm cache"
+
+
+def test_resolver_clone_can_share_cache(mini_internet):
+    resolver = mini_internet.make_resolver()
+    clone = resolver.clone(share_cache=True)
+    assert clone.cache is resolver.cache
