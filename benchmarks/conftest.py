@@ -16,6 +16,7 @@ is asserted.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -25,16 +26,29 @@ from repro.topology.generator import GeneratorConfig, InternetGenerator
 
 #: Generator configuration used for every benchmark.  Roughly 2,000 surveyed
 #: names over ~2,000 nameservers: large enough for stable distributions,
-#: small enough that the whole harness runs in a couple of minutes.
-BENCH_CONFIG = GeneratorConfig(
-    seed=20040722,
-    sld_count=1200,
-    directory_name_count=2000,
-    university_count=110,
-    hosting_provider_count=32,
-    isp_count=24,
-    alexa_count=300,
-)
+#: small enough that the whole harness runs in a couple of minutes.  Setting
+#: ``REPRO_BENCH_TINY=1`` shrinks the world for CI smoke runs, which check
+#: that the harness executes and its floors hold — not absolute numbers.
+if os.environ.get("REPRO_BENCH_TINY"):
+    BENCH_CONFIG = GeneratorConfig(
+        seed=20040722,
+        sld_count=220,
+        directory_name_count=380,
+        university_count=45,
+        hosting_provider_count=12,
+        isp_count=10,
+        alexa_count=60,
+    )
+else:
+    BENCH_CONFIG = GeneratorConfig(
+        seed=20040722,
+        sld_count=1200,
+        directory_name_count=2000,
+        university_count=110,
+        hosting_provider_count=32,
+        isp_count=24,
+        alexa_count=300,
+    )
 
 #: Reference values reported by the paper, used in the tables each bench
 #: prints.  Keys are shared with the measured dictionaries.

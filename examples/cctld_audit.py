@@ -12,12 +12,15 @@ This example plays the role of a national CERT auditing its own TLD:
 * list the foreign organisations and regions the TLD transitively trusts;
 * count how many of the TLD's names could be completely hijacked today;
 * show what happens to resolution if the foreign secondaries become
-  unreachable (the availability half of the paper's dilemma).
+  unreachable (the availability half of the paper's dilemma), with the
+  per-name availability computed by the engine's ``availability`` pass
+  during the survey itself.
 
 Run with::
 
-    python examples/cctld_audit.py            # audits .ua by default
-    python examples/cctld_audit.py --tld by   # audit another ccTLD
+    python examples/cctld_audit.py                      # audits .ua
+    python examples/cctld_audit.py --tld by             # another ccTLD
+    python examples/cctld_audit.py --backend thread --workers 4
 """
 
 from __future__ import annotations
@@ -26,6 +29,8 @@ import argparse
 import collections
 
 from repro import GeneratorConfig, InternetGenerator, Survey
+from repro.cli import ProgressPrinter
+from repro.core.engine import BACKENDS
 from repro.core.report import format_table
 from repro.netsim.failures import FailureInjector, FailureScenario
 from repro.topology.anecdotes import LVIV_WEB_NAME
@@ -36,6 +41,10 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--tld", default="ua",
                         help="country-code TLD to audit (default: ua)")
     parser.add_argument("--seed", type=int, default=20040722)
+    parser.add_argument("--backend", default="serial", choices=BACKENDS,
+                        help="survey execution backend")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="shard count for the partitioned backends")
     return parser.parse_args()
 
 
@@ -43,14 +52,16 @@ def main() -> None:
     args = parse_args()
     tld = args.tld.lower()
 
-    print(f"Auditing the .{tld} namespace ...")
+    print(f"Auditing the .{tld} namespace ({args.backend} backend) ...")
     config = GeneratorConfig(seed=args.seed, sld_count=600,
                              directory_name_count=950, university_count=90,
                              hosting_provider_count=20, isp_count=16,
                              alexa_count=150)
     internet = InternetGenerator(config).generate()
-    survey = Survey(internet, popular_count=150)
-    results = survey.run()
+    survey = Survey(internet, popular_count=150, backend=args.backend,
+                    workers=args.workers,
+                    passes=("availability:up=0.95",))
+    results = survey.run(progress=ProgressPrinter())
 
     audited = [record for record in results.resolved_records()
                if record.tld == tld]
@@ -104,7 +115,14 @@ def main() -> None:
         print(f"    (the paper's worst case, {LVIV_WEB_NAME}, depends on "
               f"{lviv.tcb_size} servers here)")
 
-    print(f"\n[4] Availability check: foreign secondaries go dark")
+    print(f"\n[4] Availability: the other half of the dilemma")
+    mean_avail = sum(r.extras["availability"] for r in audited) / len(audited)
+    spof_names = sum(1 for r in audited if r.extras["availability_spof"])
+    print(f"    mean resolution probability (95% per-server uptime): "
+          f"{mean_avail:.4f}")
+    print(f"    names with a single point of failure: "
+          f"{spof_names}/{len(audited)}")
+
     foreign = {hostname for hostname in tcb_union
                if (internet.server(hostname) is not None and
                    internet.server(hostname).region not in ("eu",))
@@ -112,9 +130,10 @@ def main() -> None:
     injector = FailureInjector(internet.network)
     injector.apply(FailureScenario(name="foreign-outage",
                                    failed_servers=foreign))
+    resolver = internet.make_resolver()
     survivors = 0
     for record in audited[:40]:
-        if internet.make_resolver().resolve(record.name).succeeded:
+        if resolver.resolve(record.name).succeeded:
             survivors += 1
     injector.revert()
     print(f"    with {len(foreign)} foreign servers unreachable, "

@@ -31,6 +31,12 @@ from repro.topology.generator import (
 )
 from repro.core.survey import Survey, SurveyResults, NameRecord
 from repro.core.delegation import DelegationGraph, DelegationGraphBuilder
+from repro.core.passes import (
+    AnalysisPass,
+    AvailabilityPass,
+    DNSSECImpactPass,
+    build_passes,
+)
 from repro.core.tcb import TCBReport, compute_tcb_report
 from repro.core.mincut import BottleneckAnalyzer, BottleneckResult
 from repro.core.hijack import HijackAnalyzer, HijackSimulator
@@ -48,6 +54,10 @@ __all__ = [
     "NameRecord",
     "DelegationGraph",
     "DelegationGraphBuilder",
+    "AnalysisPass",
+    "AvailabilityPass",
+    "DNSSECImpactPass",
+    "build_passes",
     "TCBReport",
     "compute_tcb_report",
     "BottleneckAnalyzer",

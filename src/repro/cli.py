@@ -3,17 +3,24 @@
 The CLI mirrors how the paper's results would be reproduced from a shell::
 
     repro-dns survey --sld-count 800 --output snapshot.json
+    repro-dns survey --backend process --workers 4 \\
+        --passes availability,dnssec --output signed.json
     repro-dns report snapshot.json
+    repro-dns diff snapshot.json signed.json
     repro-dns inspect www.fbi.gov --sld-count 400
 
 Subcommands
 -----------
 ``survey``
-    Generate a synthetic Internet, run the full survey, print the headline
+    Generate a synthetic Internet, run the full survey (optionally with
+    extra analysis passes on any execution backend), print the headline
     statistics, and optionally write a JSON snapshot.
 ``report``
     Re-print the headline statistics and per-figure summaries from a snapshot
     produced by ``survey``.
+``diff``
+    Compare two snapshots name by name: TCB size, classification, and
+    pass-column (availability / DNSSEC) churn.
 ``inspect``
     Build the delegation graph of a single name and print its TCB, bottleneck
     analysis, and (if any) attack path.
@@ -25,8 +32,10 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.core.engine import BACKENDS
+from repro.core.passes import build_passes
 from repro.core.report import format_table, sort_groups_descending
-from repro.core.snapshot import load_results, save_results
+from repro.core.snapshot import diff_results, load_results, save_results
 from repro.core.survey import Survey, SurveyResults
 from repro.core.hijack import HijackAnalyzer
 from repro.core.delegation import DelegationGraphBuilder
@@ -53,18 +62,31 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--no-bottleneck", action="store_true",
                         help="skip the min-cut bottleneck analysis")
     survey.add_argument("--backend", type=str, default="serial",
-                        choices=("serial", "thread", "sharded"),
+                        choices=BACKENDS,
                         help="survey execution backend (all backends "
                              "produce identical results)")
     survey.add_argument("--workers", type=_positive_int, default=1,
-                        help="worker/shard count for the thread and "
-                             "sharded backends")
+                        help="worker/shard count for the thread, sharded, "
+                             "and process backends")
+    survey.add_argument("--passes", type=str, default=None,
+                        help="comma-separated analysis passes, e.g. "
+                             "'availability,dnssec' or "
+                             "'availability:up=0.95;samples=100'")
     survey.add_argument("--progress", action="store_true",
                         help="print survey progress to stderr")
 
     report = subparsers.add_parser(
         "report", help="summarise a previously saved snapshot")
     report.add_argument("snapshot", type=str, help="path to a snapshot JSON")
+
+    diff = subparsers.add_parser(
+        "diff", help="compare two snapshots name by name")
+    diff.add_argument("snapshot_a", type=str,
+                      help="baseline snapshot JSON")
+    diff.add_argument("snapshot_b", type=str,
+                      help="comparison snapshot JSON")
+    diff.add_argument("--top", type=_positive_int, default=10,
+                      help="number of most-changed names to list")
 
     inspect = subparsers.add_parser(
         "inspect", help="analyse a single name on a fresh synthetic Internet")
@@ -105,6 +127,17 @@ def _print_headline(results: SurveyResults) -> None:
     print(format_table(rows, headers=("statistic", "value")))
 
 
+def _print_extras_summary(results: SurveyResults) -> None:
+    """Summarise analysis-pass columns, when the survey ran any."""
+    summary = results.extras_summary()
+    if not summary:
+        return
+    print()
+    print("Analysis passes (availability / DNSSEC impact)")
+    rows = [(key, f"{value:.3f}") for key, value in sorted(summary.items())]
+    print(format_table(rows, headers=("pass column", "mean / fraction")))
+
+
 def _print_tld_tables(results: SurveyResults) -> None:
     for kind, title in (("gtld", "Mean TCB size per gTLD (Figure 3)"),
                         ("cctld", "Mean TCB size per ccTLD (Figure 4)")):
@@ -136,11 +169,13 @@ def _command_survey(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     internet = InternetGenerator(config).generate()
     survey = Survey(internet, include_bottleneck=not args.no_bottleneck,
-                    backend=args.backend, workers=args.workers)
+                    backend=args.backend, workers=args.workers,
+                    passes=build_passes(args.passes))
     progress = ProgressPrinter() if args.progress else None
     results = survey.run(max_names=args.max_names, progress=progress)
     _print_headline(results)
     _print_tld_tables(results)
+    _print_extras_summary(results)
     if args.output:
         path = save_results(results, args.output)
         print(f"\nsnapshot written to {path}")
@@ -151,6 +186,54 @@ def _command_report(args: argparse.Namespace) -> int:
     results = load_results(args.snapshot)
     _print_headline(results)
     _print_tld_tables(results)
+    _print_extras_summary(results)
+    return 0
+
+
+def _command_diff(args: argparse.Namespace) -> int:
+    results_a = load_results(args.snapshot_a)
+    results_b = load_results(args.snapshot_b)
+    diff = diff_results(results_a, results_b)
+
+    print(f"snapshot diff: {args.snapshot_a} -> {args.snapshot_b}")
+    print(f"names: {diff.common} common, "
+          f"{len(diff.only_in_a)} only in baseline, "
+          f"{len(diff.only_in_b)} only in comparison, "
+          f"{diff.changed} changed")
+
+    if diff.numeric:
+        print()
+        print("Per-name churn (common names)")
+        rows = []
+        for field in sorted(diff.numeric):
+            stats = diff.numeric[field]
+            rows.append((field, f"{stats['changed']:.0f}",
+                         f"{stats['mean_delta']:+.3f}",
+                         f"{stats['mean_abs_delta']:.3f}",
+                         f"{stats['max_abs_delta']:.3f}"))
+        print(format_table(rows, headers=("field", "changed", "mean d",
+                                          "mean |d|", "max |d|")))
+
+    for field in sorted(diff.transitions):
+        print()
+        print(f"{field} transitions")
+        rows = [(f"{before} -> {after}", count)
+                for (before, after), count in
+                sorted(diff.transitions[field].items(),
+                       key=lambda item: (-item[1], item[0]))]
+        print(format_table(rows, headers=("transition", "names")))
+
+    movers = diff.top_movers(args.top)
+    if movers:
+        print()
+        print(f"Most-changed names (top {len(movers)})")
+        rows = []
+        for change in movers:
+            details = "; ".join(
+                f"{field}: {before} -> {after}"
+                for field, (before, after) in sorted(change.fields.items()))
+            rows.append((str(change.name), details))
+        print(format_table(rows, headers=("name", "changes")))
     return 0
 
 
@@ -196,6 +279,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "survey": _command_survey,
         "report": _command_report,
+        "diff": _command_diff,
         "inspect": _command_inspect,
     }
     handler = handlers[args.command]

@@ -21,7 +21,16 @@ Cycles (mutual secondaries) are broken the same way as in the bottleneck
 analysis: a dependency loop cannot make a server *more* reachable, so the
 looping branch contributes only the server's own up-probability.
 
-Two evaluation modes are provided:
+The analyzer accepts any :class:`~repro.core.delegation.DelegationView` —
+a materialised per-name :class:`~repro.core.delegation.DelegationGraph` or
+the survey engine's zero-copy :class:`~repro.core.delegation.TCBView` — and
+supports *shared memos* across names, with the same clean/tainted publishing
+discipline as :class:`~repro.core.mincut.BottleneckAnalyzer`: only values
+computed without truncating a dependency cycle (and without consuming a
+truncation-tainted value) are published cross-name, because those are the
+only values independent of the path the recursion took to reach the node.
+
+Three evaluation modes are provided:
 
 * :meth:`AvailabilityAnalyzer.resolution_probability` — analytic evaluation
   of the recursion under independent per-server failure probabilities
@@ -29,16 +38,29 @@ Two evaluation modes are provided:
 * :meth:`AvailabilityAnalyzer.monte_carlo` — simulate failure draws and
   evaluate the same structure exactly per draw; used to sanity-check the
   analytic value and to study correlated (regional) failures.
+* :meth:`AvailabilityAnalyzer.single_points_of_failure` — the servers whose
+  individual loss makes the name unresolvable, computed by a kill-set
+  recursion over the same AND/OR structure (a server kills a zone iff it
+  kills every nameserver of that zone) instead of one full re-evaluation
+  per TCB member.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Callable, Dict, FrozenSet, Mapping, Optional, Set, Union
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Mapping,
+    Optional,
+    Set,
+    Union,
+)
 
 from repro.dns.name import DomainName
-from repro.core.delegation import DelegationGraph, NodeKey, name_node
+from repro.core.delegation import DelegationView, NodeKey, name_node
 
 #: A per-server up-probability map or a single probability applied to all.
 UpModel = Union[float, Mapping[DomainName, float]]
@@ -61,7 +83,7 @@ class AvailabilityReport:
 
 
 class AvailabilityAnalyzer:
-    """Evaluates resolution availability over delegation graphs.
+    """Evaluates resolution availability over delegation views.
 
     Parameters
     ----------
@@ -71,10 +93,22 @@ class AvailabilityAnalyzer:
         get ``default_up``).
     default_up:
         Up-probability for servers not listed in the mapping.
+    shared_memo:
+        Optional cross-name memo for analytic availabilities, keyed by
+        graph node.  Only cycle-independent ("clean") values are published.
+        The survey engine registers it with the builder's
+        :class:`~repro.core.delegation.ClosureIndex` so universe growth
+        purges exactly the entries whose subtree changed.  Valid only while
+        the analyzer's up-model is unchanged.
+    shared_spof_memo:
+        Optional cross-name memo for kill sets, same discipline.
     """
 
     def __init__(self, up_probability: UpModel = 0.99,
-                 default_up: float = 0.99):
+                 default_up: float = 0.99,
+                 shared_memo: Optional[Dict[NodeKey, float]] = None,
+                 shared_spof_memo: Optional[Dict[NodeKey,
+                                                 FrozenSet[DomainName]]] = None):
         if isinstance(up_probability, float):
             if not 0.0 <= up_probability <= 1.0:
                 raise ValueError("up_probability must be within [0, 1]")
@@ -86,6 +120,10 @@ class AvailabilityAnalyzer:
             self.default_up = default_up
         if not 0.0 <= self.default_up <= 1.0:
             raise ValueError("default_up must be within [0, 1]")
+        self.shared_memo = shared_memo
+        self.shared_spof_memo = shared_spof_memo
+        self._taint_events = 0
+        self._tainted: Set[NodeKey] = set()
 
     # -- probability model ---------------------------------------------------------
 
@@ -95,8 +133,8 @@ class AvailabilityAnalyzer:
 
     # -- analytic evaluation -----------------------------------------------------------
 
-    def resolution_probability(self, graph: DelegationGraph) -> float:
-        """Probability that the graph's target name resolves.
+    def resolution_probability(self, graph: DelegationView) -> float:
+        """Probability that the view's target name resolves.
 
         Shared dependencies are treated as independent, so the value is an
         approximation (generally a slight underestimate for names whose
@@ -107,25 +145,41 @@ class AvailabilityAnalyzer:
         if not graph.zones_of(target):
             # Nothing is known about the name's delegation chain at all.
             return 0.0
+        self._taint_events = 0
+        self._tainted = set()
         return self._avail_name(graph, target, {}, frozenset(),
-                                lambda hostname: self.up_probability(hostname))
+                                lambda hostname: self.up_probability(hostname),
+                                self.shared_memo)
 
-    def _avail_name(self, graph: DelegationGraph, node: NodeKey,
+    def _avail_name(self, graph: DelegationView, node: NodeKey,
                     memo: Dict[NodeKey, float],
                     in_progress: FrozenSet[NodeKey],
-                    up: Callable[[DomainName], float]) -> float:
-        if node in memo:
-            return memo[node]
+                    up: Callable[[DomainName], float],
+                    shared: Optional[Dict[NodeKey, float]] = None) -> float:
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                # The consumer inherits this value's context-dependence.
+                self._taint_events += 1
+            return cached
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
         if node in in_progress:
             # A dependency loop cannot improve reachability.
+            self._taint_events += 1
             return 1.0
         in_progress = in_progress | {node}
+        events_before = self._taint_events
         zones = graph.zones_of(node)
         if not zones:
             # No recorded chain (e.g. glued hostname inside an already
             # covered zone): treat as reachable so the parent term reduces
             # to the server's own up-probability.
             memo[node] = 1.0
+            if shared is not None:
+                shared[node] = 1.0
             return 1.0
         probability = 1.0
         for zone in zones:
@@ -137,21 +191,26 @@ class AvailabilityAnalyzer:
             for ns in nameservers:
                 hostname = ns[1]
                 reachable = up(hostname) * self._avail_name(
-                    graph, ns, memo, in_progress, up)
+                    graph, ns, memo, in_progress, up, shared)
                 all_down *= (1.0 - reachable)
             probability *= (1.0 - all_down)
         memo[node] = probability
+        if self._taint_events == events_before:
+            if shared is not None:
+                shared[node] = probability
+        else:
+            self._tainted.add(node)
         return probability
 
     # -- Monte Carlo evaluation ------------------------------------------------------------
 
-    def monte_carlo(self, graph: DelegationGraph, samples: int = 500,
+    def monte_carlo(self, graph: DelegationView, samples: int = 500,
                     rng: Optional[random.Random] = None) -> float:
         """Estimate availability by sampling failure scenarios."""
         if samples <= 0:
             raise ValueError("samples must be positive")
         rng = rng or random.Random(0)
-        hosts = graph.nameservers()
+        hosts = sorted(graph.tcb())
         successes = 0
         for _ in range(samples):
             down = {host for host in hosts
@@ -160,24 +219,106 @@ class AvailabilityAnalyzer:
                 successes += 1
         return successes / samples
 
-    def resolvable_with_failures(self, graph: DelegationGraph,
+    def resolvable_with_failures(self, graph: DelegationView,
                                  failed: Set[DomainName]) -> bool:
         """Exact check: does the name resolve when ``failed`` servers are down?"""
         target = name_node(graph.target)
         if not graph.zones_of(target):
             return False
         up = (lambda hostname: 0.0 if hostname in failed else 1.0)
+        self._taint_events = 0
+        self._tainted = set()
         probability = self._avail_name(graph, target, {}, frozenset(), up)
         return probability > 0.5
 
-    # -- structural views --------------------------------------------------------------------
+    # -- single points of failure ------------------------------------------------------------
 
-    def single_points_of_failure(self, graph: DelegationGraph
+    def single_points_of_failure(self, graph: DelegationView
                                  ) -> FrozenSet[DomainName]:
         """Servers whose individual loss makes the name unresolvable.
 
         These are exactly the size-one bottlenecks of the availability
         structure: names served by a single machine anywhere on their chain.
+        Computed by a kill-set recursion mirroring the availability AND/OR
+        structure — a server kills a zone iff it kills every nameserver of
+        that zone (by being it, or by killing its hostname's resolution) —
+        so the cost is one graph walk instead of one per TCB member.
+        """
+        if not self.resolvable_with_failures(graph, set()):
+            # The name does not resolve even with every server up: any
+            # single failure "also" leaves it unresolvable.
+            return frozenset(graph.tcb())
+        self._taint_events = 0
+        self._tainted = set()
+        return self._kill_name(graph, name_node(graph.target), {}, {},
+                               frozenset(), self.shared_spof_memo)
+
+    def _kill_name(self, graph: DelegationView, node: NodeKey,
+                   memo: Dict[NodeKey, FrozenSet[DomainName]],
+                   reach_memo: Dict[NodeKey, float],
+                   in_progress: FrozenSet[NodeKey],
+                   shared: Optional[Dict[NodeKey, FrozenSet[DomainName]]]
+                   ) -> FrozenSet[DomainName]:
+        """Hostnames whose individual failure makes ``node`` unresolvable."""
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                self._taint_events += 1
+            return cached
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
+        if node in in_progress:
+            # The looping branch is treated as reachable by the availability
+            # recursion, so nothing kills it from inside the loop.
+            self._taint_events += 1
+            return frozenset()
+        in_progress = in_progress | {node}
+        events_before = self._taint_events
+        zones = graph.zones_of(node)
+        if not zones:
+            memo[node] = frozenset()
+            if shared is not None:
+                shared[node] = frozenset()
+            return frozenset()
+        kills: Set[DomainName] = set()
+        all_up = (lambda _hostname: 1.0)
+        for zone in zones:
+            nameservers = graph.nameservers_of_zone(zone)
+            zone_kill: Optional[FrozenSet[DomainName]] = None
+            for ns in nameservers:
+                # A nameserver that cannot resolve even with every server up
+                # (its own chain crosses a dead zone) is no alternative: it
+                # imposes no constraint on the zone's kill intersection.
+                reachable = self._avail_name(graph, ns, reach_memo,
+                                             in_progress, all_up)
+                if reachable <= 0.5:
+                    continue
+                hostname = ns[1]
+                term = frozenset({hostname}) | self._kill_name(
+                    graph, ns, memo, reach_memo, in_progress, shared)
+                zone_kill = term if zone_kill is None else (zone_kill & term)
+                if not zone_kill:
+                    break
+            if zone_kill:
+                kills |= zone_kill
+        result = frozenset(kills)
+        memo[node] = result
+        if self._taint_events == events_before:
+            if shared is not None:
+                shared[node] = result
+        else:
+            self._tainted.add(node)
+        return result
+
+    def single_points_of_failure_exhaustive(self, graph: DelegationView
+                                            ) -> FrozenSet[DomainName]:
+        """Reference implementation: re-evaluate resolution per TCB member.
+
+        One full availability evaluation per server — O(TCB × graph) versus
+        the kill-set recursion's single walk.  Kept as the ground truth the
+        tests compare :meth:`single_points_of_failure` against.
         """
         culprits = set()
         for hostname in graph.tcb():
@@ -185,7 +326,7 @@ class AvailabilityAnalyzer:
                 culprits.add(hostname)
         return frozenset(culprits)
 
-    def report(self, graph: DelegationGraph, samples: int = 0,
+    def report(self, graph: DelegationView, samples: int = 0,
                rng: Optional[random.Random] = None) -> AvailabilityReport:
         """Full availability report (analytic, optional Monte Carlo, SPOFs)."""
         analytic = self.resolution_probability(graph)
@@ -201,7 +342,7 @@ class AvailabilityAnalyzer:
 def availability_security_tradeoff(graphs, up_probability: float = 0.95,
                                    vulnerability_map: Optional[Mapping] = None
                                    ) -> Dict[str, float]:
-    """Summarise the paper's dilemma over a collection of delegation graphs.
+    """Summarise the paper's dilemma over a collection of delegation views.
 
     Returns the mean TCB size (the security cost), the mean analytic
     availability under independent failures (the availability benefit), and

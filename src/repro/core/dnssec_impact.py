@@ -26,6 +26,8 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.dns.dnssec import ChainValidator, ZoneSigner
 from repro.dns.name import DomainName, NameLike, ROOT_NAME
+from repro.dns.rdtypes import RRType
+from repro.core.hijack import HIJACKABLE_CLASSIFICATIONS
 from repro.core.survey import SurveyResults
 
 
@@ -55,6 +57,13 @@ def deploy_dnssec(internet, fraction: float = 1.0,
     budget is spent on a random sample of lower zones.  DS records are only
     published where the parent zone is itself signed, so partial deployment
     naturally produces "islands of security".
+
+    Signing is additive and cannot be undone, so deploying is only allowed
+    when every zone an *earlier* deployment signed is signed by this one
+    too (re-deploying the same fraction/seed is idempotent); a smaller or
+    differently-sampled deployment over an already-signed Internet would
+    validate against the old, larger deployment while reporting the new
+    fraction, and is rejected instead.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
@@ -76,6 +85,17 @@ def deploy_dnssec(internet, fraction: float = 1.0,
         every = sorted(zones)
         rng.shuffle(every)
         to_sign.extend(every[:int(round(fraction * len(every)))])
+
+    planned = set(to_sign)
+    stale = [apex for apex, zone in zones.items()
+             if apex not in planned and
+             zone.get_rrset(apex, RRType.DNSKEY) is not None]
+    if stale:
+        raise ValueError(
+            f"{len(stale)} zone(s) (e.g. {sorted(stale)[0]}) already carry "
+            f"DNSKEYs from a larger or different deployment; signing is "
+            f"additive, so this fraction={fraction} deployment would "
+            f"misreport the world it validates — use a fresh Internet")
 
     for apex in to_sign:
         signer.sign_zone(zones[apex])
@@ -145,6 +165,43 @@ class DNSSECImpactReport:
         }
 
 
+def impact_report_from_results(results: SurveyResults,
+                               deployment_fraction: Optional[float] = None
+                               ) -> DNSSECImpactReport:
+    """Aggregate a :class:`DNSSECImpactReport` from engine-pass columns.
+
+    When the survey ran with the ``dnssec`` analysis pass, every record
+    already carries ``dnssec_status`` / ``dnssec_detected`` extras; this
+    folds them into the same report :class:`DNSSECImpactAnalyzer` produces,
+    without re-validating a single chain.  ``deployment_fraction`` defaults
+    to the fraction recorded in the survey metadata (if any).
+    """
+    if deployment_fraction is None:
+        deployment_fraction = float(
+            results.metadata.get("dnssec_fraction", 1.0))
+    records = [record for record in results.resolved_records()
+               if "dnssec_status" in record.extras]
+    secure = insecure = 0
+    hijackable = detected = undetected = 0
+    for record in records:
+        is_secure = record.extras["dnssec_status"] == "secure"
+        if is_secure:
+            secure += 1
+        else:
+            insecure += 1
+        if record.classification in HIJACKABLE_CLASSIFICATIONS:
+            hijackable += 1
+            if is_secure:
+                detected += 1
+            else:
+                undetected += 1
+    return DNSSECImpactReport(
+        deployment_fraction=deployment_fraction,
+        names_checked=len(records), secure=secure, insecure=insecure,
+        hijackable=hijackable, hijackable_detected=detected,
+        hijackable_undetected=undetected)
+
+
 class DNSSECImpactAnalyzer:
     """Measures what a DNSSEC deployment buys against the survey's findings."""
 
@@ -183,8 +240,8 @@ class DNSSECImpactAnalyzer:
                 secure += 1
             else:
                 insecure += 1
-            is_hijackable = record.classification in ("complete",
-                                                      "dos-assisted")
+            is_hijackable = record.classification in \
+                HIJACKABLE_CLASSIFICATIONS
             if is_hijackable:
                 hijackable += 1
                 if validation.is_secure:

@@ -14,8 +14,10 @@ stages with shared, reusable state:
 3. **fingerprinting** — ``version.bind`` every newly discovered TCB member
    exactly once, folding the verdicts into shared vulnerability maps;
 4. **analysis** — TCB report, bottleneck (min-cut) with a cross-name shared
-   memo, and hijack classification, emitted as a
-   :class:`~repro.core.survey.NameRecord`.
+   memo, and hijack classification, plus any configured
+   :class:`~repro.core.passes.AnalysisPass` (availability, DNSSEC impact,
+   ...), emitted as a :class:`~repro.core.survey.NameRecord` whose
+   ``extras`` carry the pass columns.
 
 Records stream into a :class:`SurveyAggregator`, which folds per-name
 results incrementally (no intermediate per-name graphs are retained) and
@@ -35,6 +37,13 @@ Execution backends
     Same partitioning, but shards run sequentially — a deterministic batch
     mode that bounds per-shard memory and mirrors how a multi-process or
     multi-host deployment would split the directory.
+``process``
+    Same partitioning, shards run in forked child processes — true
+    parallelism with no GIL contention.  Worker contexts are constructed
+    *inside* each child; only shard outputs (records by directory index,
+    fingerprints, vulnerability maps) return over the pipe.  Requires an OS
+    with the ``fork`` start method (the synthetic Internet is shared by
+    inheritance, not by pickling).
 
 Shard outputs (universes, chain caches, fingerprint maps, vulnerability
 maps) are merged back deterministically in shard order, and records are
@@ -47,6 +56,7 @@ simulated clock and query counters — is interleaving-ordered).
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import (
@@ -56,6 +66,7 @@ from typing import (
     Iterable,
     List,
     Optional,
+    Sequence,
     Set,
     Tuple,
 )
@@ -68,6 +79,7 @@ from repro.core.delegation import (
     name_node,
 )
 from repro.core.mincut import BottleneckAnalyzer
+from repro.core.passes import AnalysisPass, PassContext, build_passes
 from repro.core.survey import NameRecord, SurveyResults
 from repro.core.tcb import compute_tcb_report
 from repro.vulns.database import VulnerabilityDatabase, default_database
@@ -75,7 +87,7 @@ from repro.vulns.fingerprint import Fingerprinter, FingerprintResult
 from repro.topology.webdirectory import DirectoryEntry
 
 #: Execution backends understood by the engine.
-BACKENDS: Tuple[str, ...] = ("serial", "thread", "sharded")
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "sharded", "process")
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -90,12 +102,21 @@ class EngineConfig:
     popular_count: int = 500
     include_bottleneck: bool = True
     use_glue: bool = True
+    #: Analysis passes: spec strings or AnalysisPass instances (resolved by
+    #: the engine via :func:`repro.core.passes.build_passes`).
+    passes: Sequence = ()
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend: {self.backend!r} "
                              f"(expected one of {BACKENDS})")
+        if self.backend == "process" and \
+                "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "the process backend requires the fork start method "
+                "(the synthetic Internet is shared by inheritance); "
+                "use thread or sharded on this platform")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.shard_count is not None and self.shard_count < 1:
@@ -117,7 +138,9 @@ class WorkerContext:
     index, so universe growth invalidates both in one pass.
     """
 
-    def __init__(self, internet, database: VulnerabilityDatabase, resolver):
+    def __init__(self, internet, database: VulnerabilityDatabase, resolver,
+                 passes: Tuple[AnalysisPass, ...] = ()):
+        self.internet = internet
         self.resolver = resolver
         self.builder = DelegationGraphBuilder(resolver)
         self.fingerprinter = Fingerprinter(internet.network, database)
@@ -141,6 +164,16 @@ class WorkerContext:
         self.analyzer = BottleneckAnalyzer(vulnerability_aware=True,
                                            shared_memo=self.mincut_memo)
         self.analyzer.vulnerability_map = self.compromisable_map
+        # Per-worker pass state (validators, shared memos); passes register
+        # their memos as closure companions through register_companion, so
+        # universe growth invalidates them with everything else.
+        self.passes = tuple(passes)
+        self.pass_states = {pass_.name: pass_.make_state(self)
+                            for pass_ in self.passes}
+
+    def register_companion(self, memo) -> None:
+        """Purge ``memo`` alongside the closure index on invalidation."""
+        self.builder.closures.register_companion(memo)
 
     def chain_analysis_cache(self, version: int
                              ) -> Dict[Tuple[NodeKey, ...], Dict[str, object]]:
@@ -195,10 +228,18 @@ class SurveyAggregator:
 
     def merge_context(self, context: WorkerContext) -> None:
         """Adopt a worker context's fingerprints and vulnerability maps."""
+        self.merge_maps(context.fingerprinter.results(),
+                        context.vulnerability_map,
+                        context.compromisable_map)
+
+    def merge_maps(self, fingerprints: Dict[DomainName, FingerprintResult],
+                   vulnerability_map: Dict[DomainName, bool],
+                   compromisable_map: Dict[DomainName, bool]) -> None:
+        """Adopt already-extracted shard maps (the process backend's path)."""
         with self._lock:
-            self._fingerprints.update(context.fingerprinter.results())
-            self._vulnerability_map.update(context.vulnerability_map)
-            self._compromisable_map.update(context.compromisable_map)
+            self._fingerprints.update(fingerprints)
+            self._vulnerability_map.update(vulnerability_map)
+            self._compromisable_map.update(compromisable_map)
 
     def results(self, popular: Set[DomainName],
                 metadata: Dict[str, object]) -> SurveyResults:
@@ -237,9 +278,22 @@ class SurveyEngine:
         self.database = vulnerability_db or default_database()
         self.config = config or EngineConfig()
         self.config.validate()
-        self._root = WorkerContext(
-            internet, self.database,
+        self.passes: Tuple[AnalysisPass, ...] = \
+            build_passes(self.config.passes)
+        # World setup (e.g. DNSSEC deployment) must precede every worker
+        # context — and every process-backend fork — so all backends see
+        # the same universe.
+        for pass_ in self.passes:
+            pass_.prepare(internet)
+        self._root = self._make_worker_context(
             internet.make_resolver(use_glue=self.config.use_glue))
+
+    def _make_worker_context(self, resolver=None) -> WorkerContext:
+        """A fresh worker context (shards clone the primary's resolver)."""
+        if resolver is None:
+            resolver = self._root.resolver.clone()
+        return WorkerContext(self.internet, self.database, resolver,
+                             passes=self.passes)
 
     # -- facade-compatible accessors ----------------------------------------------
 
@@ -296,12 +350,12 @@ class SurveyEngine:
         aggregator = SurveyAggregator(total=len(entries), progress=progress)
 
         backend = self.config.backend
-        if backend == "serial" or self.config.effective_shards() == 1:
+        if backend == "serial" or \
+                (backend != "process" and self.config.effective_shards() == 1):
             self._run_shard(self._root, list(enumerate(entries)), popular,
                             aggregator)
         else:
-            self._run_partitioned(entries, popular, aggregator,
-                                  parallel=(backend == "thread"))
+            self._run_partitioned(entries, popular, aggregator, backend)
 
         metadata = {
             "popular_count": self.config.popular_count,
@@ -311,7 +365,10 @@ class SurveyEngine:
             "workers": self.config.workers,
             "shards": (1 if backend == "serial"
                        else self.config.effective_shards()),
+            "passes": [pass_.name for pass_ in self.passes],
         }
+        for pass_ in self.passes:
+            metadata.update(pass_.metadata())
         return aggregator.results(popular, metadata)
 
     # -- backends -----------------------------------------------------------------------
@@ -329,15 +386,16 @@ class SurveyEngine:
     def _run_partitioned(self, entries: List[DirectoryEntry],
                          popular: Set[DomainName],
                          aggregator: SurveyAggregator,
-                         parallel: bool) -> None:
-        """Stripe the directory over shards; run them serially or threaded."""
+                         backend: str) -> None:
+        """Stripe the directory over shards and run them on ``backend``."""
         shard_count = min(self.config.effective_shards(), max(len(entries), 1))
         indexed = list(enumerate(entries))
         shards = [indexed[offset::shard_count] for offset in range(shard_count)]
-        contexts = [WorkerContext(self.internet, self.database,
-                                  self._root.resolver.clone())
-                    for _ in shards]
-        if parallel:
+        if backend == "process":
+            self._run_process_shards(shards, popular, aggregator)
+            return
+        contexts = [self._make_worker_context() for _ in shards]
+        if backend == "thread":
             with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
                 futures = [
                     pool.submit(self._run_shard, context, shard, popular,
@@ -357,6 +415,62 @@ class SurveyEngine:
             self._root.vulnerability_map.update(context.vulnerability_map)
             self._root.compromisable_map.update(context.compromisable_map)
 
+    def _run_process_shards(self, shards: List[List[Tuple[int,
+                                                          DirectoryEntry]]],
+                            popular: Set[DomainName],
+                            aggregator: SurveyAggregator) -> None:
+        """Run shards in forked children; fold their outputs in shard order.
+
+        The engine (and the synthetic Internet it closes over) reaches each
+        child by fork inheritance through a module global — nothing about
+        the world is pickled.  Each child builds its own
+        :class:`WorkerContext` and returns ``(records-by-index,
+        fingerprints, vulnerability map, compromisable map)``; the merge is
+        the exact shard-order fold the ``sharded`` backend performs, so
+        results are byte-identical.  Unlike the in-process backends the
+        child universes are not absorbed back into the primary builder
+        (shipping whole shard graphs over the pipe would dwarf the survey
+        itself), so post-run ``engine.builder`` inspection only sees the
+        primary context's discoveries.
+        """
+        global _FORK_STATE
+        context = multiprocessing.get_context("fork")
+        processes = min(self.config.workers, len(shards))
+        # The lock spans the pool's whole lifetime: _FORK_STATE is a module
+        # global read at fork time, so concurrent process-backend surveys in
+        # one interpreter must not interleave set/fork/clear.
+        with _FORK_LOCK:
+            _FORK_STATE = (self, shards, popular)
+            try:
+                self._consume_process_pool(context, processes, shards,
+                                           popular, aggregator)
+            finally:
+                _FORK_STATE = None
+
+    def _consume_process_pool(self, context, processes: int,
+                              shards: List[List[Tuple[int, DirectoryEntry]]],
+                              popular: Set[DomainName],
+                              aggregator: SurveyAggregator) -> None:
+        """Fork the pool and fold shard outputs as they complete, in order.
+
+        Ordered ``imap`` keeps the merge in shard order while letting each
+        completed shard fold (and report progress) as soon as every earlier
+        shard has: progress is per-shard granular on this backend, not
+        per-name.
+        """
+        with context.Pool(processes=processes) as pool:
+            for records, fingerprints, vulnerability_map, \
+                    compromisable_map in pool.imap(
+                        _process_shard_main, range(len(shards)),
+                        chunksize=1):
+                for index, record in records:
+                    aggregator.add_record(index, record)
+                aggregator.merge_maps(fingerprints, vulnerability_map,
+                                      compromisable_map)
+                self._root.fingerprinter.adopt(fingerprints)
+                self._root.vulnerability_map.update(vulnerability_map)
+                self._root.compromisable_map.update(compromisable_map)
+
     # -- stages -------------------------------------------------------------------------
 
     def _survey_entry(self, context: WorkerContext, entry: DirectoryEntry,
@@ -371,8 +485,19 @@ class SurveyEngine:
         key = tuple(view.zones_of(name_node(view.target)))
         analysis = cache.get(key)
         if analysis is None:
-            analysis = self._analyze_view(context, view)
+            analysis = self._analyze_view(context, view, key)
             cache[key] = analysis
+
+        extras = analysis["extras"]
+        uncached = [pass_ for pass_ in context.passes
+                    if not pass_.chain_cacheable]
+        if uncached:
+            extras = dict(extras)
+            ctx = PassContext(view=view, chain_key=key, builtin=analysis,
+                              worker=context)
+            for pass_ in uncached:
+                extras.update(
+                    pass_.analyze(ctx, context.pass_states[pass_.name]))
 
         return NameRecord(
             name=entry.name, tld=entry.tld, category=entry.category,
@@ -387,10 +512,11 @@ class SurveyEngine:
             mincut_vulnerable=analysis["mincut_vulnerable"],
             classification=analysis["classification"],
             tcb_servers=set(analysis["tcb_servers"]),
-            mincut_servers=set(analysis["mincut_servers"]))
+            mincut_servers=set(analysis["mincut_servers"]),
+            extras=dict(extras))
 
-    def _analyze_view(self, context: WorkerContext,
-                      view: TCBView) -> Dict[str, object]:
+    def _analyze_view(self, context: WorkerContext, view: TCBView,
+                      chain_key: Tuple[NodeKey, ...]) -> Dict[str, object]:
         """Stages 3+4: fingerprinting and analysis for one delegation chain."""
         tcb = view.tcb_frozen()
         resolved = bool(tcb)
@@ -423,7 +549,7 @@ class SurveyEngine:
         elif report.vulnerable_count > 0:
             classification = "partial"
 
-        return {
+        analysis: Dict[str, object] = {
             "resolved": resolved,
             "tcb_size": report.size,
             "in_bailiwick": report.in_bailiwick_count,
@@ -437,3 +563,49 @@ class SurveyEngine:
             "tcb_servers": tcb,
             "mincut_servers": mincut_servers,
         }
+
+        # Chain-cacheable passes ride the same per-chain memo as the
+        # built-in columns above (their output is a pure function of the
+        # chain, which is what chain_cacheable promises).
+        extras: Dict[str, object] = {}
+        cacheable = [pass_ for pass_ in context.passes
+                     if pass_.chain_cacheable]
+        if cacheable:
+            ctx = PassContext(view=view, chain_key=chain_key,
+                              builtin=analysis, worker=context)
+            for pass_ in cacheable:
+                extras.update(
+                    pass_.analyze(ctx, context.pass_states[pass_.name]))
+        analysis["extras"] = extras
+        return analysis
+
+    # -- process backend fork entry ------------------------------------------------------
+
+
+#: Fork-inherited state for the process backend: (engine, shards, popular).
+_FORK_STATE: Optional[Tuple["SurveyEngine", List[List[Tuple[int,
+                                                            DirectoryEntry]]],
+                            Set[DomainName]]] = None
+
+#: Serialises process-backend runs within one interpreter (see
+#: :meth:`SurveyEngine._run_process_shards`).
+_FORK_LOCK = threading.Lock()
+
+
+def _process_shard_main(shard_index: int):
+    """Survey one shard inside a forked child.
+
+    Builds a fresh worker context from the fork-inherited engine (cloned
+    resolver cache, own builder/fingerprinter/memos/pass state — exactly
+    what the in-process partitioned backends give each shard) and returns
+    the shard's outputs by directory index.
+    """
+    engine, shards, popular = _FORK_STATE
+    context = engine._make_worker_context()
+    records = []
+    for index, entry in shards[shard_index]:
+        record = engine._survey_entry(context, entry, entry.name in popular)
+        records.append((index, record))
+    return (records, context.fingerprinter.results(),
+            dict(context.vulnerability_map),
+            dict(context.compromisable_map))

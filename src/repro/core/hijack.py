@@ -28,6 +28,12 @@ from repro.dns.zone import Zone
 from repro.core.delegation import DelegationGraph, NS_KIND, ZONE_KIND
 from repro.core.mincut import BottleneckAnalyzer, BottleneckResult
 
+#: Classifications the paper counts as hijackable (Section 3.2): the
+#: min-cut is entirely vulnerable, or one DoS away from it.  The home of
+#: the taxonomy — the survey engine, DNSSEC impact analysis, and analysis
+#: passes all import it from here.
+HIJACKABLE_CLASSIFICATIONS: tuple = ("complete", "dos-assisted")
+
 
 @dataclasses.dataclass
 class AttackStep:

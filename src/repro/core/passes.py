@@ -1,0 +1,325 @@
+"""Pluggable per-name analysis passes for the survey engine.
+
+PR 1 turned the survey into a staged engine whose stage 4 (analysis) was a
+fixed trio: TCB report, bottleneck min-cut, hijack classification.  This
+module opens that stage up: an :class:`AnalysisPass` plugs into the engine,
+receives the same shared state the built-in analyses enjoy — the zero-copy
+:class:`~repro.core.delegation.TCBView`, the name's chain key, the live
+vulnerability maps, and the built-in analysis columns — and contributes
+extra columns to every :class:`~repro.core.survey.NameRecord` (and therefore
+to snapshots, reports, and diffs).
+
+Lifecycle
+---------
+
+1. **prepare(internet)** — once per engine, before any worker context (and
+   before any ``process``-backend fork), so world mutations such as a DNSSEC
+   deployment are visible to every backend identically.
+2. **make_state(worker)** — once per worker context (the serial engine has
+   one; partitioned backends one per shard; the ``process`` backend one per
+   child).  This is where per-worker mutable state lives: validators wired
+   to the worker's resolver, shared memos registered as closure-index
+   companions via ``worker.register_companion`` so universe growth purges
+   them alongside the closures.
+3. **analyze(ctx, state)** — per name.  A pass with ``chain_cacheable=True``
+   (the default) promises its output is a pure function of the name's
+   direct-zone chain given a fixed universe; the engine then runs it once
+   per distinct chain and replays the columns for every name sharing that
+   chain — the same memoization the built-in analyses get.  Randomised
+   passes must derive their seed from :func:`chain_seed`, never from the
+   name, or shard-local caches would break cross-backend byte-identity.
+
+Two built-in passes reproduce Section 5 of the paper at engine scale:
+:class:`AvailabilityPass` (the availability half of the security/availability
+trade-off) and :class:`DNSSECImpactPass` (does DNSSEC make a hijack
+detectable?).  :func:`build_passes` resolves CLI-style spec strings such as
+``"availability:up=0.95;samples=100,dnssec:fraction=0.5"``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.availability import AvailabilityAnalyzer
+from repro.core.delegation import NodeKey, TCBView
+from repro.core.hijack import HIJACKABLE_CLASSIFICATIONS
+from repro.dns.dnssec import ChainValidator
+
+
+def chain_seed(chain_key: Tuple[NodeKey, ...]) -> str:
+    """A deterministic RNG seed derived from a name's direct-zone chain.
+
+    Chain-cacheable passes that draw random numbers must seed from the
+    chain, not the name: shards cache per chain independently, so a
+    name-derived seed would make the cached value depend on which name a
+    shard happened to analyse first.
+    """
+    return "|".join(str(zone) for _kind, zone in chain_key)
+
+
+@dataclasses.dataclass
+class PassContext:
+    """Everything a pass may read while analysing one name.
+
+    ``builtin`` holds the built-in stage-4 columns (``classification``,
+    ``tcb_size``, ``mincut_size``, ...) — passes run after them.  ``worker``
+    is the engine's per-shard :class:`~repro.core.engine.WorkerContext`
+    (resolver, builder, vulnerability maps, ``internet``,
+    ``register_companion``).
+    """
+
+    view: TCBView
+    chain_key: Tuple[NodeKey, ...]
+    builtin: Mapping[str, object]
+    worker: object
+
+
+class AnalysisPass:
+    """Base class for engine analysis passes.
+
+    Subclasses set :attr:`name` (unique per engine), implement
+    :attr:`columns` and :meth:`analyze`, and may override :meth:`prepare`
+    and :meth:`make_state`.  Pass instances themselves must stay immutable
+    during a survey — all mutable state belongs in the object returned by
+    :meth:`make_state`, which the engine keys per worker context.
+    """
+
+    #: Unique pass name (also the CLI spec name).
+    name: str = "abstract"
+    #: Whether output is a pure function of the chain key (see module doc).
+    chain_cacheable: bool = True
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """The record columns this pass contributes."""
+        raise NotImplementedError
+
+    def prepare(self, internet) -> None:
+        """One-time world setup, before worker contexts exist."""
+
+    def metadata(self) -> Dict[str, object]:
+        """Keys this pass contributes to the survey metadata."""
+        return {}
+
+    def make_state(self, worker) -> object:
+        """Create this pass's per-worker mutable state."""
+        return None
+
+    def analyze(self, ctx: PassContext, state: object) -> Dict[str, object]:
+        """Compute this pass's columns for one name."""
+        raise NotImplementedError
+
+    @classmethod
+    def from_options(cls, options: Dict[str, str]) -> "AnalysisPass":
+        """Build an instance from CLI spec options (``key=value`` strings)."""
+        if options:
+            raise ValueError(f"pass {cls.name!r} takes no options, "
+                             f"got {sorted(options)}")
+        return cls()
+
+
+def _parse_bool(text: str) -> bool:
+    lowered = text.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {text!r}")
+
+
+class AvailabilityPass(AnalysisPass):
+    """Analytic availability, SPOF count, and optional Monte-Carlo estimate.
+
+    Runs :class:`~repro.core.availability.AvailabilityAnalyzer` directly on
+    the engine's :class:`~repro.core.delegation.TCBView` — no graph copies —
+    with cross-name shared memos registered as closure-index companions, so
+    the recursion explores each universe region once per worker.
+
+    Columns: ``availability`` (analytic probability), ``availability_spof``
+    (number of single points of failure), and ``availability_mc`` when
+    ``samples`` > 0.
+    """
+
+    name = "availability"
+
+    def __init__(self, up: float = 0.99, samples: int = 0,
+                 spof: bool = True):
+        if not 0.0 <= up <= 1.0:
+            raise ValueError("up must be within [0, 1]")
+        if samples < 0:
+            raise ValueError("samples must be >= 0")
+        self.up = up
+        self.samples = samples
+        self.spof = spof
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        columns = ["availability"]
+        if self.spof:
+            columns.append("availability_spof")
+        if self.samples:
+            columns.append("availability_mc")
+        return tuple(columns)
+
+    def make_state(self, worker) -> AvailabilityAnalyzer:
+        analyzer = AvailabilityAnalyzer(self.up, shared_memo={},
+                                        shared_spof_memo={})
+        worker.register_companion(analyzer.shared_memo)
+        worker.register_companion(analyzer.shared_spof_memo)
+        return analyzer
+
+    def analyze(self, ctx: PassContext, state: AvailabilityAnalyzer
+                ) -> Dict[str, object]:
+        view = ctx.view
+        values: Dict[str, object] = {
+            "availability": state.resolution_probability(view)}
+        if self.spof:
+            values["availability_spof"] = \
+                len(state.single_points_of_failure(view))
+        if self.samples:
+            rng = random.Random(f"availability-mc|{chain_seed(ctx.chain_key)}")
+            values["availability_mc"] = state.monte_carlo(
+                view, samples=self.samples, rng=rng)
+        return values
+
+    @classmethod
+    def from_options(cls, options: Dict[str, str]) -> "AvailabilityPass":
+        known = {"up": float, "samples": int, "spof": _parse_bool}
+        kwargs = {}
+        for key, text in options.items():
+            if key not in known:
+                raise ValueError(f"unknown availability option {key!r} "
+                                 f"(expected one of {sorted(known)})")
+            kwargs[key] = known[key](text)
+        return cls(**kwargs)
+
+
+class DNSSECImpactPass(AnalysisPass):
+    """Chain-of-trust validation folded into every survey record.
+
+    :meth:`prepare` signs the configured fraction of the world's zones (via
+    :func:`repro.core.dnssec_impact.deploy_dnssec` — idempotent, so several
+    engines sharing one internet agree); :meth:`analyze` validates each
+    name's chain and reports whether a hijack of it would be *detectable*.
+
+    Columns: ``dnssec_status`` (``secure`` / ``insecure`` / ``bogus``) and
+    ``dnssec_detected`` (the survey classified the name as hijackable *and*
+    its chain of trust validates, so a forged answer cannot pass unnoticed).
+    """
+
+    name = "dnssec"
+
+    def __init__(self, fraction: float = 1.0, sign_tlds: bool = True,
+                 seed: str = "repro-dnssec"):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        self.fraction = fraction
+        self.sign_tlds = sign_tlds
+        self.seed = seed
+        self.deployment = None
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return ("dnssec_status", "dnssec_detected")
+
+    def prepare(self, internet) -> None:
+        # Imported here: dnssec_impact aggregates over survey results, and
+        # the survey facade reaches back into the engine package.
+        from repro.core.dnssec_impact import deploy_dnssec
+        # Unconditional: deployment is idempotent on one internet (signing
+        # re-checks existing records), and a pass instance reused with a
+        # *different* internet must sign that world too.
+        self.deployment = deploy_dnssec(
+            internet, fraction=self.fraction,
+            always_sign_tlds=self.sign_tlds, seed=self.seed)
+
+    def metadata(self) -> Dict[str, object]:
+        return {"dnssec_fraction": self.fraction}
+
+    def make_state(self, worker) -> ChainValidator:
+        return ChainValidator(worker.internet.make_resolver(), seed=self.seed)
+
+    def analyze(self, ctx: PassContext, state: ChainValidator
+                ) -> Dict[str, object]:
+        validation = state.validate(ctx.view.target)
+        hijackable = ctx.builtin.get("classification") in \
+            HIJACKABLE_CLASSIFICATIONS
+        return {
+            "dnssec_status": validation.status,
+            "dnssec_detected": bool(hijackable and validation.is_secure),
+        }
+
+    @classmethod
+    def from_options(cls, options: Dict[str, str]) -> "DNSSECImpactPass":
+        known = {"fraction": float, "sign_tlds": _parse_bool, "seed": str}
+        kwargs = {}
+        for key, text in options.items():
+            if key not in known:
+                raise ValueError(f"unknown dnssec option {key!r} "
+                                 f"(expected one of {sorted(known)})")
+            kwargs[key] = known[key](text)
+        return cls(**kwargs)
+
+
+#: Registry of spec-name -> pass class used by :func:`build_passes`.
+PASS_REGISTRY: Dict[str, type] = {
+    AvailabilityPass.name: AvailabilityPass,
+    DNSSECImpactPass.name: DNSSECImpactPass,
+}
+
+PassSpec = Union[str, AnalysisPass]
+
+
+def build_pass(spec: PassSpec) -> AnalysisPass:
+    """Resolve one pass spec: an instance, or ``name[:key=val[;key=val]]``."""
+    if isinstance(spec, AnalysisPass):
+        return spec
+    text = spec.strip()
+    name, _, option_text = text.partition(":")
+    name = name.strip()
+    cls = PASS_REGISTRY.get(name)
+    if cls is None:
+        raise ValueError(f"unknown analysis pass: {name!r} "
+                         f"(expected one of {sorted(PASS_REGISTRY)})")
+    options: Dict[str, str] = {}
+    if option_text:
+        for item in option_text.split(";"):
+            item = item.strip()
+            if not item:
+                continue
+            key, separator, value = item.partition("=")
+            if not separator:
+                raise ValueError(f"malformed option {item!r} in pass spec "
+                                 f"{text!r} (expected key=value)")
+            options[key.strip()] = value.strip()
+    return cls.from_options(options)
+
+
+def build_passes(specs: Union[str, Iterable[PassSpec], None]
+                 ) -> Tuple[AnalysisPass, ...]:
+    """Resolve a pass configuration into validated pass instances.
+
+    Accepts ``None`` (no passes), a comma-separated spec string (the CLI
+    form), or an iterable of spec strings / instances.  Checks name and
+    column uniqueness across the resolved passes.
+    """
+    if specs is None:
+        return ()
+    if isinstance(specs, str):
+        specs = [item for item in specs.split(",") if item.strip()]
+    passes = tuple(build_pass(spec) for spec in specs)
+    seen_names = set()
+    seen_columns: Dict[str, str] = {}
+    for pass_ in passes:
+        if pass_.name in seen_names:
+            raise ValueError(f"duplicate analysis pass: {pass_.name!r}")
+        seen_names.add(pass_.name)
+        for column in pass_.columns:
+            owner = seen_columns.get(column)
+            if owner is not None:
+                raise ValueError(f"column {column!r} contributed by both "
+                                 f"{owner!r} and {pass_.name!r}")
+            seen_columns[column] = pass_.name
+    return passes

@@ -10,9 +10,10 @@ re-running resolution.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
-from typing import Dict, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.dns.name import DomainName
 from repro.core.survey import NameRecord, SurveyResults
@@ -76,6 +77,7 @@ def results_from_dict(payload: Dict[str, object]) -> SurveyResults:
             tcb_servers={DomainName(s) for s in raw.get("tcb_servers", [])},
             mincut_servers={DomainName(s)
                             for s in raw.get("mincut_servers", [])},
+            extras=dict(raw.get("extras", {})),
         ))
 
     fingerprints = {}
@@ -123,3 +125,143 @@ def load_results(path: PathLike) -> SurveyResults:
     with path.open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
     return results_from_dict(payload)
+
+
+# -- snapshot diffing ---------------------------------------------------------------
+
+#: Built-in numeric per-name fields compared by :func:`diff_results`.
+DIFF_NUMERIC_FIELDS = ("tcb_size", "vulnerable_in_tcb", "mincut_size")
+
+#: Built-in categorical per-name fields compared by :func:`diff_results`.
+DIFF_CATEGORICAL_FIELDS = ("classification",)
+
+
+@dataclasses.dataclass
+class NameChange:
+    """One name whose record differs between two snapshots."""
+
+    name: DomainName
+    fields: Dict[str, Tuple[object, object]]  # field -> (before, after)
+
+    def magnitude(self) -> float:
+        """Size of the change, for ranking (numeric deltas dominate)."""
+        largest = 0.0
+        for before, after in self.fields.values():
+            if isinstance(before, (int, float)) and \
+                    isinstance(after, (int, float)) and \
+                    not isinstance(before, bool) and \
+                    not isinstance(after, bool):
+                largest = max(largest, abs(float(after) - float(before)))
+            else:
+                largest = max(largest, 1.0)
+        return largest
+
+
+@dataclasses.dataclass
+class SnapshotDiff:
+    """Per-name churn between two survey snapshots.
+
+    Snapshots are deterministic (sorted keys, backend-independent), so any
+    difference reported here comes from the worlds surveyed — a different
+    generator configuration, BIND catalogue, or deployment — never from the
+    execution backend.
+    """
+
+    only_in_a: List[DomainName]
+    only_in_b: List[DomainName]
+    common: int
+    numeric: Dict[str, Dict[str, float]]      # field -> delta_stats
+    transitions: Dict[str, Dict[Tuple[str, str], int]]
+    changes: List[NameChange]
+
+    @property
+    def changed(self) -> int:
+        """Number of common names whose compared fields differ."""
+        return len(self.changes)
+
+    def top_movers(self, count: int = 10) -> List[NameChange]:
+        """The most-changed common names, largest magnitude first."""
+        ordered = sorted(self.changes,
+                         key=lambda change: (-change.magnitude(),
+                                             change.name))
+        return ordered[:count]
+
+
+def _diff_fields(results: SurveyResults) -> Tuple[Tuple[str, ...],
+                                                  Tuple[str, ...]]:
+    """Numeric and categorical fields to compare, extras included."""
+    numeric = list(DIFF_NUMERIC_FIELDS)
+    categorical = list(DIFF_CATEGORICAL_FIELDS)
+    for column in results.extras_columns():
+        values = results.extra_values(column, resolved_only=False)
+        if values and all(isinstance(v, (int, float)) and
+                          not isinstance(v, bool) for v in values):
+            numeric.append(column)
+        else:
+            categorical.append(column)
+    return tuple(numeric), tuple(categorical)
+
+
+def _field_value(record, field: str):
+    if field in record.extras:
+        return record.extras[field]
+    return getattr(record, field, None)
+
+
+def diff_results(a: SurveyResults, b: SurveyResults) -> SnapshotDiff:
+    """Compare two survey results name by name.
+
+    Numeric fields (TCB size, vulnerable dependencies, min-cut size, and
+    any numeric pass column such as ``availability``) get churn statistics
+    via :func:`repro.core.report.delta_stats`; categorical fields
+    (classification, ``dnssec_status``, ...) get transition counts.  Fields
+    are drawn from snapshot *a*'s schema so diffing against an older
+    snapshot without pass columns degrades gracefully.
+    """
+    from repro.core.report import delta_stats
+
+    index_a = {record.name: record for record in a.records}
+    index_b = {record.name: record for record in b.records}
+    shared = sorted(set(index_a) & set(index_b))
+    numeric_fields, categorical_fields = _diff_fields(a)
+
+    numeric: Dict[str, Dict[str, float]] = {}
+    pairs: Dict[str, Tuple[List[float], List[float]]] = \
+        {field: ([], []) for field in numeric_fields}
+    transitions: Dict[str, Dict[Tuple[str, str], int]] = {}
+    changes: List[NameChange] = []
+
+    for name in shared:
+        record_a, record_b = index_a[name], index_b[name]
+        changed_fields: Dict[str, Tuple[object, object]] = {}
+        for field in numeric_fields:
+            before = _field_value(record_a, field)
+            after = _field_value(record_b, field)
+            if before is None or after is None:
+                continue
+            pairs[field][0].append(float(before))
+            pairs[field][1].append(float(after))
+            if before != after:
+                changed_fields[field] = (before, after)
+        for field in categorical_fields:
+            before = _field_value(record_a, field)
+            after = _field_value(record_b, field)
+            if before is None or after is None:
+                continue
+            if before != after:
+                changed_fields[field] = (before, after)
+                field_transitions = transitions.setdefault(field, {})
+                key = (str(before), str(after))
+                field_transitions[key] = field_transitions.get(key, 0) + 1
+        if changed_fields:
+            changes.append(NameChange(name=name, fields=changed_fields))
+
+    for field, (before_values, after_values) in pairs.items():
+        if before_values:
+            numeric[field] = delta_stats(before_values, after_values)
+
+    return SnapshotDiff(
+        only_in_a=sorted(set(index_a) - set(index_b)),
+        only_in_b=sorted(set(index_b) - set(index_a)),
+        common=len(shared), numeric=numeric, transitions=transitions,
+        changes=changes)

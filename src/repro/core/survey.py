@@ -53,6 +53,10 @@ class NameRecord:
     classification: str
     tcb_servers: Set[DomainName] = dataclasses.field(default_factory=set)
     mincut_servers: Set[DomainName] = dataclasses.field(default_factory=set)
+    #: Columns contributed by engine analysis passes (availability, DNSSEC,
+    #: ...).  Values are JSON-scalar (bool/int/float/str) so snapshots and
+    #: cross-backend byte-identity hold without special casing.
+    extras: Dict[str, object] = dataclasses.field(default_factory=dict)
 
     @property
     def is_cctld_name(self) -> bool:
@@ -83,6 +87,7 @@ class NameRecord:
             "classification": self.classification,
             "tcb_servers": sorted(str(s) for s in self.tcb_servers),
             "mincut_servers": sorted(str(s) for s in self.mincut_servers),
+            "extras": {key: self.extras[key] for key in sorted(self.extras)},
         }
 
 
@@ -216,6 +221,47 @@ class SurveyResults:
         return self.value_analyzer().ranking(only_vulnerable=only_vulnerable,
                                              tld_filter=tld_filter)
 
+    # -- analysis-pass columns --------------------------------------------------------------------
+
+    def extras_columns(self) -> List[str]:
+        """Every pass-contributed column appearing on at least one record."""
+        columns: Set[str] = set()
+        for record in self.records:
+            columns.update(record.extras)
+        return sorted(columns)
+
+    def extra_values(self, column: str,
+                     resolved_only: bool = True) -> List[object]:
+        """Values of one pass column (records missing it are skipped)."""
+        records = self.resolved_records() if resolved_only else self.records
+        return [record.extras[column] for record in records
+                if column in record.extras]
+
+    def extras_summary(self) -> Dict[str, float]:
+        """Aggregate pass columns: means for numbers, fractions for the rest.
+
+        Boolean columns become the fraction of records where they are true;
+        string columns expand into one ``column=value`` fraction per
+        observed value, so e.g. ``dnssec_status`` summarises to
+        ``dnssec_status=secure: 0.93``.  Deterministic (sorted) keying so
+        snapshots and CLI output are stable.
+        """
+        summary: Dict[str, float] = {}
+        for column in self.extras_columns():
+            values = self.extra_values(column)
+            if not values:
+                continue
+            if all(isinstance(value, bool) for value in values):
+                summary[column] = sum(1 for v in values if v) / len(values)
+            elif all(isinstance(value, (int, float)) for value in values):
+                summary[column] = sum(float(v) for v in values) / len(values)
+            else:
+                texts = [str(value) for value in values]
+                for observed in sorted(set(texts)):
+                    summary[f"{column}={observed}"] = \
+                        texts.count(observed) / len(texts)
+        return summary
+
     # -- headline summary -------------------------------------------------------------------------
 
     def total_servers_discovered(self) -> int:
@@ -285,17 +331,20 @@ class Survey:
     include_bottleneck:
         Whether to run the (slightly more expensive) min-cut analysis.
     backend:
-        Execution backend: ``"serial"`` (default), ``"thread"``, or
-        ``"sharded"``.  All backends produce identical results for the same
-        seed.
+        Execution backend: ``"serial"`` (default), ``"thread"``,
+        ``"sharded"``, or ``"process"``.  All backends produce identical
+        results for the same seed.
     workers:
         Worker/shard count for the partitioned backends.
+    passes:
+        Extra analysis passes to run per name — pass instances or spec
+        strings such as ``"availability"`` (see :mod:`repro.core.passes`).
     """
 
     def __init__(self, internet, vulnerability_db: Optional[VulnerabilityDatabase] = None,
                  popular_count: int = 500, include_bottleneck: bool = True,
                  use_glue: bool = True, backend: str = "serial",
-                 workers: int = 1):
+                 workers: int = 1, passes: Sequence = ()):
         from repro.core.engine import EngineConfig, SurveyEngine
         self.internet = internet
         self.popular_count = popular_count
@@ -305,7 +354,7 @@ class Survey:
             EngineConfig(backend=backend, workers=workers,
                          popular_count=popular_count,
                          include_bottleneck=include_bottleneck,
-                         use_glue=use_glue))
+                         use_glue=use_glue, passes=tuple(passes)))
         self.database = self.engine.database
 
     # -- engine pass-throughs (kept for backwards compatibility) --------------------

@@ -121,6 +121,13 @@ class DomainName:
     def __repr__(self) -> str:
         return f"DomainName({str(self)!r})"
 
+    def __reduce__(self):
+        # The immutability guard (__setattr__ raises) breaks pickle's default
+        # slot-state protocol, so reconstruct through the validating
+        # constructor instead; the process survey backend ships DomainName
+        # instances between workers over pipes.
+        return (DomainName, (self._labels,))
+
     def __len__(self) -> int:
         return len(self._labels)
 

@@ -99,6 +99,10 @@ class Fingerprinter:
         """Adopt another fingerprinter's cached results (shard merging)."""
         self._results.update(other._results)
 
+    def adopt(self, results: Dict[DomainName, FingerprintResult]) -> None:
+        """Adopt an already-collected result map (process-shard merging)."""
+        self._results.update(results)
+
     def results(self) -> Dict[DomainName, FingerprintResult]:
         """All results collected so far."""
         return dict(self._results)

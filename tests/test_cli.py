@@ -100,3 +100,48 @@ def test_survey_progress_flag_prints_to_stderr(capsys):
     captured = capsys.readouterr()
     assert "surveyed 20/20 names" in captured.err
     assert "surveyed 20/20 names" not in captured.out
+
+
+def test_survey_process_backend(capsys):
+    exit_code = main(["survey", "--max-names", "25", "--backend", "process",
+                      "--workers", "2", *TINY])
+    assert exit_code == 0
+    assert "mean_tcb_size" in capsys.readouterr().out
+
+
+def test_survey_passes_flag_prints_pass_summary(capsys):
+    exit_code = main(["survey", "--max-names", "25", "--passes",
+                      "availability,dnssec:fraction=0.5", *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Analysis passes" in output
+    assert "availability" in output
+    assert "dnssec_status=" in output
+
+
+def test_diff_command_reports_churn(tmp_path, capsys):
+    # Same world surveyed with and without the bottleneck analysis: names
+    # align, min-cut sizes and classifications churn.
+    base = tmp_path / "base.json"
+    other = tmp_path / "other.json"
+    main(["survey", "--max-names", "30", "--output", str(base), *TINY])
+    main(["survey", "--max-names", "30", "--output", str(other),
+          "--no-bottleneck", *TINY])
+    capsys.readouterr()
+    exit_code = main(["diff", str(base), str(other), "--top", "5"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "snapshot diff" in output
+    assert "common" in output
+    assert "tcb_size" in output
+    assert "mincut_size" in output
+
+
+def test_diff_command_identical_snapshots(tmp_path, capsys):
+    snapshot = tmp_path / "snap.json"
+    main(["survey", "--max-names", "20", "--output", str(snapshot), *TINY])
+    capsys.readouterr()
+    exit_code = main(["diff", str(snapshot), str(snapshot)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "0 changed" in output

@@ -176,6 +176,108 @@ def test_offsite_secondary_raises_availability(mini_internet):
         graph, {DomainName("dns1.uni.edu"), DomainName("dns2.uni.edu")})
 
 
+def test_tcb_view_availability_matches_graph(mini_internet):
+    """The zero-copy TCBView path equals the materialised-graph path."""
+    builder = DelegationGraphBuilder(mini_internet.make_resolver())
+    analyzer = AvailabilityAnalyzer(0.95)
+    for name in ("www.example.com", "www.uni.edu", "www.hostco.com"):
+        graph = builder.build(name)
+        view = builder.tcb_view(name)
+        assert analyzer.resolution_probability(view) == \
+            pytest.approx(analyzer.resolution_probability(graph), abs=1e-15)
+        assert analyzer.single_points_of_failure(view) == \
+            analyzer.single_points_of_failure(graph)
+        assert analyzer.monte_carlo(view, samples=100,
+                                    rng=random.Random(3)) == \
+            analyzer.monte_carlo(graph, samples=100, rng=random.Random(3))
+
+
+def test_shared_memo_does_not_change_values(mini_internet):
+    """Cross-name shared memos must be value-transparent (clean-only)."""
+    builder = DelegationGraphBuilder(mini_internet.make_resolver())
+    shared = AvailabilityAnalyzer(0.9, shared_memo={}, shared_spof_memo={})
+    fresh = AvailabilityAnalyzer(0.9)
+    names = ("www.example.com", "www.uni.edu", "www.partner.edu",
+             "www.hostco.com", "www.example.com")
+    for name in names:
+        view = builder.tcb_view(name)
+        assert shared.resolution_probability(view) == \
+            pytest.approx(fresh.resolution_probability(view), abs=1e-15)
+        assert shared.single_points_of_failure(view) == \
+            fresh.single_points_of_failure(view)
+
+
+def test_shared_memo_publishes_only_cycle_free_values():
+    """Acyclic subtrees are published cross-name; cycle members never are.
+
+    This mirrors the bottleneck memo's discipline: a value computed with a
+    truncated dependency loop depends on where the recursion entered the
+    loop, so only clean values may cross evaluation roots.
+    """
+    # Acyclic: name -> zone -> two leaf nameservers without further chains.
+    acyclic = nx.DiGraph()
+    target = name_node("www.flat.test")
+    zone = zone_node("flat.test")
+    acyclic.add_edge(target, zone)
+    acyclic.add_edge(zone, ns_node("ns1.flat.test"))
+    acyclic.add_edge(zone, ns_node("ns2.flat.test"))
+    analyzer = AvailabilityAnalyzer(0.9, shared_memo={}, shared_spof_memo={})
+    graph = DelegationGraph("www.flat.test", acyclic)
+    value = analyzer.resolution_probability(graph)
+    assert ns_node("ns1.flat.test") in analyzer.shared_memo
+    assert target in analyzer.shared_memo
+    assert analyzer.shared_memo[target] == pytest.approx(value)
+    # Two redundant servers: no SPOF, and the (empty) kill set is published.
+    assert analyzer.single_points_of_failure(graph) == frozenset()
+    assert analyzer.shared_spof_memo[target] == frozenset()
+
+    # Cyclic (mutual registry dependency): nothing tainted is published.
+    cyclic_analyzer = AvailabilityAnalyzer(0.9, shared_memo={})
+    cyclic = two_level_graph(ns_per_zone=2)
+    cyclic_analyzer.resolution_probability(cyclic)
+    assert name_node("www.site.com") not in cyclic_analyzer.shared_memo
+    for index in range(2):
+        assert ns_node(f"ns{index}.registry.net") not in \
+            cyclic_analyzer.shared_memo
+
+
+def test_kill_set_spof_matches_exhaustive(mini_internet):
+    """The kill-set recursion equals one-failure-per-server re-evaluation."""
+    builder = DelegationGraphBuilder(mini_internet.make_resolver())
+    analyzer = AvailabilityAnalyzer(1.0)
+    for name in ("www.example.com", "www.uni.edu", "www.partner.edu",
+                 "www.hostco.com"):
+        graph = builder.build(name)
+        assert analyzer.single_points_of_failure(graph) == \
+            analyzer.single_points_of_failure_exhaustive(graph)
+    # And on the synthetic cyclic structure used above.
+    for count in (1, 2, 3):
+        graph = two_level_graph(ns_per_zone=count)
+        assert analyzer.single_points_of_failure(graph) == \
+            analyzer.single_points_of_failure_exhaustive(graph)
+
+
+def test_kill_set_spof_skips_never_resolvable_nameservers():
+    """A nameserver whose own chain crosses a dead zone is no alternative:
+    the surviving server is a true SPOF and both SPOF paths must agree."""
+    graph = nx.DiGraph()
+    target = name_node("www.site.com")
+    leaf = zone_node("site.com")
+    graph.add_edge(target, leaf)
+    dead_ns = ns_node("ns.dead.net")
+    live_ns = ns_node("ns-b.live.net")
+    graph.add_edge(leaf, dead_ns)
+    graph.add_edge(leaf, live_ns)
+    # The dead server's hostname chain needs a zone nobody serves.
+    graph.add_edge(dead_ns, zone_node("dead.net"))
+    graph.add_node(zone_node("dead.net"))
+    view = DelegationGraph("www.site.com", graph)
+    analyzer = AvailabilityAnalyzer(1.0)
+    expected = frozenset({DomainName("ns-b.live.net")})
+    assert analyzer.single_points_of_failure_exhaustive(view) == expected
+    assert analyzer.single_points_of_failure(view) == expected
+
+
 def test_tradeoff_summary(mini_internet):
     builder = DelegationGraphBuilder(mini_internet.make_resolver())
     graphs = [builder.build(name) for name in

@@ -28,6 +28,21 @@ def test_deploy_rejects_bad_fraction(signed_world):
         deploy_dnssec(internet, fraction=1.5)
 
 
+def test_redeploy_same_fraction_is_idempotent(signed_world):
+    internet, _results, deployment = signed_world
+    again = deploy_dnssec(internet, fraction=1.0)
+    assert again.signed_zones == deployment.signed_zones
+
+
+def test_deploy_rejects_shrinking_an_existing_deployment(signed_world):
+    """Signing is additive: a smaller re-deployment over an already-signed
+    world would validate against the old deployment while reporting the
+    new fraction, so it must fail loudly."""
+    internet, _results, _deployment = signed_world
+    with pytest.raises(ValueError, match="already carry DNSKEYs"):
+        deploy_dnssec(internet, fraction=0.2)
+
+
 def test_full_deployment_signs_every_zone(signed_world):
     internet, _results, deployment = signed_world
     assert deployment.signed_count == len(internet.zones)

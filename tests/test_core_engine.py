@@ -152,10 +152,57 @@ def test_backends_produce_identical_results(small_internet):
                         workers=3)
         outputs[backend] = survey.run(max_names=90)
     serial = outputs["serial"]
-    for backend in ("thread", "sharded"):
+    for backend in ("thread", "sharded", "process"):
         assert outputs[backend].headline() == serial.headline()
         assert _strip_metadata(outputs[backend]) == _strip_metadata(serial)
         assert outputs[backend].metadata["backend"] == backend
+
+
+def test_backends_produce_identical_pass_columns(small_internet):
+    """Determinism matrix with analysis passes: same seed => byte-identical
+    SurveyResults (availability / Monte-Carlo / DNSSEC columns included) on
+    all four backends."""
+    # A private same-config world: the DNSSEC pass signs zones in place and
+    # must not mutate the session-scoped small_internet other tests observe.
+    from repro.topology.generator import InternetGenerator
+    internet = InternetGenerator(small_internet.config).generate()
+    outputs = {}
+    for backend in BACKENDS:
+        survey = Survey(internet, popular_count=20, backend=backend,
+                        workers=3,
+                        passes=("availability:samples=25", "dnssec"))
+        outputs[backend] = survey.run(max_names=80)
+    serial = outputs["serial"]
+    assert serial.extras_columns() == [
+        "availability", "availability_mc", "availability_spof",
+        "dnssec_detected", "dnssec_status"]
+    for backend in ("thread", "sharded", "process"):
+        assert _strip_metadata(outputs[backend]) == _strip_metadata(serial)
+        assert outputs[backend].metadata["passes"] == \
+            ["availability", "dnssec"]
+
+
+def test_process_backend_merges_shard_maps(small_internet):
+    survey = Survey(small_internet, popular_count=5, backend="process",
+                    workers=3)
+    results = survey.run(max_names=45)
+    vulnerability_map, compromisable_map = survey.engine.vulnerability_maps()
+    discovered = {host for record in results.resolved_records()
+                  for host in record.tcb_servers}
+    assert discovered
+    assert discovered <= set(vulnerability_map)
+    assert discovered <= set(compromisable_map)
+    assert set(results.fingerprints) >= discovered
+
+
+def test_process_backend_progress_is_monotonic(small_internet):
+    calls = []
+    survey = Survey(small_internet, popular_count=5, backend="process",
+                    workers=2)
+    survey.run(max_names=20,
+               progress=lambda done, total: calls.append((done, total)))
+    assert [done for done, _ in calls] == list(range(1, 21))
+    assert all(total == 20 for _, total in calls)
 
 
 def test_engine_records_match_fresh_per_name_analysis(small_internet):

@@ -4,8 +4,11 @@ import json
 
 import pytest
 
+import dataclasses
+
 from repro.core.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
+    diff_results,
     load_results,
     results_from_dict,
     results_to_dict,
@@ -69,3 +72,54 @@ def test_unsupported_version_rejected(small_survey):
     payload["format_version"] = 999
     with pytest.raises(ValueError):
         results_from_dict(payload)
+
+
+# -- snapshot diffing ------------------------------------------------------------------
+
+def test_diff_identical_snapshots_reports_no_churn(small_survey):
+    diff = diff_results(small_survey, small_survey)
+    assert diff.common == len(small_survey.records)
+    assert diff.only_in_a == [] and diff.only_in_b == []
+    assert diff.changed == 0
+    assert diff.transitions == {}
+    for stats in diff.numeric.values():
+        assert stats["changed"] == 0.0
+        assert stats["max_abs_delta"] == 0.0
+
+
+def test_diff_detects_tcb_and_classification_churn(small_survey):
+    mutated = results_from_dict(results_to_dict(small_survey))
+    victim = mutated.resolved_records()[0]
+    mutated.records[mutated.records.index(victim)] = dataclasses.replace(
+        victim, tcb_size=victim.tcb_size + 7, classification="complete")
+    dropped = mutated.records.pop()
+
+    diff = diff_results(small_survey, mutated)
+    assert diff.common == len(small_survey.records) - 1
+    assert [str(name) for name in diff.only_in_a] == [str(dropped.name)]
+    assert diff.changed >= 1
+    assert diff.numeric["tcb_size"]["changed"] == 1.0
+    assert diff.numeric["tcb_size"]["max_abs_delta"] == 7.0
+    movers = diff.top_movers(3)
+    assert movers[0].name == victim.name
+    assert movers[0].fields["tcb_size"] == (victim.tcb_size,
+                                            victim.tcb_size + 7)
+    if victim.classification != "complete":
+        key = (victim.classification, "complete")
+        assert diff.transitions["classification"][key] == 1
+
+
+def test_diff_includes_numeric_extras_columns(small_survey):
+    before = results_from_dict(results_to_dict(small_survey))
+    after = results_from_dict(results_to_dict(small_survey))
+    for record in before.records:
+        record.extras["availability"] = 0.99
+        record.extras["dnssec_status"] = "insecure"
+    for record in after.records:
+        record.extras["availability"] = 0.97
+        record.extras["dnssec_status"] = "secure"
+    diff = diff_results(before, after)
+    assert diff.numeric["availability"]["mean_delta"] == \
+        pytest.approx(-0.02)
+    transitions = diff.transitions["dnssec_status"]
+    assert transitions[("insecure", "secure")] == len(before.records)
