@@ -16,8 +16,10 @@ is asserted.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import resource
 
 import pytest
 
@@ -114,6 +116,64 @@ class FigureWriter:
 def figure_writer():
     """Shared writer for per-figure result tables."""
     return FigureWriter(OUTPUT_DIR)
+
+
+#: Machine-readable benchmark results, next to the human-readable tables.
+BENCH_RESULTS_PATH = OUTPUT_DIR / "BENCH_results.json"
+
+#: Config label stored with every metric so runs at different scales never
+#: get compared against each other (the CI smoke runs "tiny", local full
+#: runs "full").
+BENCH_CONFIG_LABEL = "tiny" if os.environ.get("REPRO_BENCH_TINY") else "full"
+
+
+class BenchMetrics:
+    """Collects per-benchmark metrics and persists them as JSON.
+
+    Every entry lives under its config label (``tiny``/``full``) so the CI
+    perf smoke can diff a tiny run against main's committed tiny numbers
+    while full-scale numbers ride along untouched.  The file is
+    read-merge-written at session end: a session only overwrites the
+    benches it actually ran.  ``peak_rss_kb`` (ru_maxrss) is stamped on
+    every record so memory regressions are diffable alongside throughput.
+    """
+
+    def __init__(self, path: pathlib.Path, config_label: str):
+        self._path = path
+        self._config = config_label
+        self._entries: dict = {}
+
+    def record(self, bench: str, **fields) -> None:
+        """Record one benchmark's metrics (numbers only)."""
+        fields["peak_rss_kb"] = \
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        self._entries[bench] = fields
+
+    def flush(self) -> None:
+        """Merge this session's entries into the results file."""
+        if not self._entries:
+            return
+        payload = {"format_version": 1, "configs": {}}
+        if self._path.exists():
+            try:
+                existing = json.loads(self._path.read_text(encoding="utf-8"))
+                if isinstance(existing.get("configs"), dict):
+                    payload["configs"] = existing["configs"]
+            except (ValueError, OSError):
+                pass
+        section = payload["configs"].setdefault(self._config, {})
+        section.update(self._entries)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._path.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                              + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_metrics():
+    """Session-scoped metrics collector writing BENCH_results.json."""
+    metrics = BenchMetrics(BENCH_RESULTS_PATH, BENCH_CONFIG_LABEL)
+    yield metrics
+    metrics.flush()
 
 
 def comparison_rows(measured: dict, keys) -> list:

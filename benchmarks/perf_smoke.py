@@ -1,0 +1,91 @@
+"""CI perf smoke: fail when serial survey throughput regresses against main.
+
+Usage::
+
+    python benchmarks/perf_smoke.py \
+        --baseline /tmp/main_BENCH_results.json \
+        --current benchmarks/output/BENCH_results.json \
+        [--config tiny] [--max-regression 0.20]
+
+Compares the ``names_per_s`` field of every benchmark present in both
+files' matching config section (``tiny`` for the CI smoke; full-scale
+numbers are never compared against tiny ones).  Exits non-zero if any
+bench regressed by more than ``--max-regression`` (default 20%).  A
+missing or unreadable baseline is reported and tolerated — the first run
+on a branch without main's BENCH_results.json must not fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Benchmarks whose names_per_s participates in the regression gate.
+THROUGHPUT_BENCHES = ("engine_survey_throughput", "passes_survey_throughput")
+
+
+def _load_section(path: pathlib.Path, config: str):
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        return None, f"unreadable ({error})"
+    configs = payload.get("configs")
+    if not isinstance(configs, dict) or config not in configs:
+        return None, f"no {config!r} section"
+    return configs[config], None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="BENCH_results.json from main")
+    parser.add_argument("--current", required=True, type=pathlib.Path,
+                        help="BENCH_results.json from this run")
+    parser.add_argument("--config", default="tiny",
+                        help="config section to compare (default: tiny)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional throughput drop (0.20=20%%)")
+    args = parser.parse_args(argv)
+
+    current, error = _load_section(args.current, args.config)
+    if current is None:
+        print(f"perf-smoke: current results {args.current}: {error}")
+        return 1
+
+    baseline, error = _load_section(args.baseline, args.config)
+    if baseline is None:
+        print(f"perf-smoke: baseline {args.baseline}: {error}; "
+              f"nothing to compare against (passing)")
+        return 0
+
+    failures = []
+    compared = 0
+    for bench in THROUGHPUT_BENCHES:
+        before = (baseline.get(bench) or {}).get("names_per_s")
+        after = (current.get(bench) or {}).get("names_per_s")
+        if not before or not after:
+            print(f"perf-smoke: {bench}: missing on one side, skipped")
+            continue
+        compared += 1
+        ratio = after / before
+        verdict = "ok"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failures.append(bench)
+        print(f"perf-smoke: {bench}: {before:.0f} -> {after:.0f} names/s "
+              f"({ratio:.2f}x) {verdict}")
+    if not compared:
+        print("perf-smoke: no comparable benches (passing)")
+        return 0
+    if failures:
+        print(f"perf-smoke: FAILED — {', '.join(failures)} regressed more "
+              f"than {args.max_regression:.0%} vs. main")
+        return 1
+    print("perf-smoke: PASSED")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,7 +88,8 @@ def test_bench_closure_memoization_speedup(bench_internet, paper_survey,
         f"closure path only {speedup:.1f}x faster than legacy path")
 
 
-def test_bench_engine_survey_throughput(bench_internet, figure_writer):
+def test_bench_engine_survey_throughput(bench_internet, figure_writer,
+                                        bench_metrics):
     """End-to-end engine survey throughput at BENCH_CONFIG scale.
 
     Documents names-surveyed/sec through the full staged pipeline (serial
@@ -106,5 +107,8 @@ def test_bench_engine_survey_throughput(bench_internet, figure_writer):
         [f"names surveyed              {len(results)}",
          f"elapsed                     {elapsed:.2f}s",
          f"throughput                  {throughput:.0f} names/s"])
+    bench_metrics.record("engine_survey_throughput", names=len(results),
+                         elapsed_s=round(elapsed, 4),
+                         names_per_s=round(throughput, 1))
     assert results.headline()["names_resolved"] > 0
     assert throughput > 50, "engine should sustain >50 names/s at bench scale"

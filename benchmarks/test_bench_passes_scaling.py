@@ -105,7 +105,8 @@ def test_bench_availability_view_speedup(bench_internet, paper_survey,
         f"view path only {speedup:.1f}x faster than legacy path")
 
 
-def test_bench_engine_passes_survey(bench_internet, figure_writer):
+def test_bench_engine_passes_survey(bench_internet, figure_writer,
+                                    bench_metrics):
     """End-to-end survey throughput with both built-in passes enabled."""
     engine = SurveyEngine(
         bench_internet,
@@ -125,6 +126,9 @@ def test_bench_engine_passes_survey(bench_internet, figure_writer):
          f"mean availability           {summary['availability']:.6f}",
          f"fraction secure (DNSSEC)    "
          f"{summary.get('dnssec_status=secure', 0.0):.3f}"])
+    bench_metrics.record("passes_survey_throughput", names=len(results),
+                         elapsed_s=round(elapsed, 4),
+                         names_per_s=round(throughput, 1))
     assert results.headline()["names_resolved"] > 0
     assert 0.0 <= summary["availability"] <= 1.0
     assert throughput > 25, \

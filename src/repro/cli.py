@@ -138,6 +138,27 @@ def _print_extras_summary(results: SurveyResults) -> None:
     print(format_table(rows, headers=("pass column", "mean / fraction")))
 
 
+def _print_value_summary(results: SurveyResults) -> None:
+    """Summarise the value pass's finalize() metadata, when present."""
+    summary = results.metadata.get("value_summary")
+    if not isinstance(summary, dict):
+        return
+    print()
+    print("Nameserver value ranking (Figures 8-9)")
+    rows = [(key, f"{value:.3f}" if isinstance(value, float) else value)
+            for key, value in sorted(summary.items())]
+    print(format_table(rows, headers=("statistic", "value")))
+    top = results.metadata.get("value_top_servers") or []
+    if top:
+        print()
+        rows = [(entry.get("rank", index + 1), entry.get("hostname", "?"),
+                 entry.get("names_controlled", 0),
+                 "yes" if entry.get("vulnerable") else "no")
+                for index, entry in enumerate(top)]
+        print(format_table(rows, headers=("rank", "nameserver",
+                                          "names controlled", "vulnerable")))
+
+
 def _print_tld_tables(results: SurveyResults) -> None:
     for kind, title in (("gtld", "Mean TCB size per gTLD (Figure 3)"),
                         ("cctld", "Mean TCB size per ccTLD (Figure 4)")):
@@ -176,6 +197,7 @@ def _command_survey(args: argparse.Namespace) -> int:
     _print_headline(results)
     _print_tld_tables(results)
     _print_extras_summary(results)
+    _print_value_summary(results)
     if args.output:
         path = save_results(results, args.output)
         print(f"\nsnapshot written to {path}")
@@ -187,6 +209,7 @@ def _command_report(args: argparse.Namespace) -> int:
     _print_headline(results)
     _print_tld_tables(results)
     _print_extras_summary(results)
+    _print_value_summary(results)
     return 0
 
 

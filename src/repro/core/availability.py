@@ -30,6 +30,13 @@ computed without truncating a dependency cycle (and without consuming a
 truncation-tainted value) are published cross-name, because those are the
 only values independent of the path the recursion took to reach the node.
 
+Like the bottleneck analyzer, every evaluation mode has two structurally
+identical implementations: an **integer path** over dense node ids and NS
+slots (taken automatically for :class:`~repro.core.delegation.TCBView`) and
+a **generic path** over ``(kind, DomainName)`` node keys.  Both traverse
+successors in the same order with the same arithmetic, so they agree
+bit-for-bit; the equivalence suite asserts it.
+
 Three evaluation modes are provided:
 
 * :meth:`AvailabilityAnalyzer.resolution_probability` — analytic evaluation
@@ -37,12 +44,16 @@ Three evaluation modes are provided:
   (an approximation: shared dependencies are treated as independent).
 * :meth:`AvailabilityAnalyzer.monte_carlo` — simulate failure draws and
   evaluate the same structure exactly per draw; used to sanity-check the
-  analytic value and to study correlated (regional) failures.
+  analytic value and to study correlated (regional) failures.  On the
+  integer path the sweep is *bit-parallel*: every server gets one up/down
+  bitmask over all samples (one RNG draw array per sample, in the same
+  draw order as the scalar loop), and a single AND/OR traversal of the
+  graph evaluates every sample at once against the name's TCB masks.
 * :meth:`AvailabilityAnalyzer.single_points_of_failure` — the servers whose
   individual loss makes the name unresolvable, computed by a kill-set
   recursion over the same AND/OR structure (a server kills a zone iff it
   kills every nameserver of that zone) instead of one full re-evaluation
-  per TCB member.
+  per TCB member.  Kill sets are NS-slot bitsets on the integer path.
 """
 
 from __future__ import annotations
@@ -60,7 +71,8 @@ from typing import (
 )
 
 from repro.dns.name import DomainName
-from repro.core.delegation import DelegationView, NodeKey, name_node
+from repro.core.delegation import DelegationView, NodeKey, TCBView, name_node
+from repro.core.graphcore import NS_CODE
 
 #: A per-server up-probability map or a single probability applied to all.
 UpModel = Union[float, Mapping[DomainName, float]]
@@ -95,20 +107,22 @@ class AvailabilityAnalyzer:
         Up-probability for servers not listed in the mapping.
     shared_memo:
         Optional cross-name memo for analytic availabilities, keyed by
-        graph node.  Only cycle-independent ("clean") values are published.
-        The survey engine registers it with the builder's
+        integer node id on the fast path (NodeKey on the generic path).
+        Only cycle-independent ("clean") values are published.  The survey
+        engine registers it with the builder's
         :class:`~repro.core.delegation.ClosureIndex` so universe growth
         purges exactly the entries whose subtree changed.  Valid only while
-        the analyzer's up-model is unchanged.
+        the analyzer's up-model is unchanged.  Providing it also enables a
+        companion reachability memo (``shared_reach_memo``) used by the
+        SPOF analysis, under the same invalidation contract.
     shared_spof_memo:
         Optional cross-name memo for kill sets, same discipline.
     """
 
     def __init__(self, up_probability: UpModel = 0.99,
                  default_up: float = 0.99,
-                 shared_memo: Optional[Dict[NodeKey, float]] = None,
-                 shared_spof_memo: Optional[Dict[NodeKey,
-                                                 FrozenSet[DomainName]]] = None):
+                 shared_memo: Optional[Dict] = None,
+                 shared_spof_memo: Optional[Dict] = None):
         if isinstance(up_probability, float):
             if not 0.0 <= up_probability <= 1.0:
                 raise ValueError("up_probability must be within [0, 1]")
@@ -122,14 +136,81 @@ class AvailabilityAnalyzer:
             raise ValueError("default_up must be within [0, 1]")
         self.shared_memo = shared_memo
         self.shared_spof_memo = shared_spof_memo
+        #: Constant up-probability when no per-server map is configured —
+        #: lets the hot loops skip the per-slot lookup entirely.
+        self._up_const: Optional[float] = \
+            self.default_up if not self._per_server else None
+        #: Cross-name memo for "resolvable with every server up" booleans
+        #: (integer path only); enabled alongside the other shared memos.
+        self.shared_reach_memo: Optional[Dict[int, bool]] = \
+            {} if shared_memo is not None or shared_spof_memo is not None \
+            else None
+        self._slot_up: Dict[int, float] = {}
+        self._slot_up_universe: Optional[object] = None
         self._taint_events = 0
-        self._tainted: Set[NodeKey] = set()
+        self._tainted: Set = set()
+        self._prefix_state: Optional[tuple] = None
+        # Per-recursion zone-term replay state, active only while a
+        # prefix-resumed evaluation runs (see _prefix_cache): `*_zc` maps a
+        # zone id to its (term, taint-event delta) when the term was
+        # computed purely from snapshot-resident memo hits — such terms are
+        # identical for every chain sharing the snapshot — and `*_base` is
+        # the snapshot memo used for that purity test.
+        self._avail_zc: Optional[Dict[int, tuple]] = None
+        self._avail_base: Optional[Dict[int, float]] = None
+        self._reach_zc: Optional[Dict[int, tuple]] = None
+        self._reach_base: Optional[Dict[int, bool]] = None
+        self._struct_zc: Optional[Dict[int, tuple]] = None
+        self._struct_base: Optional[Dict[int, int]] = None
+
+    def _prefix_cache(self, universe, closures, kind: str) -> Dict[int, tuple]:
+        """Per-first-zone resume snapshots, valid for one closure version.
+
+        A surveyed name's node has no in-edges, so evaluating its first
+        direct zone (the TLD) — the walk, its memo contents, its
+        taint-event count — is independent of the name.  Snapshotting that
+        state after the first zone and resuming later chains from a copy
+        removes the dominant per-chain cost (re-walking the TLD subtree,
+        which in-bailiwick NS cycles keep out of the clean-only shared
+        memos) without changing a single arithmetic step of the recursion.
+        ``kind`` separates the analytic, structural-reachability, and
+        kill-set evaluations.
+        """
+        state = self._prefix_state
+        if state is None or state[0] is not universe \
+                or state[1] != closures.version:
+            state = (universe, closures.version, {})
+            self._prefix_state = state
+        return state[2].setdefault(kind, {})
 
     # -- probability model ---------------------------------------------------------
 
     def up_probability(self, hostname: DomainName) -> float:
         """The probability that ``hostname`` is reachable."""
         return self._per_server.get(hostname, self.default_up)
+
+    def _up_slot(self, universe, slot: int) -> float:
+        """Slot-indexed up-probability (the up-model is fixed per analyzer).
+
+        Slots are universe-local, so the cache resets when this analyzer is
+        pointed at a different builder's universe.
+        """
+        if self._slot_up_universe is not universe:
+            self._slot_up = {}
+            self._slot_up_universe = universe
+        cache = self._slot_up
+        probability = cache.get(slot)
+        if probability is None:
+            probability = self._per_server.get(universe.slot_hosts[slot],
+                                               self.default_up)
+            cache[slot] = probability
+        return probability
+
+    @staticmethod
+    def _int_core(graph):
+        if isinstance(graph, TCBView):
+            return graph.int_core()
+        return None
 
     # -- analytic evaluation -----------------------------------------------------------
 
@@ -141,15 +222,162 @@ class AvailabilityAnalyzer:
         zones share servers); :meth:`monte_carlo` evaluates the structure
         without that assumption.
         """
+        core = self._int_core(graph)
+        if core is not None:
+            universe, closures, target_id = core
+            zones = closures.split_ids(target_id)[0]
+            if not zones:
+                # Nothing is known about the name's delegation chain at all.
+                return 0.0
+            self._taint_events = 0
+            self._tainted = set()
+            shared = self.shared_memo
+            if shared is not None:
+                hit = shared.get(target_id)
+                if hit is not None:
+                    return hit
+            split_ids = closures.split_ids
+            ns_slots = universe.ns_slots
+            prefix = self._prefix_cache(universe, closures, "avail")
+            first = zones[0]
+            entry = prefix.get(first)
+            in_progress = frozenset((target_id,))
+            memo: Dict[int, float] = {}
+            probability = 1.0
+            start = 0
+            self._avail_zc = self._avail_base = None
+            if entry is not None:
+                probability, snap_memo, snap_tainted, snap_events, broke, \
+                    zone_cache = entry
+                memo = dict(snap_memo)
+                self._tainted = set(snap_tainted)
+                self._taint_events = snap_events
+                self._avail_zc = zone_cache
+                self._avail_base = snap_memo
+                start = len(zones) if broke else 1
+            up_const = self._up_const
+            for index in range(start, len(zones)):
+                zone = zones[index]
+                nameservers = split_ids(zone)[1]
+                if not nameservers:
+                    probability = 0.0
+                    if index == 0:
+                        prefix[first] = (probability, dict(memo),
+                                         set(self._tainted),
+                                         self._taint_events, True, {})
+                    break
+                all_down = 1.0
+                memo_get = memo.get
+                tainted = self._tainted
+                for ns in nameservers:
+                    value = memo_get(ns)
+                    if value is None:
+                        value = self._avail_int(universe, closures, ns, memo,
+                                                in_progress, shared)
+                    elif ns in tainted:
+                        self._taint_events += 1
+                    up = up_const if up_const is not None else \
+                        self._up_slot(universe, ns_slots[ns])
+                    all_down *= (1.0 - up * value)
+                probability *= (1.0 - all_down)
+                if index == 0:
+                    prefix[first] = (probability, dict(memo),
+                                     set(self._tainted), self._taint_events,
+                                     False, {})
+            memo[target_id] = probability
+            if self._taint_events == 0:
+                if shared is not None:
+                    shared[target_id] = probability
+            else:
+                self._tainted.add(target_id)
+            return probability
         target = name_node(graph.target)
         if not graph.zones_of(target):
-            # Nothing is known about the name's delegation chain at all.
             return 0.0
         self._taint_events = 0
         self._tainted = set()
         return self._avail_name(graph, target, {}, frozenset(),
                                 lambda hostname: self.up_probability(hostname),
                                 self.shared_memo)
+
+    def _avail_int(self, universe, closures, node: int,
+                   memo: Dict[int, float], in_progress: FrozenSet[int],
+                   shared: Optional[Dict[int, float]]) -> float:
+        """Integer-path analytic availability (same traversal, same floats)."""
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                # The consumer inherits this value's context-dependence.
+                self._taint_events += 1
+            return cached
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
+        if node in in_progress:
+            # A dependency loop cannot improve reachability.
+            self._taint_events += 1
+            return 1.0
+        in_progress = in_progress | {node}
+        events_before = self._taint_events
+        split_ids = closures.split_ids
+        zones = split_ids(node)[0]
+        if not zones:
+            # No recorded chain (e.g. glued hostname inside an already
+            # covered zone): treat as reachable so the parent term reduces
+            # to the server's own up-probability.
+            memo[node] = 1.0
+            if shared is not None:
+                shared[node] = 1.0
+            return 1.0
+        ns_slots = universe.ns_slots
+        up_const = self._up_const
+        tainted = self._tainted
+        memo_get = memo.get
+        zone_cache = self._avail_zc
+        base = self._avail_base
+        probability = 1.0
+        for zone in zones:
+            if zone_cache is not None:
+                replay = zone_cache.get(zone)
+                if replay is not None:
+                    term, delta = replay
+                    if delta:
+                        self._taint_events += delta
+                    probability *= term
+                    continue
+            nameservers = split_ids(zone)[1]
+            if not nameservers:
+                probability = 0.0
+                break
+            all_down = 1.0
+            pure = zone_cache is not None
+            events_zone = self._taint_events
+            for ns in nameservers:
+                value = memo_get(ns)
+                if value is None:
+                    value = self._avail_int(universe, closures, ns, memo,
+                                            in_progress, shared)
+                    pure = False
+                else:
+                    if ns in tainted:
+                        self._taint_events += 1
+                    if pure and ns not in base:
+                        pure = False
+                up = up_const if up_const is not None else \
+                    self._up_slot(universe, ns_slots[ns])
+                all_down *= (1.0 - up * value)
+            term = 1.0 - all_down
+            if pure:
+                zone_cache[zone] = (term, self._taint_events - events_zone)
+            probability *= term
+        memo[node] = probability
+        if self._taint_events == events_before:
+            if shared is not None:
+                shared[node] = probability
+        else:
+            self._tainted.add(node)
+        return probability
 
     def _avail_name(self, graph: DelegationView, node: NodeKey,
                     memo: Dict[NodeKey, float],
@@ -206,10 +434,17 @@ class AvailabilityAnalyzer:
 
     def monte_carlo(self, graph: DelegationView, samples: int = 500,
                     rng: Optional[random.Random] = None) -> float:
-        """Estimate availability by sampling failure scenarios."""
+        """Estimate availability by sampling failure scenarios.
+
+        The draw order is fixed (per sample, hosts in sorted order), so a
+        given seed yields the same estimate on both implementations.
+        """
         if samples <= 0:
             raise ValueError("samples must be positive")
         rng = rng or random.Random(0)
+        core = self._int_core(graph)
+        if core is not None:
+            return self._monte_carlo_int(graph, core, samples, rng)
         hosts = sorted(graph.tcb())
         successes = 0
         for _ in range(samples):
@@ -219,9 +454,117 @@ class AvailabilityAnalyzer:
                 successes += 1
         return successes / samples
 
+    def _monte_carlo_int(self, graph: TCBView, core, samples: int,
+                         rng: random.Random) -> float:
+        """Bit-parallel sweep: one up-mask per server, all samples at once."""
+        universe, closures, target_id = core
+        hosts = sorted(graph.tcb())
+        probabilities = [self.up_probability(host) for host in hosts]
+        down_masks = [0] * len(hosts)
+        rand = rng.random
+        # Same RNG consumption order as the scalar loop: per sample, hosts
+        # in sorted order — bit s of a server's mask is sample s's draw.
+        for sample in range(samples):
+            bit = 1 << sample
+            for index, probability in enumerate(probabilities):
+                if rand() >= probability:
+                    down_masks[index] |= bit
+        full = (1 << samples) - 1
+        ns_slots = universe.ns_slots
+        up_by_slot: Dict[int, int] = {}
+        for index, host in enumerate(hosts):
+            node_id = universe.find_id(NS_CODE, host)
+            if node_id is not None:
+                up_by_slot[ns_slots[node_id]] = full & ~down_masks[index]
+        if not closures.split_ids(target_id)[0]:
+            # No known delegation chain: the name resolves in no sample.
+            return 0.0
+        # Zone-term replay is only sound for the all-up evaluation.
+        self._struct_zc = self._struct_base = None
+        value = self._sample_masks(universe, closures, target_id, {},
+                                   frozenset(), up_by_slot, full)
+        return value.bit_count() / samples
+
+    def _sample_masks(self, universe, closures, node: int,
+                      memo: Dict[int, int], in_progress: FrozenSet[int],
+                      up_by_slot: Dict[int, int], full: int) -> int:
+        """Bitmask over samples in which ``node`` resolves.
+
+        Structurally identical to the scalar availability recursion with
+        0/1 up-probabilities, evaluated for every sample bit at once: OR
+        across a zone's nameservers, AND across a node's zones, dependency
+        loops truncated as "reachable" — so bit *s* equals what
+        :meth:`resolvable_with_failures` returns for sample *s*'s down set.
+        """
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        if node in in_progress:
+            return full
+        in_progress = in_progress | {node}
+        split_ids = closures.split_ids
+        zones = split_ids(node)[0]
+        if not zones:
+            memo[node] = full
+            return full
+        ns_slots = universe.ns_slots
+        memo_get = memo.get
+        up_get = up_by_slot.get
+        zone_cache = self._struct_zc
+        base = self._struct_base
+        result = full
+        for zone in zones:
+            if zone_cache is not None:
+                replay = zone_cache.get(zone)
+                if replay is not None:
+                    result &= replay
+                    continue
+            nameservers = split_ids(zone)[1]
+            if not nameservers:
+                result = 0
+                break
+            zone_up = 0
+            pure = zone_cache is not None
+            for ns in nameservers:
+                value = memo_get(ns)
+                if value is None:
+                    value = self._sample_masks(universe, closures, ns, memo,
+                                               in_progress, up_by_slot, full)
+                    pure = False
+                elif pure and ns not in base:
+                    pure = False
+                up_mask = up_get(ns_slots[ns], full)
+                zone_up |= up_mask & value
+            if pure:
+                zone_cache[zone] = zone_up
+            result &= zone_up
+        memo[node] = result
+        return result
+
     def resolvable_with_failures(self, graph: DelegationView,
                                  failed: Set[DomainName]) -> bool:
         """Exact check: does the name resolve when ``failed`` servers are down?"""
+        core = self._int_core(graph)
+        if core is not None:
+            universe, closures, target_id = core
+            zones = closures.split_ids(target_id)[0]
+            if not zones:
+                return False
+            if not failed:
+                return self._resolvable_structurally(universe, closures,
+                                                     target_id, zones)
+            full = 1
+            up_by_slot: Dict[int, int] = {}
+            ns_slots = universe.ns_slots
+            for host in failed:
+                node_id = universe.find_id(NS_CODE, host)
+                if node_id is not None:
+                    up_by_slot[ns_slots[node_id]] = 0
+            # Zone-term replay is only sound for the all-up evaluation.
+            self._struct_zc = self._struct_base = None
+            value = self._sample_masks(universe, closures, target_id, {},
+                                       frozenset(), up_by_slot, full)
+            return bool(value)
         target = name_node(graph.target)
         if not graph.zones_of(target):
             return False
@@ -230,6 +573,52 @@ class AvailabilityAnalyzer:
         self._tainted = set()
         probability = self._avail_name(graph, target, {}, frozenset(), up)
         return probability > 0.5
+
+    def _resolvable_structurally(self, universe, closures, target_id: int,
+                                 zones) -> bool:
+        """``resolvable_with_failures(graph, set())`` with prefix resume.
+
+        With no failed servers every up-mask defaults to "up", so the
+        evaluation is a pure function of the structure — and, like every
+        top-level walk, its first-zone state is name-independent and can be
+        snapshotted (the single-bit evaluation carries no taint state).
+        """
+        prefix = self._prefix_cache(universe, closures, "structure")
+        first = zones[0]
+        entry = prefix.get(first)
+        in_progress = frozenset((target_id,))
+        memo: Dict[int, int] = {}
+        up_by_slot: Dict[int, int] = {}
+        result = 1
+        start = 0
+        self._struct_zc = self._struct_base = None
+        if entry is not None:
+            result, snap_memo, zone_cache = entry
+            memo = dict(snap_memo)
+            self._struct_zc = zone_cache
+            self._struct_base = snap_memo
+            start = 1
+        split_ids = closures.split_ids
+        for index in range(start, len(zones)):
+            zone = zones[index]
+            nameservers = split_ids(zone)[1]
+            if not nameservers:
+                result = 0
+                if index == 0:
+                    prefix[first] = (result, dict(memo), {})
+                break
+            zone_up = 0
+            memo_get = memo.get
+            for ns in nameservers:
+                value = memo_get(ns)
+                if value is None:
+                    value = self._sample_masks(universe, closures, ns, memo,
+                                               in_progress, up_by_slot, 1)
+                zone_up |= value
+            result &= zone_up
+            if index == 0:
+                prefix[first] = (result, dict(memo), {})
+        return bool(result)
 
     # -- single points of failure ------------------------------------------------------------
 
@@ -244,14 +633,237 @@ class AvailabilityAnalyzer:
         that zone (by being it, or by killing its hostname's resolution) —
         so the cost is one graph walk instead of one per TCB member.
         """
+        core = self._int_core(graph)
+        if core is not None:
+            universe, closures, target_id = core
+            if not self.resolvable_with_failures(graph, set()):
+                # The name does not resolve even with every server up: any
+                # single failure "also" leaves it unresolvable.
+                return graph.tcb_frozen()
+            mask = self._kill_top_int(universe, closures, target_id)
+            if not mask:
+                return frozenset()
+            return frozenset(universe.mask_to_hosts(mask))
         if not self.resolvable_with_failures(graph, set()):
-            # The name does not resolve even with every server up: any
-            # single failure "also" leaves it unresolvable.
             return frozenset(graph.tcb())
         self._taint_events = 0
         self._tainted = set()
         return self._kill_name(graph, name_node(graph.target), {}, {},
                                frozenset(), self.shared_spof_memo)
+
+    def _kill_top_int(self, universe, closures, target_id: int) -> int:
+        """Top-level kill-set evaluation with per-first-zone prefix resume.
+
+        Mirrors :meth:`_kill_int` applied to the target node; the snapshot
+        captures both the kill memo and the reachability memo (the two
+        walks interleave) plus the shared taint state after the first zone.
+        """
+        self._taint_events = 0
+        self._tainted = set()
+        shared = self.shared_spof_memo
+        if shared is not None:
+            hit = shared.get(target_id)
+            if hit is not None:
+                return hit
+        split_ids = closures.split_ids
+        zones = split_ids(target_id)[0]
+        memo: Dict[int, int] = {}
+        reach_memo: Dict[int, bool] = {}
+        if not zones:
+            memo[target_id] = 0
+            if shared is not None:
+                shared[target_id] = 0
+            return 0
+        prefix = self._prefix_cache(universe, closures, "kill")
+        first = zones[0]
+        entry = prefix.get(first)
+        in_progress = frozenset((target_id,))
+        kills = 0
+        start = 0
+        self._reach_zc = self._reach_base = None
+        if entry is not None:
+            kills, snap_memo, snap_reach, snap_tainted, snap_events, \
+                reach_zc = entry
+            memo = dict(snap_memo)
+            reach_memo = dict(snap_reach)
+            self._tainted = set(snap_tainted)
+            self._taint_events = snap_events
+            self._reach_zc = reach_zc
+            self._reach_base = snap_reach
+            start = 1
+        for index in range(start, len(zones)):
+            zone_kill = self._kill_zone_int(universe, closures, zones[index],
+                                            memo, reach_memo, in_progress,
+                                            shared)
+            if zone_kill:
+                kills |= zone_kill
+            if index == 0:
+                prefix[first] = (kills, dict(memo), dict(reach_memo),
+                                 set(self._tainted), self._taint_events, {})
+        memo[target_id] = kills
+        if self._taint_events == 0:
+            if shared is not None:
+                shared[target_id] = kills
+        else:
+            self._tainted.add(target_id)
+        return kills
+
+    def _kill_int(self, universe, closures, node: int,
+                  memo: Dict[int, int], reach_memo: Dict[int, bool],
+                  in_progress: FrozenSet[int],
+                  shared: Optional[Dict[int, int]]) -> int:
+        """Slot bitset of hostnames whose failure makes ``node`` unresolvable."""
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                self._taint_events += 1
+            return cached
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
+        if node in in_progress:
+            # The looping branch is treated as reachable by the availability
+            # recursion, so nothing kills it from inside the loop.
+            self._taint_events += 1
+            return 0
+        in_progress = in_progress | {node}
+        events_before = self._taint_events
+        split_ids = closures.split_ids
+        zones = split_ids(node)[0]
+        if not zones:
+            memo[node] = 0
+            if shared is not None:
+                shared[node] = 0
+            return 0
+        kills = 0
+        for zone in zones:
+            zone_kill = self._kill_zone_int(universe, closures, zone, memo,
+                                            reach_memo, in_progress, shared)
+            if zone_kill:
+                kills |= zone_kill
+        memo[node] = kills
+        if self._taint_events == events_before:
+            if shared is not None:
+                shared[node] = kills
+        else:
+            self._tainted.add(node)
+        return kills
+
+    def _kill_zone_int(self, universe, closures, zone: int,
+                       memo: Dict[int, int], reach_memo: Dict[int, bool],
+                       in_progress: FrozenSet[int],
+                       shared: Optional[Dict[int, int]]) -> Optional[int]:
+        """One zone's kill intersection (shared by top-level and recursion)."""
+        nameservers = closures.split_ids(zone)[1]
+        zone_kill: Optional[int] = None
+        reach_get = reach_memo.get
+        memo_get = memo.get
+        tainted = self._tainted
+        ns_slots = universe.ns_slots
+        for ns in nameservers:
+            # A nameserver that cannot resolve even with every server up
+            # (its own chain crosses a dead zone) is no alternative: it
+            # imposes no constraint on the zone's kill intersection.
+            reach = reach_get(ns)
+            if reach is None:
+                reach = self._reach_int(universe, closures, ns, reach_memo,
+                                        in_progress)
+            elif ns in tainted:
+                self._taint_events += 1
+            if not reach:
+                continue
+            term = memo_get(ns)
+            if term is None:
+                term = self._kill_int(universe, closures, ns, memo,
+                                      reach_memo, in_progress, shared)
+            elif ns in tainted:
+                self._taint_events += 1
+            term |= 1 << ns_slots[ns]
+            zone_kill = term if zone_kill is None else (zone_kill & term)
+            if not zone_kill:
+                break
+        return zone_kill
+
+    def _reach_int(self, universe, closures, node: int,
+                   memo: Dict[int, bool],
+                   in_progress: FrozenSet[int]) -> bool:
+        """Is ``node`` resolvable with every server up? (taint-tracked).
+
+        Mirrors the scalar all-up availability evaluation (values are
+        exactly 0.0 or 1.0 there); clean results are additionally published
+        to :attr:`shared_reach_memo` so the SPOF pass explores each
+        universe region once per worker instead of once per name.
+        """
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                self._taint_events += 1
+            return cached
+        shared = self.shared_reach_memo
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
+        if node in in_progress:
+            # A dependency loop cannot improve reachability.
+            self._taint_events += 1
+            return True
+        in_progress = in_progress | {node}
+        events_before = self._taint_events
+        split_ids = closures.split_ids
+        zones = split_ids(node)[0]
+        if not zones:
+            memo[node] = True
+            if shared is not None:
+                shared[node] = True
+            return True
+        reachable = True
+        memo_get = memo.get
+        tainted = self._tainted
+        zone_cache = self._reach_zc
+        base = self._reach_base
+        for zone in zones:
+            if zone_cache is not None:
+                replay = zone_cache.get(zone)
+                if replay is not None:
+                    any_up, delta = replay
+                    if delta:
+                        self._taint_events += delta
+                    if not any_up:
+                        reachable = False
+                    continue
+            nameservers = split_ids(zone)[1]
+            if not nameservers:
+                reachable = False
+                break
+            any_up = False
+            pure = zone_cache is not None
+            events_zone = self._taint_events
+            for ns in nameservers:
+                value = memo_get(ns)
+                if value is None:
+                    value = self._reach_int(universe, closures, ns, memo,
+                                            in_progress)
+                    pure = False
+                else:
+                    if ns in tainted:
+                        self._taint_events += 1
+                    if pure and ns not in base:
+                        pure = False
+                if value:
+                    any_up = True
+            if pure:
+                zone_cache[zone] = (any_up, self._taint_events - events_zone)
+            if not any_up:
+                reachable = False
+        memo[node] = reachable
+        if self._taint_events == events_before:
+            if shared is not None:
+                shared[node] = reachable
+        else:
+            self._tainted.add(node)
+        return reachable
 
     def _kill_name(self, graph: DelegationView, node: NodeKey,
                    memo: Dict[NodeKey, FrozenSet[DomainName]],

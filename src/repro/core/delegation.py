@@ -26,17 +26,26 @@ are offered:
 Graph encoding
 --------------
 
-Nodes are ``(kind, DomainName)`` tuples where ``kind`` is ``"name"``,
-``"zone"``, or ``"ns"``.  Edges point from the dependent entity to the
-entity it depends on:
+The universe is a :class:`~repro.core.graphcore.DependencyUniverse`: every
+``(kind, DomainName)`` node is interned to a dense integer id, every NS node
+additionally gets a dense *slot* (its bit position in closure bitsets), and
+adjacency is stored insertion-ordered per node with a lazily frozen CSR
+snapshot (:meth:`~repro.core.graphcore.DependencyUniverse.csr`).  At the
+NodeKey level nodes are ``(kind, DomainName)`` tuples where ``kind`` is
+``"name"``, ``"zone"``, or ``"ns"``, and edges point from the dependent
+entity to the entity it depends on:
 
 * ``(name, X) -> (zone, Z)`` for every zone ``Z`` on ``X``'s delegation path;
 * ``(zone, Z) -> (ns, H)`` for every nameserver ``H`` delegated to serve ``Z``;
 * ``(ns, H) -> (zone, Z')`` for every zone ``Z'`` on the delegation path of
   the hostname ``H``.
 
-Root servers (and the root zone) are excluded, matching the paper's
-accounting.
+Closures are bitsets: :meth:`ClosureIndex.closure_mask_id` answers "which
+non-excluded nameservers are reachable from here?" as an integer mask whose
+bit *s* stands for NS slot *s*.  Masks are materialised back into
+:class:`frozenset`\\ s of :class:`~repro.dns.name.DomainName` only at the
+record/snapshot boundary (equal masks share one frozenset).  Root servers
+(and the root zone) are excluded, matching the paper's accounting.
 """
 
 from __future__ import annotations
@@ -54,11 +63,16 @@ from typing import (
     Tuple,
 )
 
-import networkx as nx
-
 from repro.dns.errors import ResolutionError
 from repro.dns.name import DomainName, NameLike
 from repro.dns.resolver import IterativeResolver, ZoneCut
+from repro.core.graphcore import (
+    DependencyUniverse,
+    KeyGraph,
+    NAME_CODE,
+    NS_CODE,
+    ZONE_CODE,
+)
 
 #: Node kinds used in the delegation graph.
 NAME_KIND = "name"
@@ -87,30 +101,43 @@ def ns_node(name: NameLike) -> NodeKey:
 
 
 class ClosureIndex:
-    """Memoized nameserver closures over a (possibly cyclic) universe graph.
+    """Memoized bitset closures over a (possibly cyclic) integer universe.
 
     For every node the index answers "which non-excluded nameserver hostnames
-    are reachable from here?" with a shared :class:`frozenset`.  Closures are
-    computed with an iterative Tarjan SCC pass — mutually dependent zones
-    (mutual secondaries) collapse into one component sharing one closure —
-    and memoized per node, so surveying name *N+1* only ever explores the
-    part of the universe that no earlier name reached.
+    are reachable from here?" as an integer bitset over NS slots (and, via
+    :meth:`closure`, as a shared :class:`frozenset`).  Closures are computed
+    with an iterative Tarjan SCC pass — mutually dependent zones (mutual
+    secondaries) collapse into one component sharing one closure — and
+    memoized per node id, so surveying name *N+1* only ever explores the
+    part of the universe that no earlier name reached.  Unions of bitsets
+    are single big-int ORs; nothing in the hot path hashes a
+    :class:`DomainName`.
 
     The builder keeps the memo correct as the universe grows: whenever a node
     that already existed gains a new out-edge, the memo entries of that node
     and of everything that can reach it are dropped (see :meth:`invalidate`).
-    Companion memos (e.g. the survey engine's shared bottleneck memo) can be
-    registered to be purged on the same events.
+    Companion memos (e.g. the survey engine's shared bottleneck memo, keyed
+    by the same integer node ids) can be registered to be purged on the same
+    events.
     """
 
-    def __init__(self, graph: nx.DiGraph,
+    def __init__(self, graph: DependencyUniverse,
                  excluded_suffixes: Sequence[DomainName] = ()):
+        if not isinstance(graph, DependencyUniverse):
+            raise TypeError(
+                "ClosureIndex requires a DependencyUniverse; wrap ad-hoc "
+                "topologies with graphcore.DependencyUniverse() and its "
+                "NodeKey add_edge API")
         self._graph = graph
         self._excluded = tuple(DomainName(s) for s in excluded_suffixes)
-        self._memo: Dict[NodeKey, FrozenSet[DomainName]] = {}
-        self._adjacency: Dict[NodeKey,
-                              Tuple[List[NodeKey], List[NodeKey]]] = {}
-        self._companions: List[MutableMapping[NodeKey, object]] = []
+        self._memo: Dict[int, int] = {}
+        self._split: Dict[int, Tuple[List[int], List[int]]] = {}
+        self._key_split: Dict[int, Tuple[List[NodeKey], List[NodeKey]]] = {}
+        self._companions: List[MutableMapping[int, object]] = []
+        #: slot -> contribution bit (0 for excluded hosts), grown lazily.
+        self._slot_bits: List[int] = []
+        #: mask -> shared frozenset materialisation (content-addressed).
+        self._sets: Dict[int, FrozenSet[DomainName]] = {}
         self.computations = 0
         self.invalidations = 0
         #: Bumped whenever memoized state is actually dropped; callers that
@@ -121,48 +148,94 @@ class ClosureIndex:
     def __len__(self) -> int:
         return len(self._memo)
 
+    @property
+    def universe(self) -> DependencyUniverse:
+        """The integer universe this index runs over."""
+        return self._graph
+
     def register_companion(self,
-                           memo: MutableMapping[NodeKey, object]) -> None:
+                           memo: MutableMapping[int, object]) -> None:
         """Purge ``memo``'s entries alongside this index's on invalidation."""
         self._companions.append(memo)
 
-    def _own_contribution(self, node: NodeKey) -> Set[DomainName]:
-        kind, name = node
-        if kind == NS_KIND and not any(
-                name.is_subdomain_of(suffix) for suffix in self._excluded):
-            return {name}
-        return set()
+    # -- slot bookkeeping -------------------------------------------------------------
+
+    def _slot_bit(self, slot: int) -> int:
+        """The contribution bit for ``slot`` (0 if the host is excluded)."""
+        bits = self._slot_bits
+        if slot < len(bits):
+            return bits[slot]
+        hosts = self._graph.slot_hosts
+        excluded = self._excluded
+        while len(bits) <= slot:
+            host = hosts[len(bits)]
+            if excluded and any(host.is_subdomain_of(suffix)
+                                for suffix in excluded):
+                bits.append(0)
+            else:
+                bits.append(1 << len(bits))
+        return bits[slot]
+
+    def mask_set(self, mask: int) -> FrozenSet[DomainName]:
+        """Materialise a closure mask as a shared frozenset of hostnames."""
+        cached = self._sets.get(mask)
+        if cached is None:
+            cached = frozenset(self._graph.mask_to_hosts(mask))
+            self._sets[mask] = cached
+        return cached
+
+    # -- closures ---------------------------------------------------------------------
 
     def closure(self, node: NodeKey) -> FrozenSet[DomainName]:
         """The set of non-excluded nameservers reachable from ``node``."""
+        node_id = self._graph.find_key(node)
+        if node_id is None:
+            return frozenset()
+        return self.mask_set(self.closure_mask_id(node_id))
+
+    def closure_mask_id(self, node: int) -> int:
+        """The closure of integer node ``node`` as an NS-slot bitset."""
         memo = self._memo
         cached = memo.get(node)
         if cached is not None:
             return cached
         graph = self._graph
-        if node not in graph:
-            return frozenset()
+        out = graph.out
+        ns_slots = graph.ns_slots
+        # When the universe has stopped growing (post-run inspection,
+        # recomputation after a sharded merge) the frozen CSR snapshot is
+        # still valid and the walk reads it; during discovery the snapshot
+        # is stale and the growable rows are iterated directly.  Row order
+        # is identical either way.
+        csr = graph.csr_if_fresh()
+        offsets = targets = None
+        if csr is not None:
+            offsets, targets = csr
 
         # Iterative Tarjan: SCCs are closed in reverse topological order, so
         # when a component is popped every successor outside it is already
-        # memoized and the component's closure is the union of its members'
-        # own contributions and those successor closures.
-        index: Dict[NodeKey, int] = {}
-        low: Dict[NodeKey, int] = {}
-        on_stack: Set[NodeKey] = set()
-        scc_stack: List[NodeKey] = []
-        partial: Dict[NodeKey, Set[DomainName]] = {}
-        work: List[Tuple[NodeKey, Iterator[NodeKey]]] = []
+        # memoized and the component's closure is the union (bitwise OR) of
+        # its members' own contribution bits and those successor closures.
+        index: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        scc_stack: List[int] = []
+        partial: Dict[int, int] = {}
+        work: List[Tuple[int, Iterator[int]]] = []
         counter = 0
 
-        def open_node(n: NodeKey) -> None:
+        def open_node(n: int) -> None:
             nonlocal counter
             index[n] = low[n] = counter
             counter += 1
             scc_stack.append(n)
             on_stack.add(n)
-            partial[n] = self._own_contribution(n)
-            work.append((n, iter(graph.successors(n))))
+            slot = ns_slots[n]
+            partial[n] = self._slot_bit(slot) if slot >= 0 else 0
+            if offsets is not None:
+                work.append((n, iter(targets[offsets[n]:offsets[n + 1]])))
+            else:
+                work.append((n, iter(out[n])))
 
         open_node(node)
         while work:
@@ -183,17 +256,16 @@ class ClosureIndex:
                 continue
             work.pop()
             if low[current] == index[current]:
-                members: List[NodeKey] = []
+                members: List[int] = []
                 while True:
                     member = scc_stack.pop()
                     on_stack.discard(member)
                     members.append(member)
                     if member == current:
                         break
-                union: Set[DomainName] = set()
+                shared = 0
                 for member in members:
-                    union |= partial.pop(member)
-                shared = frozenset(union)
+                    shared |= partial.pop(member)
                 for member in members:
                     memo[member] = shared
                 self.computations += len(members)
@@ -206,63 +278,97 @@ class ClosureIndex:
                     partial[parent] |= finished
         return memo[node]
 
-    def successors_split(self, node: NodeKey
-                         ) -> Tuple[List[NodeKey], List[NodeKey]]:
-        """The node's successors split into (zones, nameservers).
+    # -- adjacency splits --------------------------------------------------------------
+
+    def split_ids(self, node: int) -> Tuple[List[int], List[int]]:
+        """Integer successors of ``node`` split into (zones, nameservers).
 
         Successor order is preserved.  The split lists are cached (the
         bottleneck recursion reads them millions of times per survey) and
         dropped by the same invalidation pass as the closures; callers must
         not mutate them.
         """
-        cached = self._adjacency.get(node)
+        cached = self._split.get(node)
         if cached is not None:
             return cached
-        zones: List[NodeKey] = []
-        nameservers: List[NodeKey] = []
-        if node not in self._graph:
-            # Not cached: the node may be added (with edges) later, which
-            # would not trigger invalidation for a first-ever edge.
-            return (zones, nameservers)
-        for succ in self._graph.successors(node):
-            if succ[0] == ZONE_KIND:
+        zones: List[int] = []
+        nameservers: List[int] = []
+        kinds = self._graph.kinds
+        for succ in self._graph.out[node]:
+            kind = kinds[succ]
+            if kind == ZONE_CODE:
                 zones.append(succ)
-            elif succ[0] == NS_KIND:
+            elif kind == NS_CODE:
                 nameservers.append(succ)
         split = (zones, nameservers)
-        self._adjacency[node] = split
+        self._split[node] = split
         return split
+
+    def successors_split(self, node: NodeKey
+                         ) -> Tuple[List[NodeKey], List[NodeKey]]:
+        """The node's successors split into (zones, nameservers), as keys."""
+        node_id = self._graph.find_key(node)
+        if node_id is None:
+            # Not cached: the node may be added (with edges) later, which
+            # would not trigger invalidation for a first-ever edge.
+            return ([], [])
+        cached = self._key_split.get(node_id)
+        if cached is not None:
+            return cached
+        zones, nameservers = self.split_ids(node_id)
+        key_of = self._graph.key_of
+        split = ([key_of(z) for z in zones], [key_of(n) for n in nameservers])
+        self._key_split[node_id] = split
+        return split
+
+    # -- invalidation -------------------------------------------------------------------
 
     def clear(self) -> None:
         """Drop every memoized closure (companion memos included)."""
         self._memo.clear()
-        self._adjacency.clear()
+        self._split.clear()
+        self._key_split.clear()
         for companion in self._companions:
             companion.clear()
         self.version += 1
+        # A full clear happens when a shard universe was just absorbed; the
+        # merged graph is typically final, so freeze the CSR snapshot now
+        # and the recomputation walks the arrays instead of the rows.
+        self._graph.csr()
 
     def invalidate(self, node: NodeKey) -> None:
         """Drop memoized closures for ``node`` and everything reaching it."""
-        if not self._memo and not self._adjacency \
+        node_id = self._graph.find_key(node)
+        if node_id is None:
+            return
+        self.invalidate_id(node_id)
+
+    def invalidate_id(self, node: int) -> None:
+        """Integer-id variant of :meth:`invalidate` (the builder's path)."""
+        if not self._memo and not self._split and not self._key_split \
                 and not any(self._companions):
             return
-        if node not in self._graph:
-            return
+        memo = self._memo
+        split = self._split
+        key_split = self._key_split
+        companions = self._companions
+        inn = self._graph.inn
         seen = {node}
         stack = [node]
         dropped = 0
-        predecessors = self._graph.predecessors
         while stack:
             current = stack.pop()
-            if self._memo.pop(current, None) is not None:
+            if memo.pop(current, None) is not None:
                 self.invalidations += 1
                 dropped += 1
-            if self._adjacency.pop(current, None) is not None:
+            if split.pop(current, None) is not None:
                 dropped += 1
-            for companion in self._companions:
+            if key_split.pop(current, None) is not None:
+                dropped += 1
+            for companion in companions:
                 if companion.pop(current, None) is not None:
                     dropped += 1
-            for pred in predecessors(current):
+            for pred in inn[current]:
                 if pred not in seen:
                     seen.add(pred)
                     stack.append(pred)
@@ -273,16 +379,20 @@ class ClosureIndex:
 class DelegationView:
     """Read-only accessors shared by :class:`DelegationGraph` / :class:`TCBView`.
 
-    Subclasses provide ``target`` (the surveyed name), ``graph`` (a DiGraph
-    in the module's node encoding that contains at least everything reachable
-    from the target), ``excluded_suffixes``, and an implementation of
-    :meth:`tcb`.  All structure accessors follow successor edges from the
-    target, so they observe exactly the nodes a per-name subgraph copy would
-    contain even when ``graph`` is the whole shared universe.
+    Subclasses provide ``target`` (the surveyed name), ``graph`` (a digraph
+    in the module's NodeKey encoding that contains at least everything
+    reachable from the target — a :class:`~repro.core.graphcore.KeyGraph`,
+    the shared :class:`~repro.core.graphcore.DependencyUniverse`, or any
+    object with the same ``successors``/``nodes`` surface, e.g. a
+    ``networkx.DiGraph`` built by a test), ``excluded_suffixes``, and an
+    implementation of :meth:`tcb`.  All structure accessors follow successor
+    edges from the target, so they observe exactly the nodes a per-name
+    subgraph copy would contain even when ``graph`` is the whole shared
+    universe.
     """
 
     target: DomainName
-    graph: nx.DiGraph
+    graph: object
     excluded_suffixes: Tuple[DomainName, ...]
 
     # -- TCB ------------------------------------------------------------------
@@ -343,23 +453,44 @@ class DelegationView:
         """
         source = name_node(self.target)
         destination = ns_node(hostname)
-        if destination not in self.graph:
+        graph = self.graph
+        if destination not in graph:
             return []
-        try:
-            return nx.shortest_path(self.graph, source, destination)
-        except nx.NetworkXNoPath:
-            return []
+        if source == destination:
+            return [source]
+        # Breadth-first search: parents recorded on first visit yield one
+        # shortest path.
+        parents: Dict[NodeKey, NodeKey] = {source: source}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[NodeKey] = []
+            for node in frontier:
+                for succ in graph.successors(node):
+                    if succ in parents:
+                        continue
+                    parents[succ] = node
+                    if succ == destination:
+                        path = [succ]
+                        while path[-1] != source:
+                            path.append(parents[path[-1]])
+                        path.reverse()
+                        return path
+                    next_frontier.append(succ)
+            frontier = next_frontier
+        return []
 
 
 class DelegationGraph(DelegationView):
     """The delegation graph of a single domain name.
 
-    Wraps a :class:`networkx.DiGraph` whose nodes follow the encoding
-    described in the module docstring, and provides the accessors the
-    analyses need (TCB extraction, zone/nameserver views, dependency paths).
+    Wraps a digraph whose nodes follow the NodeKey encoding described in the
+    module docstring (a :class:`~repro.core.graphcore.KeyGraph` when built
+    by the builder; hand-built graphs with the same ``successors``/``nodes``
+    surface work too), and provides the accessors the analyses need (TCB
+    extraction, zone/nameserver views, dependency paths).
     """
 
-    def __init__(self, target: NameLike, graph: nx.DiGraph,
+    def __init__(self, target: NameLike, graph,
                  excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES):
         self.target = DomainName(target)
         self.graph = graph
@@ -403,26 +534,49 @@ class DelegationGraph(DelegationView):
 
 
 class TCBView(DelegationView):
-    """A zero-copy per-name view backed by the shared universe graph.
+    """A zero-copy per-name view backed by the shared integer universe.
 
     Provides everything the TCB report and the bottleneck analysis need —
     :meth:`tcb` / :meth:`tcb_size` / :meth:`in_bailiwick_servers` /
     :meth:`zones_of` / :meth:`nameservers_of_zone` — without materialising a
-    copied subgraph.  The TCB itself comes from the builder's
-    :class:`ClosureIndex` and is fixed at construction time; ask the builder
-    for a fresh view (or a full :class:`DelegationGraph`) after the universe
-    has grown.
+    copied subgraph.  The TCB itself is an NS-slot bitset from the builder's
+    :class:`ClosureIndex`, fixed at construction time; names are
+    materialised from it lazily (and shared across views with equal masks).
+    Ask the builder for a fresh view (or a full :class:`DelegationGraph`)
+    after the universe has grown.
+
+    Integer-path consumers (:class:`~repro.core.mincut.BottleneckAnalyzer`,
+    :class:`~repro.core.availability.AvailabilityAnalyzer`) reach the raw
+    core through :meth:`int_core`; the ids they see are builder-local and
+    must never cross a process boundary.
     """
 
-    def __init__(self, target: NameLike, universe: nx.DiGraph,
-                 closure: FrozenSet[DomainName],
-                 excluded_suffixes: Sequence[str] = DEFAULT_EXCLUDED_SUFFIXES,
-                 structure: Optional[ClosureIndex] = None):
+    def __init__(self, target: NameLike, universe: DependencyUniverse,
+                 mask: int, excluded_suffixes: Sequence[str] =
+                 DEFAULT_EXCLUDED_SUFFIXES,
+                 structure: Optional[ClosureIndex] = None,
+                 target_id: Optional[int] = None):
         self.target = DomainName(target)
         self.graph = universe
         self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
-        self._closure = closure
+        self._mask = mask
         self._structure = structure
+        self._target_id = target_id if target_id is not None else \
+            universe.find_id(NAME_CODE, self.target)
+
+    # -- integer core -----------------------------------------------------------
+
+    def int_core(self) -> Optional[Tuple[DependencyUniverse, ClosureIndex, int]]:
+        """(universe, closure index, target id) for integer fast paths."""
+        if self._structure is None or self._target_id is None:
+            return None
+        return (self.graph, self._structure, self._target_id)
+
+    def tcb_mask(self) -> int:
+        """The TCB as an NS-slot bitset (do not persist across processes)."""
+        return self._mask
+
+    # -- NodeKey accessors -------------------------------------------------------
 
     def zones_of(self, node: NodeKey) -> List[NodeKey]:
         if self._structure is None:
@@ -435,20 +589,23 @@ class TCBView(DelegationView):
         return self._structure.successors_split(zone)[1]
 
     def tcb(self) -> Set[DomainName]:
-        return set(self._closure)
+        return set(self.tcb_frozen())
 
     def tcb_size(self) -> int:
-        return len(self._closure)
+        return self._mask.bit_count()
 
     def tcb_frozen(self) -> FrozenSet[DomainName]:
         """The TCB as the shared (do-not-mutate) frozenset."""
-        return self._closure
+        if self._structure is not None:
+            return self._structure.mask_set(self._mask)
+        return frozenset(self.graph.mask_to_hosts(self._mask))
 
     def in_bailiwick_servers(self) -> Set[DomainName]:
         zone = self.authoritative_zone()
         if zone is None:
             return set()
-        return {host for host in self._closure if host.is_subdomain_of(zone)}
+        return {host for host in self.graph.mask_to_hosts(self._mask)
+                if host.is_subdomain_of(zone)}
 
     def __repr__(self) -> str:
         return f"TCBView({self.target!s}, {self.tcb_size()} nameservers)"
@@ -474,7 +631,7 @@ class DelegationGraphBuilder:
         self.resolver = resolver
         self.excluded_suffixes = tuple(DomainName(s) for s in excluded_suffixes)
         self.max_depth = max_depth
-        self._universe = nx.DiGraph()
+        self._universe = DependencyUniverse()
         self._closures = ClosureIndex(self._universe, self.excluded_suffixes)
         self._chain_cache: Dict[DomainName, List[ZoneCut]] = {}
         self._expanded_hosts: Set[DomainName] = set()
@@ -484,7 +641,7 @@ class DelegationGraphBuilder:
     # -- public ---------------------------------------------------------------------
 
     @property
-    def universe(self) -> nx.DiGraph:
+    def universe(self) -> DependencyUniverse:
         """The shared dependency graph accumulated across all builds."""
         return self._universe
 
@@ -500,37 +657,37 @@ class DelegationGraphBuilder:
         only the TCB / bottleneck accessors are needed.
         """
         target = DomainName(name)
-        self._ensure_name(target)
-        source = name_node(target)
-        reachable = nx.descendants(self._universe, source) | {source}
-        subgraph = self._universe.subgraph(reachable).copy()
+        source_id = self._ensure_name(target)
+        subgraph = self._universe.subgraph_copy(source_id)
         return DelegationGraph(target, subgraph,
                                excluded_suffixes=self.excluded_suffixes)
 
     def tcb_view(self, name: NameLike) -> TCBView:
         """Discover ``name`` and return a zero-copy view of its closure."""
         target = DomainName(name)
-        self._ensure_name(target)
-        closure = self._closures.closure(name_node(target))
-        return TCBView(target, self._universe, closure,
+        source_id = self._ensure_name(target)
+        mask = self._closures.closure_mask_id(source_id)
+        return TCBView(target, self._universe, mask,
                        excluded_suffixes=self.excluded_suffixes,
-                       structure=self._closures)
+                       structure=self._closures, target_id=source_id)
 
     def closure_of(self, name: NameLike) -> FrozenSet[DomainName]:
         """The memoized TCB of ``name`` (discovering it if needed)."""
         target = DomainName(name)
-        self._ensure_name(target)
-        return self._closures.closure(name_node(target))
+        source_id = self._ensure_name(target)
+        return self._closures.mask_set(
+            self._closures.closure_mask_id(source_id))
 
     def absorb(self, other: "DelegationGraphBuilder") -> None:
         """Fold another builder's discovered universe into this one.
 
         Used by the sharded survey backends to merge per-shard universes
         back into the primary builder: nodes, edges, chain caches, and
-        expansion markers are adopted, and the closure memo is reset because
-        merged edges may extend existing closures.
+        expansion markers are adopted (re-interned — integer ids are
+        builder-local), and the closure memo is reset because merged edges
+        may extend existing closures.
         """
-        self._universe.update(other._universe)
+        self._universe.merge(other._universe)
         self._chain_cache.update(other._chain_cache)
         self._expanded_hosts |= other._expanded_hosts
         self._expanded_names |= other._expanded_names
@@ -560,7 +717,7 @@ class DelegationGraphBuilder:
 
     def discovered_nameservers(self) -> Set[DomainName]:
         """Every nameserver hostname discovered so far (survey-wide)."""
-        return {key[1] for key in self._universe.nodes if key[0] == NS_KIND}
+        return set(self._universe.slot_hosts)
 
     # -- internals --------------------------------------------------------------------
 
@@ -568,48 +725,44 @@ class DelegationGraphBuilder:
         return any(hostname.is_subdomain_of(suffix)
                    for suffix in self.excluded_suffixes)
 
-    def _add_edge(self, dependent: NodeKey, dependency: NodeKey) -> None:
+    def _add_edge_ids(self, dependent: int, dependency: int) -> None:
         """Add a dependency edge, invalidating stale closures if needed."""
-        universe = self._universe
-        if universe.has_edge(dependent, dependency):
-            return
-        known = dependent in universe
-        universe.add_edge(dependent, dependency)
-        if known:
+        if self._universe.add_edge_ids(dependent, dependency):
             # The dependent (and everything that reaches it) may have a
             # memoized closure that no longer covers this new dependency.
-            self._closures.invalidate(dependent)
+            self._closures.invalidate_id(dependent)
 
-    def _ensure_name(self, target: DomainName) -> None:
+    def _ensure_name(self, target: DomainName) -> int:
         """Add the target name's chain (and its closure) to the universe."""
+        universe = self._universe
         if target in self._expanded_names:
-            return
+            return universe.ensure_id(NAME_CODE, target)
         self._expanded_names.add(target)
-        source = name_node(target)
-        self._universe.add_node(source)
+        source = universe.ensure_id(NAME_CODE, target)
         for cut in self.chain(target):
             self._add_zone_cut(source, cut, depth=0)
+        return source
 
-    def _add_zone_cut(self, dependent: NodeKey, cut: ZoneCut,
+    def _add_zone_cut(self, dependent: int, cut: ZoneCut,
                       depth: int) -> None:
         """Record ``dependent -> zone -> nameservers`` and expand hostnames."""
-        znode = zone_node(cut.zone)
-        self._add_edge(dependent, znode)
+        universe = self._universe
+        znode = universe.ensure_id(ZONE_CODE, cut.zone)
+        self._add_edge_ids(dependent, znode)
         for hostname in cut.nameservers:
             if self._is_excluded(hostname):
                 continue
-            hnode = ns_node(hostname)
-            self._add_edge(znode, hnode)
-            self._expand_host(hostname, depth + 1)
+            hnode = universe.ensure_id(NS_CODE, hostname)
+            self._add_edge_ids(znode, hnode)
+            self._expand_host(hostname, hnode, depth + 1)
 
-    def _expand_host(self, hostname: DomainName, depth: int) -> None:
+    def _expand_host(self, hostname: DomainName, hnode: int,
+                     depth: int) -> None:
         """Add a nameserver hostname's own dependency chain to the universe."""
         if hostname in self._expanded_hosts:
             return
         if depth > self.max_depth:
             return
         self._expanded_hosts.add(hostname)
-        hnode = ns_node(hostname)
-        self._universe.add_node(hnode)
         for cut in self.chain(hostname):
             self._add_zone_cut(hnode, cut, depth)

@@ -212,12 +212,14 @@ class SurveyAggregator:
         self._progress = progress
         self._lock = threading.Lock()
         self.completed = 0
+        self.resolved_count = 0
 
     def add_record(self, index: int, record: NameRecord) -> None:
         """Fold one name's record into the aggregate state."""
         with self._lock:
             self._records[index] = record
             if record.resolved:
+                self.resolved_count += 1
                 counts = self._counts
                 for host in record.tcb_servers:
                     counts[host] = counts.get(host, 0) + 1
@@ -225,6 +227,18 @@ class SurveyAggregator:
             done = self.completed
         if self._progress is not None:
             self._progress(done, self._total)
+
+    # -- accessors for pass finalizers ---------------------------------------------
+
+    def server_counts(self) -> Dict[DomainName, int]:
+        """Per-server "appears in this many resolved TCBs" counts (a copy)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def vulnerability_flags(self) -> Dict[DomainName, bool]:
+        """Per-host vulnerability flags merged from every shard (a copy)."""
+        with self._lock:
+            return dict(self._vulnerability_map)
 
     def merge_context(self, context: WorkerContext) -> None:
         """Adopt a worker context's fingerprints and vulnerability maps."""
@@ -369,6 +383,11 @@ class SurveyEngine:
         }
         for pass_ in self.passes:
             metadata.update(pass_.metadata())
+        # Cross-record reduces: every record (and every shard's maps) has
+        # been folded by now, and the aggregator state is identical on all
+        # backends, so finalizer output is too.
+        for pass_ in self.passes:
+            metadata.update(pass_.finalize(aggregator))
         return aggregator.results(popular, metadata)
 
     # -- backends -----------------------------------------------------------------------

@@ -1,0 +1,414 @@
+"""Integer-interned graph core: the name table and the CSR dependency universe.
+
+The survey is fundamentally a transitive-closure computation over hundreds of
+thousands of names, and the engine's hot loops (closure unions, the min-cut
+and availability recursions, Monte-Carlo trials) used to round-trip through
+``(kind, DomainName)`` tuples, Python ``set``s, and a ``networkx.DiGraph``.
+Every membership test hashed a label tuple; every closure union copied a
+``frozenset``.
+
+This module provides the compact core those loops now run on:
+
+* :class:`NameTable` — interns every :class:`~repro.dns.name.DomainName`
+  seen during discovery into a dense integer id (and back);
+* :class:`DependencyUniverse` — the shared dependency graph over integer
+  node ids, with per-kind node typing, insertion-ordered adjacency (so
+  iteration order matches what a ``networkx.DiGraph`` built by the same
+  edge sequence would produce), reverse edges for ancestor invalidation,
+  a dense *nameserver slot* per NS node (the bit position used by bitset
+  closures, TCB masks, and Monte-Carlo masks), and a CSR
+  (offsets/targets) snapshot rebuilt lazily when the graph has grown;
+* :class:`KeyGraph` — a tiny insertion-ordered digraph over ``(kind,
+  DomainName)`` node keys, used for materialised per-name subgraph copies
+  (:meth:`~repro.core.delegation.DelegationGraphBuilder.build`) so that
+  ``core.delegation`` no longer needs ``networkx`` at all.
+
+Node keys versus node ids
+-------------------------
+
+Integer ids are *process-local and builder-local*: two worker shards
+discovering the same universe assign different ids to the same node, and the
+``process`` backend must therefore never ship raw ids over the pipe.  The
+NodeKey tuple API (``add_edge``, ``successors``, ``nodes``, ``edges``, ...)
+remains the stable, name-based boundary — ids live only inside one builder's
+closure index, analyzers, and memos, and are translated back to
+:class:`~repro.dns.name.DomainName` at the record/snapshot boundary.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dns.name import DomainName
+
+#: Node kinds (string constants shared with :mod:`repro.core.delegation`).
+NAME_KIND = "name"
+ZONE_KIND = "zone"
+NS_KIND = "ns"
+
+#: Integer codes for the three node kinds.
+NAME_CODE = 0
+ZONE_CODE = 1
+NS_CODE = 2
+
+KIND_CODES: Dict[str, int] = {NAME_KIND: NAME_CODE, ZONE_KIND: ZONE_CODE,
+                              NS_KIND: NS_CODE}
+KIND_STRINGS: Tuple[str, str, str] = (NAME_KIND, ZONE_KIND, NS_KIND)
+
+NodeKey = Tuple[str, DomainName]
+
+
+class NameTable:
+    """Interns :class:`DomainName` instances into dense integer ids.
+
+    Ids are assigned in first-seen order and never reused; the table is
+    append-only, so an id handed out once stays valid for the lifetime of
+    the table.
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: Dict[DomainName, int] = {}
+        self._names: List[DomainName] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: DomainName) -> bool:
+        return name in self._ids
+
+    def intern(self, name: DomainName) -> int:
+        """The id for ``name``, assigning the next dense id if unseen."""
+        ids = self._ids
+        found = ids.get(name)
+        if found is None:
+            found = len(self._names)
+            ids[name] = found
+            self._names.append(name)
+        return found
+
+    def id_of(self, name: DomainName) -> Optional[int]:
+        """The id for ``name``, or ``None`` if it was never interned."""
+        return self._ids.get(name)
+
+    def name_of(self, name_id: int) -> DomainName:
+        """The :class:`DomainName` interned under ``name_id``."""
+        return self._names[name_id]
+
+
+class DependencyUniverse:
+    """The shared dependency graph over integer-interned nodes.
+
+    Nodes are ``(kind, DomainName)`` pairs interned to dense integer ids;
+    edges are stored twice (forward adjacency for closure/analysis walks,
+    reverse adjacency for ancestor invalidation), both insertion-ordered.
+    Every NS node additionally receives a dense *slot* — the bit position
+    that represents the server in closure bitsets, TCB masks, vulnerability
+    masks, and Monte-Carlo sample masks.
+
+    The class speaks two dialects:
+
+    * the **integer API** (``ensure_id`` / ``find_id`` / ``out_ids`` /
+      ``csr`` / ...) used by the hot paths, and
+    * a **NodeKey duck API** (``add_edge`` / ``successors`` / ``nodes`` /
+      ``edges`` / ``__contains__`` / ...) mirroring the subset of the
+      ``networkx.DiGraph`` surface the rest of the code base and the test
+      suite use, so hand-built universes keep working without networkx.
+    """
+
+    __slots__ = ("names", "_ids", "kinds", "name_ids", "out", "inn",
+                 "ns_slots", "slot_hosts", "slot_nodes", "_edge_count",
+                 "mutations", "_csr", "_csr_mutations")
+
+    def __init__(self, names: Optional[NameTable] = None) -> None:
+        self.names = names if names is not None else NameTable()
+        #: (name_id * 3 + kind_code) -> node id; packed-int keys hash as
+        #: themselves, so lookups never touch DomainName.__hash__.
+        self._ids: Dict[int, int] = {}
+        self.kinds = array("b")          #: kind code per node id
+        self.name_ids = array("l")       #: name-table id per node id
+        self.out: List[List[int]] = []   #: forward adjacency (insertion order)
+        self.inn: List[List[int]] = []   #: reverse adjacency
+        self.ns_slots = array("l")       #: NS slot per node id (-1 otherwise)
+        self.slot_hosts: List[DomainName] = []   #: slot -> hostname
+        self.slot_nodes = array("l")     #: slot -> node id
+        self._edge_count = 0
+        #: Bumped on every node or edge addition; derived caches (CSR
+        #: snapshot, closure splits) key on it.
+        self.mutations = 0
+        self._csr: Optional[Tuple[array, array]] = None
+        self._csr_mutations = -1
+
+    # -- integer API ----------------------------------------------------------------
+
+    def ensure_id(self, kind_code: int, name: DomainName) -> int:
+        """The node id for ``(kind, name)``, creating the node if needed."""
+        packed = self.names.intern(name) * 3 + kind_code
+        ids = self._ids
+        found = ids.get(packed)
+        if found is None:
+            found = len(self.kinds)
+            ids[packed] = found
+            self.kinds.append(kind_code)
+            self.name_ids.append(packed // 3)
+            self.out.append([])
+            self.inn.append([])
+            if kind_code == NS_CODE:
+                slot = len(self.slot_hosts)
+                self.ns_slots.append(slot)
+                self.slot_hosts.append(name)
+                self.slot_nodes.append(found)
+            else:
+                self.ns_slots.append(-1)
+            self.mutations += 1
+        return found
+
+    def find_id(self, kind_code: int, name: DomainName) -> Optional[int]:
+        """The node id for ``(kind, name)``, or ``None`` if absent."""
+        name_id = self.names.id_of(name)
+        if name_id is None:
+            return None
+        return self._ids.get(name_id * 3 + kind_code)
+
+    def add_edge_ids(self, source: int, target: int) -> bool:
+        """Add ``source -> target``; returns False if it already existed."""
+        row = self.out[source]
+        if target in row:
+            return False
+        row.append(target)
+        self.inn[target].append(source)
+        self._edge_count += 1
+        self.mutations += 1
+        return True
+
+    def node_name(self, node_id: int) -> DomainName:
+        """The :class:`DomainName` of ``node_id``."""
+        return self.names.name_of(self.name_ids[node_id])
+
+    def key_of(self, node_id: int) -> NodeKey:
+        """The ``(kind, DomainName)`` key of ``node_id``."""
+        return (KIND_STRINGS[self.kinds[node_id]],
+                self.names.name_of(self.name_ids[node_id]))
+
+    def slot_count(self) -> int:
+        """How many NS slots (bit positions) have been assigned."""
+        return len(self.slot_hosts)
+
+    def mask_to_hosts(self, mask: int) -> List[DomainName]:
+        """Materialise a slot bitset into its hostnames (slot order)."""
+        hosts = self.slot_hosts
+        out: List[DomainName] = []
+        slot = 0
+        while mask:
+            chunk = mask & 0xFFFFFFFF
+            while chunk:
+                low = chunk & -chunk
+                out.append(hosts[slot + low.bit_length() - 1])
+                chunk ^= low
+            mask >>= 32
+            slot += 32
+        return out
+
+    def csr(self) -> Tuple[array, array]:
+        """The forward adjacency as CSR ``(offsets, targets)`` arrays.
+
+        Rebuilt lazily whenever the universe has grown since the last
+        snapshot (one linear pass).  During discovery the graph grows
+        between closure queries, so the hot loops iterate the growable
+        ``out`` rows and only pick the frozen arrays up via
+        :meth:`csr_if_fresh`; once the universe stops changing (post-run
+        inspection, sharded-merge recomputation, equivalence tooling) the
+        snapshot stays valid and the closure Tarjan walks it instead.
+        """
+        if self._csr is None or self._csr_mutations != self.mutations:
+            offsets = array("l")
+            targets = array("l")
+            total = 0
+            offsets.append(0)
+            for row in self.out:
+                total += len(row)
+                offsets.append(total)
+                targets.extend(row)
+            self._csr = (offsets, targets)
+            self._csr_mutations = self.mutations
+        return self._csr
+
+    def csr_if_fresh(self) -> Optional[Tuple[array, array]]:
+        """The CSR snapshot if it still matches the graph, else ``None``.
+
+        Never triggers a rebuild — the cheap staleness probe hot loops use
+        to pick the frozen arrays up opportunistically.
+        """
+        if self._csr is not None and self._csr_mutations == self.mutations:
+            return self._csr
+        return None
+
+    # -- NodeKey duck API (networkx.DiGraph subset) ----------------------------------
+
+    def ensure_key(self, key: NodeKey) -> int:
+        """Node id for a ``(kind, DomainName)`` key, creating if needed."""
+        return self.ensure_id(KIND_CODES[key[0]], key[1])
+
+    def find_key(self, key: NodeKey) -> Optional[int]:
+        """Node id for a key, or ``None`` if absent."""
+        kind_code = KIND_CODES.get(key[0])
+        if kind_code is None:
+            return None
+        return self.find_id(kind_code, key[1])
+
+    def add_node(self, key: NodeKey) -> None:
+        self.ensure_key(key)
+
+    def add_edge(self, source: NodeKey, target: NodeKey) -> None:
+        self.add_edge_ids(self.ensure_key(source), self.ensure_key(target))
+
+    def has_edge(self, source: NodeKey, target: NodeKey) -> bool:
+        source_id = self.find_key(source)
+        if source_id is None:
+            return False
+        target_id = self.find_key(target)
+        if target_id is None:
+            return False
+        return target_id in self.out[source_id]
+
+    def __contains__(self, key) -> bool:
+        try:
+            return self.find_key(key) is not None
+        except (TypeError, IndexError):
+            return False
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def nodes(self) -> Iterator[NodeKey]:
+        """Node keys in insertion (id) order."""
+        return (self.key_of(node_id) for node_id in range(len(self.kinds)))
+
+    @property
+    def edges(self) -> Iterator[Tuple[NodeKey, NodeKey]]:
+        """Edge keys, grouped by source node in insertion order."""
+        return ((self.key_of(source), self.key_of(target))
+                for source in range(len(self.kinds))
+                for target in self.out[source])
+
+    def successors(self, key: NodeKey) -> Iterator[NodeKey]:
+        node_id = self.find_key(key)
+        if node_id is None:
+            raise KeyError(f"node {key!r} not in universe")
+        return (self.key_of(target) for target in self.out[node_id])
+
+    def predecessors(self, key: NodeKey) -> Iterator[NodeKey]:
+        node_id = self.find_key(key)
+        if node_id is None:
+            raise KeyError(f"node {key!r} not in universe")
+        return (self.key_of(source) for source in self.inn[node_id])
+
+    def number_of_nodes(self) -> int:
+        return len(self.kinds)
+
+    def number_of_edges(self) -> int:
+        return self._edge_count
+
+    # -- projections -----------------------------------------------------------------
+
+    def reachable_ids(self, source: int) -> List[int]:
+        """Every node reachable from ``source`` (source included), DFS order."""
+        seen = {source}
+        stack = [source]
+        out = self.out
+        order = [source]
+        while stack:
+            for target in out[stack.pop()]:
+                if target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+                    order.append(target)
+        return order
+
+    def subgraph_copy(self, source: int) -> "KeyGraph":
+        """A materialised :class:`KeyGraph` of everything ``source`` reaches."""
+        members = self.reachable_ids(source)
+        members.sort()  # insertion (discovery) order, matching the universe
+        keep = set(members)
+        graph = KeyGraph()
+        for node_id in members:
+            graph.add_node(self.key_of(node_id))
+        for node_id in members:
+            source_key = self.key_of(node_id)
+            for target in self.out[node_id]:
+                if target in keep:
+                    graph.add_edge(source_key, self.key_of(target))
+        return graph
+
+    def merge(self, other: "DependencyUniverse") -> None:
+        """Adopt every node and edge of ``other`` (ids are re-interned)."""
+        translation = array("l", bytes(8 * len(other.kinds)))
+        for node_id in range(len(other.kinds)):
+            translation[node_id] = self.ensure_id(
+                other.kinds[node_id],
+                other.names.name_of(other.name_ids[node_id]))
+        for source in range(len(other.kinds)):
+            mapped = translation[source]
+            for target in other.out[source]:
+                self.add_edge_ids(mapped, translation[target])
+
+
+class KeyGraph:
+    """A minimal insertion-ordered digraph over ``(kind, DomainName)`` keys.
+
+    Implements the same ``networkx.DiGraph`` surface subset as
+    :class:`DependencyUniverse` — enough for :class:`DelegationGraph`, the
+    exporters, and the generic (non-integer) analysis recursions — without
+    importing networkx.  Materialised per-name subgraph copies are built on
+    this class.
+    """
+
+    __slots__ = ("_succ", "_pred")
+
+    def __init__(self) -> None:
+        self._succ: Dict[NodeKey, Dict[NodeKey, None]] = {}
+        self._pred: Dict[NodeKey, Dict[NodeKey, None]] = {}
+
+    def add_node(self, key: NodeKey) -> None:
+        if key not in self._succ:
+            self._succ[key] = {}
+            self._pred[key] = {}
+
+    def add_edge(self, source: NodeKey, target: NodeKey) -> None:
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source][target] = None
+        self._pred[target][source] = None
+
+    def has_edge(self, source: NodeKey, target: NodeKey) -> bool:
+        return target in self._succ.get(source, ())
+
+    def __contains__(self, key) -> bool:
+        return key in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def nodes(self):
+        return self._succ.keys()
+
+    @property
+    def edges(self) -> Iterator[Tuple[NodeKey, NodeKey]]:
+        return ((source, target) for source, targets in self._succ.items()
+                for target in targets)
+
+    def successors(self, key: NodeKey) -> Iterator[NodeKey]:
+        return iter(self._succ[key])
+
+    def predecessors(self, key: NodeKey) -> Iterator[NodeKey]:
+        return iter(self._pred[key])
+
+    def number_of_nodes(self) -> int:
+        return len(self._succ)
+
+    def number_of_edges(self) -> int:
+        return sum(len(targets) for targets in self._succ.values())

@@ -17,8 +17,22 @@ machine itself or by taking over the resolution of its hostname
                      min(attack(H), block(H.hostname))
 
 :class:`BottleneckAnalyzer` evaluates this recursion directly on the
-delegation graph with memoisation and cycle guards.  Two weightings are
-provided:
+delegation graph with memoisation and cycle guards.  Two implementations
+share the same structure:
+
+* the **integer path** — taken automatically for the survey engine's
+  :class:`~repro.core.delegation.TCBView`: the recursion runs on dense node
+  ids from the :class:`~repro.core.graphcore.DependencyUniverse`, candidate
+  cuts are NS-slot bitsets (union = big-int OR, dedup = AND-NOT), and
+  nothing in the loop hashes a :class:`~repro.dns.name.DomainName`;
+* the **generic path** — for materialised
+  :class:`~repro.core.delegation.DelegationGraph`\\ s (including hand-built
+  test topologies), walking ``(kind, DomainName)`` node keys.
+
+Both traverse successors in identical order and make identical tie-breaking
+decisions, so they produce identical cuts; the equivalence suite asserts it.
+
+Two weightings are provided:
 
 * **unweighted** — every server costs 1; the resulting total is the paper's
   "average min-cut of 2.5 nameservers".
@@ -37,10 +51,15 @@ the dominant pattern (the weakest zone is the name's own NS set).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.dns.name import DomainName
-from repro.core.delegation import DelegationGraph, NodeKey, name_node
+from repro.core.delegation import (
+    DelegationGraph,
+    NodeKey,
+    TCBView,
+    name_node,
+)
 
 #: Cost value representing "cannot be blocked" (e.g. behind the trusted root).
 _INFINITY = (10 ** 9, 10 ** 9)
@@ -106,61 +125,310 @@ class BottleneckAnalyzer:
     shared_memo:
         Optional cross-call memo, used by the survey engine to reuse blocking
         costs across the thousands of names that share a universe graph.
-        Only *clean* results — computed without truncating a dependency cycle
-        and without consuming a truncation-tainted value — are published to
-        it, because those are the only results independent of the path the
-        recursion took to reach the node (a node on a cycle always observes
-        its own truncation and therefore never qualifies).  Entries must be
-        purged when the underlying graph or the vulnerability flags of
-        already-analysed hosts change; the engine registers the memo with the
-        builder's :class:`~repro.core.delegation.ClosureIndex` for exactly
-        that.
+        On the integer path entries are keyed by integer node id (and cuts
+        are slot bitsets); on the generic path by NodeKey.  Only *clean*
+        results — computed without truncating a dependency cycle and without
+        consuming a truncation-tainted value — are published to it, because
+        those are the only results independent of the path the recursion
+        took to reach the node (a node on a cycle always observes its own
+        truncation and therefore never qualifies).  Entries must be purged
+        when the underlying graph or the vulnerability flags of
+        already-analysed hosts change; the engine registers the memo with
+        the builder's :class:`~repro.core.delegation.ClosureIndex` for
+        exactly that.
     """
 
     def __init__(self, vulnerability_map: Optional[Mapping[DomainName, bool]] = None,
                  vulnerability_aware: bool = True,
-                 shared_memo: Optional[Dict[NodeKey, Tuple[Tuple[int, int],
-                                            FrozenSet[DomainName]]]] = None):
+                 shared_memo: Optional[Dict] = None):
         self.vulnerability_map = dict(vulnerability_map or {})
         self.vulnerability_aware = vulnerability_aware
         self.shared_memo = shared_memo
         self._taint_events = 0
-        self._tainted: Set[NodeKey] = set()
+        self._tainted: Set = set()
+        self._prefix_state: Optional[Tuple[object, int, Dict]] = None
+        # Zone-term replay state, active only during a prefix-resumed
+        # evaluation: `_zc` maps a zone id to (cost, mask, taint-event
+        # delta) when the term was computed purely from snapshot-resident
+        # memo hits (constant across chains sharing the snapshot); `_base`
+        # is that snapshot memo.
+        self._zc: Optional[Dict[int, tuple]] = None
+        self._base: Optional[Dict] = None
+
+    def _prefix_cache(self, universe, closures) -> Dict[int, tuple]:
+        """Per-first-zone resume snapshots, valid for one closure version.
+
+        A surveyed name's node has no in-edges, so the evaluation of its
+        first direct zone (the TLD) is independent of the name: the walk,
+        its memo contents, and its taint-event count are identical for
+        every chain starting with that zone.  Snapshotting them after the
+        first zone and resuming later chains from a copy removes the
+        dominant per-chain cost (re-walking the whole TLD subtree, which
+        in-bailiwick NS cycles keep out of the clean-only shared memo)
+        without changing a single comparison the recursion makes.
+        """
+        state = self._prefix_state
+        if state is None or state[0] is not universe \
+                or state[1] != closures.version:
+            state = (universe, closures.version, {})
+            self._prefix_state = state
+        return state[2]
 
     # -- public -------------------------------------------------------------------
 
-    def analyze(self, graph: DelegationGraph) -> BottleneckResult:
+    def analyze(self, graph) -> BottleneckResult:
         """Compute the optimal attack set for ``graph``'s target name."""
+        if isinstance(graph, TCBView):
+            core = graph.int_core()
+            if core is not None:
+                return self._analyze_int(graph, core)
         memo: Dict[NodeKey, Tuple[Tuple[int, int], FrozenSet[DomainName]]] = {}
         self._taint_events = 0
         self._tainted = set()
         cost, servers = self._block_name(graph, name_node(graph.target),
                                          memo, frozenset())
-        feasible = cost < _INFINITY
-        if not feasible:
-            return BottleneckResult(name=graph.target, cut_servers=frozenset(),
-                                    safe_in_cut=0, vulnerable_in_cut=0,
-                                    feasible=False)
-        safe = sum(1 for host in servers if not self._is_vulnerable(host))
-        vulnerable = len(servers) - safe
-        return BottleneckResult(name=graph.target, cut_servers=servers,
-                                safe_in_cut=safe, vulnerable_in_cut=vulnerable,
-                                feasible=True)
+        return self._result(graph.target, cost, servers)
 
-    def analyze_unweighted(self, graph: DelegationGraph) -> BottleneckResult:
+    def analyze_unweighted(self, graph) -> BottleneckResult:
         """Convenience: the cut that minimises total size regardless of vulns."""
         analyzer = BottleneckAnalyzer(self.vulnerability_map,
                                       vulnerability_aware=False)
         return analyzer.analyze(graph)
+
+    def _result(self, target: DomainName, cost: Tuple[int, int],
+                servers: FrozenSet[DomainName]) -> BottleneckResult:
+        feasible = cost < _INFINITY
+        if not feasible:
+            return BottleneckResult(name=target, cut_servers=frozenset(),
+                                    safe_in_cut=0, vulnerable_in_cut=0,
+                                    feasible=False)
+        safe = sum(1 for host in servers if not self._is_vulnerable(host))
+        vulnerable = len(servers) - safe
+        return BottleneckResult(name=target, cut_servers=servers,
+                                safe_in_cut=safe, vulnerable_in_cut=vulnerable,
+                                feasible=True)
 
     # -- cost model ------------------------------------------------------------------
 
     def _is_vulnerable(self, hostname: DomainName) -> bool:
         return bool(self.vulnerability_map.get(hostname, False))
 
-    # -- recursion ---------------------------------------------------------------------
+    # -- integer recursion (TCBView fast path) ------------------------------------------
 
-    def _block_name(self, graph: DelegationGraph, node: NodeKey,
+    def _analyze_int(self, graph: TCBView, core) -> BottleneckResult:
+        """Top-level integer evaluation, with per-first-zone prefix resume.
+
+        Mirrors :meth:`_block_name_int` applied to the target node, except
+        that the first zone's (cost, mask, memo, taint) state is snapshotted
+        and replayed across chains sharing it — the target itself is
+        unreachable from the universe, so that state cannot depend on it.
+        """
+        universe, closures, target_id = core
+        self._taint_events = 0
+        self._tainted = set()
+        shared = self.shared_memo
+        if shared is not None:
+            hit = shared.get(target_id)
+            if hit is not None:
+                return self._result_from_mask(graph.target, universe, hit)
+        zones = closures.split_ids(target_id)[0]
+        memo: Dict[int, Tuple[Tuple[int, int], int]] = {}
+        if not zones:
+            result = (_INFINITY, 0)
+            memo[target_id] = result
+            if shared is not None:
+                shared[target_id] = result
+            return self._result_from_mask(graph.target, universe, result)
+
+        prefix = self._prefix_cache(universe, closures)
+        first = zones[0]
+        entry = prefix.get(first)
+        best_cost: Tuple[int, int] = _INFINITY
+        best_mask = 0
+        in_progress = frozenset((target_id,))
+        start = 0
+        self._zc = self._base = None
+        if entry is not None:
+            cost0, mask0, snap_memo, snap_tainted, snap_events, zone_cache \
+                = entry
+            memo = dict(snap_memo)
+            self._tainted = set(snap_tainted)
+            self._taint_events = snap_events
+            self._zc = zone_cache
+            self._base = snap_memo
+            if cost0 < best_cost:
+                best_cost, best_mask = cost0, mask0
+            start = 1
+        for index in range(start, len(zones)):
+            cost, mask, _pure = self._block_zone_int(universe, closures,
+                                                     zones[index], memo,
+                                                     in_progress)
+            if cost < best_cost:
+                best_cost, best_mask = cost, mask
+            if index == 0:
+                prefix[first] = (cost, mask, dict(memo), set(self._tainted),
+                                 self._taint_events, {})
+        result = (best_cost, best_mask)
+        if best_cost < _INFINITY:
+            memo[target_id] = result
+            if self._taint_events == 0:
+                if shared is not None:
+                    shared[target_id] = result
+            else:
+                self._tainted.add(target_id)
+        return self._result_from_mask(graph.target, universe, result)
+
+    def _result_from_mask(self, target: DomainName, universe,
+                          result: Tuple[Tuple[int, int], int]
+                          ) -> BottleneckResult:
+        cost, mask = result
+        servers = frozenset(universe.mask_to_hosts(mask)) if mask else \
+            frozenset()
+        return self._result(target, cost, servers)
+
+    def _block_name_int(self, universe, closures, node: int,
+                        memo: Dict[int, Tuple[Tuple[int, int], int]],
+                        in_progress: FrozenSet[int]
+                        ) -> Tuple[Tuple[int, int], int]:
+        """Cheapest way to block a name/host node (ids + slot bitsets)."""
+        cached = memo.get(node)
+        if cached is not None:
+            if node in self._tainted:
+                # The consumer inherits this value's context-dependence.
+                self._taint_events += 1
+            return cached
+        shared = self.shared_memo
+        if shared is not None:
+            hit = shared.get(node)
+            if hit is not None:
+                return hit
+        if node in in_progress:
+            # Cyclic dependency (mutual secondaries): this branch cannot be
+            # used to block the node more cheaply than attacking servers
+            # directly, so treat it as unblockable here.
+            self._taint_events += 1
+            return _INFINITY, 0
+        in_progress = in_progress | {node}
+        events_before = self._taint_events
+
+        zones = closures.split_ids(node)[0]
+        if not zones:
+            result = (_INFINITY, 0)
+            memo[node] = result
+            if shared is not None:
+                # A node with no zone dependencies is unblockable regardless
+                # of how the recursion reached it.
+                shared[node] = result
+            return result
+
+        best_cost: Tuple[int, int] = _INFINITY
+        best_mask = 0
+        zone_cache = self._zc
+        for zone in zones:
+            if zone_cache is not None:
+                replay = zone_cache.get(zone)
+                if replay is not None:
+                    cost, mask, delta = replay
+                    if delta:
+                        self._taint_events += delta
+                    if cost < best_cost:
+                        best_cost, best_mask = cost, mask
+                    continue
+                events_zone = self._taint_events
+                cost, mask, pure = self._block_zone_int(universe, closures,
+                                                        zone, memo,
+                                                        in_progress)
+                if pure:
+                    zone_cache[zone] = (cost, mask,
+                                        self._taint_events - events_zone)
+            else:
+                cost, mask, _pure = self._block_zone_int(universe, closures,
+                                                         zone, memo,
+                                                         in_progress)
+            if cost < best_cost:
+                best_cost, best_mask = cost, mask
+        result = (best_cost, best_mask)
+        if best_cost < _INFINITY:
+            memo[node] = result
+            if self._taint_events == events_before:
+                if shared is not None:
+                    shared[node] = result
+            else:
+                self._tainted.add(node)
+        return result
+
+    def _block_zone_int(self, universe, closures, zone: int,
+                        memo: Dict[int, Tuple[Tuple[int, int], int]],
+                        in_progress: FrozenSet[int]
+                        ) -> Tuple[Tuple[int, int], int, bool]:
+        """Cheapest way to control every nameserver delegated for a zone.
+
+        The third element of the result is the zone-term *purity* flag:
+        True when replay is active and every nameserver value came from a
+        snapshot-resident memo hit, i.e. the term may be recorded for
+        replay by the caller.
+        """
+        pure = self._zc is not None
+        base = self._base
+        nameservers = closures.split_ids(zone)[1]
+        if not nameservers:
+            return _INFINITY, 0, pure
+        total = (0, 0)
+        servers_mask = 0
+        # Direct attack cost, inlined (this loop runs millions of times per
+        # survey): compromising an already-vulnerable server is "free" in
+        # the primary component (no safe server consumed) but still counts
+        # toward the cut size in the secondary, so ties prefer smaller cuts.
+        vulnerability_aware = self.vulnerability_aware
+        vulnerability_get = self.vulnerability_map.get
+        ns_slots = universe.ns_slots
+        slot_hosts = universe.slot_hosts
+        memo_get = memo.get
+        tainted = self._tainted
+        for ns in nameservers:
+            slot = ns_slots[ns]
+            if vulnerability_aware and vulnerability_get(slot_hosts[slot],
+                                                         False):
+                direct_cost = (0, 1)
+            else:
+                direct_cost = (1, 1)
+            cached = memo_get(ns)
+            if cached is None:
+                cached = self._block_name_int(universe, closures, ns, memo,
+                                              in_progress)
+                pure = False
+            else:
+                if ns in tainted:
+                    self._taint_events += 1
+                if pure and ns not in base:
+                    pure = False
+            indirect_cost, indirect_mask = cached
+            if indirect_cost < direct_cost:
+                choice_cost, choice_mask = indirect_cost, indirect_mask
+            else:
+                choice_cost, choice_mask = direct_cost, 1 << slot
+            if choice_cost >= _INFINITY:
+                return _INFINITY, 0, pure
+            # Servers already selected for this zone's cut are not paid twice.
+            new_mask = choice_mask & ~servers_mask
+            if new_mask != choice_mask:
+                choice_cost = self._cost_of_mask(universe, new_mask)
+            total = (total[0] + choice_cost[0], total[1] + choice_cost[1])
+            servers_mask |= new_mask
+            if total >= _INFINITY:
+                return _INFINITY, 0, pure
+        return total, servers_mask, pure
+
+    def _cost_of_mask(self, universe, mask: int) -> Tuple[int, int]:
+        """Combined cost of a concrete slot bitset (used when deduplicating)."""
+        hosts = universe.mask_to_hosts(mask)
+        safe = sum(1 for host in hosts if not (
+            self.vulnerability_aware and self._is_vulnerable(host)))
+        return (safe if self.vulnerability_aware else len(hosts), len(hosts))
+
+    # -- generic recursion (materialised graphs, hand-built topologies) ------------------
+
+    def _block_name(self, graph, node: NodeKey,
                     memo: Dict, in_progress: FrozenSet[NodeKey]
                     ) -> Tuple[Tuple[int, int], FrozenSet[DomainName]]:
         """Cheapest way to block every resolution path of a name/host node."""
@@ -210,7 +478,7 @@ class BottleneckAnalyzer:
                 self._tainted.add(node)
         return result
 
-    def _block_zone(self, graph: DelegationGraph, zone: NodeKey,
+    def _block_zone(self, graph, zone: NodeKey,
                     memo: Dict, in_progress: FrozenSet[NodeKey]
                     ) -> Tuple[Tuple[int, int], FrozenSet[DomainName]]:
         """Cheapest way to control every nameserver delegated for a zone."""
@@ -219,10 +487,6 @@ class BottleneckAnalyzer:
             return _INFINITY, frozenset()
         total = (0, 0)
         servers: Set[DomainName] = set()
-        # Direct attack cost, inlined (this loop runs millions of times per
-        # survey): compromising an already-vulnerable server is "free" in
-        # the primary component (no safe server consumed) but still counts
-        # toward the cut size in the secondary, so ties prefer smaller cuts.
         vulnerability_aware = self.vulnerability_aware
         vulnerability_get = self.vulnerability_map.get
         for ns in nameservers:

@@ -111,6 +111,19 @@ class AnalysisPass:
         """Compute this pass's columns for one name."""
         raise NotImplementedError
 
+    def finalize(self, aggregator) -> Dict[str, object]:
+        """Cross-record reduce, run once after every record is aggregated.
+
+        Receives the engine's :class:`~repro.core.engine.SurveyAggregator`
+        (per-server TCB membership counts, vulnerability maps, resolved
+        totals — all backend-independent after the deterministic shard
+        merge) and returns keys folded into the survey metadata.  This is
+        the hook for analyses that are reductions over the whole survey
+        rather than per-name columns — e.g. the nameserver value ranking,
+        which used to re-walk materialised graphs post-hoc.
+        """
+        return {}
+
     @classmethod
     def from_options(cls, options: Dict[str, str]) -> "AnalysisPass":
         """Build an instance from CLI spec options (``key=value`` strings)."""
@@ -168,6 +181,7 @@ class AvailabilityPass(AnalysisPass):
                                         shared_spof_memo={})
         worker.register_companion(analyzer.shared_memo)
         worker.register_companion(analyzer.shared_spof_memo)
+        worker.register_companion(analyzer.shared_reach_memo)
         return analyzer
 
     def analyze(self, ctx: PassContext, state: AvailabilityAnalyzer
@@ -239,7 +253,13 @@ class DNSSECImpactPass(AnalysisPass):
         return {"dnssec_fraction": self.fraction}
 
     def make_state(self, worker) -> ChainValidator:
-        return ChainValidator(worker.internet.make_resolver(), seed=self.seed)
+        # Zone verdicts are per-worker memoized: the world is signed once in
+        # prepare() and never mutated during the survey, so names sharing a
+        # TLD/SLD revalidate only their leaf answer.  The validator rides
+        # the worker's own resolver: every name it validates was just
+        # discovered through it, so the zone-cut walk is a pure cache hit.
+        return ChainValidator(worker.resolver, seed=self.seed,
+                              cache_zones=True)
 
     def analyze(self, ctx: PassContext, state: ChainValidator
                 ) -> Dict[str, object]:
@@ -263,10 +283,65 @@ class DNSSECImpactPass(AnalysisPass):
         return cls(**kwargs)
 
 
+class ValueRankingPass(AnalysisPass):
+    """Nameserver value ranking (Figures 8-9) as an engine-scale reduce.
+
+    The post-hoc path (:meth:`repro.core.survey.SurveyResults.value_analyzer`)
+    re-walks every record's TCB after the survey.  As a pass, the per-server
+    counts already accumulated by the :class:`~repro.core.engine.SurveyAggregator`
+    during streaming aggregation are reduced once in :meth:`finalize` — no
+    second walk, no per-name work (``analyze`` contributes no columns), and
+    the result is identical on every backend because the aggregator's state
+    is merged deterministically.
+
+    Metadata keys: ``value_summary`` (the headline Figure 8/9 statistics)
+    and ``value_top_servers`` (the ``top`` highest-leverage servers with
+    their name counts and vulnerability flags).
+    """
+
+    name = "value"
+    columns: Tuple[str, ...] = ()
+
+    def __init__(self, top: int = 10,
+                 high_leverage_fraction: float = 0.10):
+        if top < 0:
+            raise ValueError("top must be >= 0")
+        if not 0.0 <= high_leverage_fraction <= 1.0:
+            raise ValueError("high_leverage_fraction must be within [0, 1]")
+        self.top = top
+        self.high_leverage_fraction = high_leverage_fraction
+
+    def analyze(self, ctx: PassContext, state: object) -> Dict[str, object]:
+        return {}
+
+    def finalize(self, aggregator) -> Dict[str, object]:
+        from repro.core.value import NameserverValueAnalyzer
+        analyzer = NameserverValueAnalyzer.from_counts(
+            aggregator.server_counts(), aggregator.resolved_count,
+            aggregator.vulnerability_flags())
+        summary = {key: round(value, 6) for key, value in
+                   analyzer.summary(self.high_leverage_fraction).items()}
+        top_servers = [value.to_dict()
+                       for value in analyzer.ranking()[:self.top]]
+        return {"value_summary": summary, "value_top_servers": top_servers}
+
+    @classmethod
+    def from_options(cls, options: Dict[str, str]) -> "ValueRankingPass":
+        known = {"top": int, "high_leverage_fraction": float}
+        kwargs = {}
+        for key, text in options.items():
+            if key not in known:
+                raise ValueError(f"unknown value option {key!r} "
+                                 f"(expected one of {sorted(known)})")
+            kwargs[key] = known[key](text)
+        return cls(**kwargs)
+
+
 #: Registry of spec-name -> pass class used by :func:`build_passes`.
 PASS_REGISTRY: Dict[str, type] = {
     AvailabilityPass.name: AvailabilityPass,
     DNSSECImpactPass.name: DNSSECImpactPass,
+    ValueRankingPass.name: ValueRankingPass,
 }
 
 PassSpec = Union[str, AnalysisPass]

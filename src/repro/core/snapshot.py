@@ -6,6 +6,16 @@ this reproduction: they serialise a :class:`~repro.core.survey.SurveyResults`
 to a self-describing JSON document (and back) so that expensive surveys can
 be archived, diffed across generator configurations, and re-analysed without
 re-running resolution.
+
+Snapshots are the **name boundary** of the integer-interned graph core
+(:mod:`repro.core.graphcore`): integer node ids and NS-slot bitsets are
+builder-local and never serialised — every server set reaching this module
+has already been materialised back to :class:`~repro.dns.name.DomainName`
+(and is written as sorted presentation strings), which is what keeps
+snapshots byte-identical across execution backends and across internal
+representation changes.  Pass ``finalize`` metadata (e.g. the ``value``
+pass's ranking summary) nests plain JSON values inside ``metadata`` and
+round-trips unchanged.
 """
 
 from __future__ import annotations

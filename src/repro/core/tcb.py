@@ -14,7 +14,7 @@ import dataclasses
 from typing import Dict, Mapping, Optional, Set
 
 from repro.dns.name import DomainName
-from repro.core.delegation import DelegationGraph
+from repro.core.delegation import DelegationView
 
 
 @dataclasses.dataclass
@@ -100,16 +100,19 @@ class TCBReport:
         }
 
 
-def compute_tcb_report(graph: DelegationGraph,
+def compute_tcb_report(graph: DelegationView,
                        vulnerability_map: Optional[Mapping[DomainName, bool]] = None,
                        compromisable_map: Optional[Mapping[DomainName, bool]] = None
                        ) -> TCBReport:
-    """Build a :class:`TCBReport` from a delegation graph.
+    """Build a :class:`TCBReport` from a delegation graph or zero-copy view.
 
     Parameters
     ----------
     graph:
-        The name's delegation graph.
+        The name's delegation view (a materialised
+        :class:`~repro.core.delegation.DelegationGraph` or the engine's
+        :class:`~repro.core.delegation.TCBView`, whose bitset-backed
+        ``tcb_frozen`` avoids one set copy here).
     vulnerability_map:
         Mapping from hostname to "has a known vulnerability".  Hostnames
         missing from the map are treated as safe — the paper's optimistic
@@ -121,7 +124,8 @@ def compute_tcb_report(graph: DelegationGraph,
     vulnerability_map = vulnerability_map or {}
     if compromisable_map is None:
         compromisable_map = vulnerability_map
-    servers = graph.tcb()
+    tcb_frozen = getattr(graph, "tcb_frozen", None)
+    servers = set(tcb_frozen()) if tcb_frozen is not None else graph.tcb()
     vulnerable = {host for host in servers if vulnerability_map.get(host, False)}
     compromisable = {host for host in servers
                      if compromisable_map.get(host, False)}

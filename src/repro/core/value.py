@@ -44,6 +44,23 @@ class NameserverValueAnalyzer:
         self._counts: Dict[DomainName, int] = {}
         self._total_names = 0
 
+    @classmethod
+    def from_counts(cls, counts: Mapping[DomainName, int], total_names: int,
+                    vulnerability_map: Optional[Mapping[DomainName, bool]] = None
+                    ) -> "NameserverValueAnalyzer":
+        """Build an analyzer from already-accumulated per-server counts.
+
+        The survey engine's aggregator counts TCB membership incrementally
+        while records stream in; this constructor turns that state directly
+        into rankings without re-walking any per-name TCB (the
+        ``AnalysisPass.finalize`` path of the ``value`` pass).
+        """
+        analyzer = cls(vulnerability_map)
+        analyzer._counts = {DomainName(host): int(count)
+                            for host, count in counts.items()}
+        analyzer._total_names = int(total_names)
+        return analyzer
+
     # -- accumulation ---------------------------------------------------------------
 
     def add_name(self, tcb: Iterable[NameLike]) -> None:
@@ -140,9 +157,15 @@ class NameserverValueAnalyzer:
         return [value for value in self.ranking(only_vulnerable=only_vulnerable)
                 if value.names_controlled > threshold]
 
-    def summary(self) -> Dict[str, float]:
-        """Headline statistics for reporting."""
-        high = self.high_leverage_servers()
+    def summary(self, high_leverage_fraction: float = 0.10
+                ) -> Dict[str, float]:
+        """Headline statistics for reporting.
+
+        Every ``high_leverage_*`` key uses the same threshold (the paper's
+        10% by default), so the three counts stay mutually consistent for
+        any fraction.
+        """
+        high = self.high_leverage_servers(high_leverage_fraction)
         high_hosts = {value.hostname for value in high}
         vulnerable_high = sum(1 for hostname in high_hosts
                               if self.vulnerability_map.get(hostname, False))

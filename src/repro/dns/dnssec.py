@@ -55,6 +55,10 @@ def rrset_signature(zone_apex: NameLike, rrset: RRSet, key: str) -> str:
                    rrset.rtype.name, *rdata_parts, key)
 
 
+#: Sentinel distinguishing "zone never checked" from a cached None verdict.
+_UNCHECKED = object()
+
+
 @dataclasses.dataclass
 class ValidationResult:
     """Outcome of validating one name."""
@@ -143,13 +147,22 @@ class ChainValidator:
         the delegation chain and to fetch DNSKEY/DS/RRSIG/answer RRSets.
     trust_anchor:
         The apex the validator trusts a priori (the root by default).
+    cache_zones:
+        Memoize the per-zone half of validation (DNSKEY + DS checks).  A
+        zone's verdict depends only on the zone and its fixed ancestry, so
+        names sharing a TLD or SLD revalidate nothing above their leaf —
+        the survey engine's DNSSEC pass enables this.  Only valid while the
+        world's signatures are unchanged; leave off for worlds mutated
+        between validations.
     """
 
     def __init__(self, resolver, trust_anchor: NameLike = ROOT_NAME,
-                 seed: str = "repro-dnssec"):
+                 seed: str = "repro-dnssec", cache_zones: bool = False):
         self.resolver = resolver
         self.trust_anchor = DomainName(trust_anchor)
         self.seed = seed
+        self._zone_cache: Optional[Dict[DomainName, Optional[tuple]]] = \
+            {} if cache_zones else None
 
     # -- record fetching helpers --------------------------------------------------------
 
@@ -170,6 +183,37 @@ class ChainValidator:
 
     # -- validation ------------------------------------------------------------------------
 
+    def _check_zone(self, cut, cuts) -> Optional[tuple]:
+        """Validate one delegation link: the zone's DNSKEY and parent DS.
+
+        Returns ``None`` when the link is sound, else a ``(status,
+        broken_zone, detail)`` triple.  The verdict depends only on the zone
+        and its (fixed) ancestry, never on which surveyed name led here —
+        which is what makes the ``cache_zones`` memo sound.
+        """
+        keys = self._query_zone(cut.zone, cut.nameservers, cut.zone,
+                                RRType.DNSKEY)
+        if not keys:
+            return ("insecure", cut.zone, f"zone {cut.zone} is not signed")
+        expected_key = zone_key(cut.zone, self.seed)
+        if expected_key not in keys:
+            return ("bogus", cut.zone,
+                    f"zone {cut.zone} serves an unexpected key")
+        parent = cut.zone.parent()
+        if parent != self.trust_anchor or not parent.is_root:
+            parent_cut = next((c for c in cuts if c.zone == parent), None)
+            if parent_cut is not None:
+                ds_values = self._query_zone(parent, parent_cut.nameservers,
+                                             cut.zone, RRType.DS)
+                expected_ds = _digest("ds", str(cut.zone), expected_key)
+                if not ds_values:
+                    return ("insecure", cut.zone,
+                            f"no DS for {cut.zone} in {parent}")
+                if expected_ds not in ds_values:
+                    return ("bogus", cut.zone,
+                            f"DS mismatch for {cut.zone}")
+        return None
+
     def validate(self, name: NameLike,
                  expected_addresses: Optional[Iterable[str]] = None
                  ) -> ValidationResult:
@@ -186,33 +230,20 @@ class ChainValidator:
             return ValidationResult(name=name, status="insecure",
                                     detail="no delegation chain found")
 
+        cache = self._zone_cache
         for cut in cuts:
-            keys = self._query_zone(cut.zone, cut.nameservers, cut.zone,
-                                    RRType.DNSKEY)
-            if not keys:
-                return ValidationResult(
-                    name=name, status="insecure", broken_zone=cut.zone,
-                    detail=f"zone {cut.zone} is not signed")
-            expected_key = zone_key(cut.zone, self.seed)
-            if expected_key not in keys:
-                return ValidationResult(
-                    name=name, status="bogus", broken_zone=cut.zone,
-                    detail=f"zone {cut.zone} serves an unexpected key")
-            parent = cut.zone.parent()
-            if parent != self.trust_anchor or not parent.is_root:
-                parent_cut = next((c for c in cuts if c.zone == parent), None)
-                if parent_cut is not None:
-                    ds_values = self._query_zone(parent, parent_cut.nameservers,
-                                                 cut.zone, RRType.DS)
-                    expected_ds = _digest("ds", str(cut.zone), expected_key)
-                    if not ds_values:
-                        return ValidationResult(
-                            name=name, status="insecure", broken_zone=cut.zone,
-                            detail=f"no DS for {cut.zone} in {parent}")
-                    if expected_ds not in ds_values:
-                        return ValidationResult(
-                            name=name, status="bogus", broken_zone=cut.zone,
-                            detail=f"DS mismatch for {cut.zone}")
+            if cache is not None:
+                verdict = cache.get(cut.zone, _UNCHECKED)
+                if verdict is _UNCHECKED:
+                    verdict = self._check_zone(cut, cuts)
+                    cache[cut.zone] = verdict
+            else:
+                verdict = self._check_zone(cut, cuts)
+            if verdict is not None:
+                status, broken_zone, detail = verdict
+                return ValidationResult(name=name, status=status,
+                                        broken_zone=broken_zone,
+                                        detail=detail)
 
         # Verify the answer itself against the deepest zone's signature.
         leaf = cuts[-1]

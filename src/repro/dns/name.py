@@ -45,12 +45,18 @@ class DomainName:
         iterable of labels ordered most-specific first.
     """
 
-    __slots__ = ("_labels", "_hash")
+    __slots__ = ("_labels", "_hash", "_text")
 
     def __init__(self, name: NameLike = ""):
         if isinstance(name, DomainName):
-            labels: Tuple[str, ...] = name._labels
-        elif isinstance(name, str):
+            # Copy-construction reuses the source's cached hash and text —
+            # tuples do not cache their hash, so rehashing here would cost
+            # a label walk on every NameLike normalisation.
+            object.__setattr__(self, "_labels", name._labels)
+            object.__setattr__(self, "_hash", name._hash)
+            object.__setattr__(self, "_text", name._text)
+            return
+        if isinstance(name, str):
             labels = self._parse(name)
         else:
             labels = tuple(self._validate_label(label) for label in name)
@@ -58,6 +64,7 @@ class DomainName:
                 raise NameError_(f"name too long: {'.'.join(labels)!r}")
         object.__setattr__(self, "_labels", labels)
         object.__setattr__(self, "_hash", hash(labels))
+        object.__setattr__(self, "_text", None)
 
     # -- construction helpers ------------------------------------------------
 
@@ -88,6 +95,21 @@ class DomainName:
         """Return the DNS root name (``"."``)."""
         return cls(())
 
+    @classmethod
+    def _from_labels(cls, labels: Tuple[str, ...]) -> "DomainName":
+        """Construct from already-canonical labels, skipping validation.
+
+        Internal fast path for hierarchy operations (``parent``,
+        ``ancestors``, suffix walks): any slice of a valid name's label
+        tuple is itself valid, so re-running the per-label regex would be
+        pure overhead in the resolver's hot loops.
+        """
+        name = object.__new__(cls)
+        object.__setattr__(name, "_labels", labels)
+        object.__setattr__(name, "_hash", hash(labels))
+        object.__setattr__(name, "_text", None)
+        return name
+
     # -- value-object protocol ----------------------------------------------
 
     def __setattr__(self, key, value):  # pragma: no cover - defensive
@@ -100,10 +122,23 @@ class DomainName:
         if isinstance(other, DomainName):
             return self._labels == other._labels
         if isinstance(other, str):
-            try:
-                return self._labels == DomainName(other)._labels
-            except NameError_:
-                return False
+            # Textual comparison instead of the old "construct a DomainName
+            # and compare labels" fallback, which allocated (and regex-
+            # validated) a throwaway instance on every miss in hot loops.
+            # Our own labels are canonical, so string equality against the
+            # normalised text is exact: any string that the validating
+            # constructor would map to our labels normalises to our
+            # presentation form, and invalid strings can never match it.
+            text = other.strip().lower()
+            if text in ("", "."):
+                return not self._labels
+            if text.endswith("."):
+                text = text[:-1]
+                if not text or text.endswith("."):
+                    # "..", "a.." etc. would raise in the constructor
+                    # (empty label); they must not collapse to a valid name.
+                    return False
+            return text == str(self)
         return NotImplemented
 
     def __lt__(self, other: "DomainName") -> bool:
@@ -116,7 +151,11 @@ class DomainName:
         return tuple(reversed(self._labels)) < tuple(reversed(other._labels))
 
     def __str__(self) -> str:
-        return ".".join(self._labels) if self._labels else "."
+        text = self._text
+        if text is None:
+            text = ".".join(self._labels) if self._labels else "."
+            object.__setattr__(self, "_text", text)
+        return text
 
     def __repr__(self) -> str:
         return f"DomainName({str(self)!r})"
@@ -161,7 +200,7 @@ class DomainName:
         """The second-level domain (e.g. ``cornell.edu``), or ``None``."""
         if len(self._labels) < 2:
             return None
-        return DomainName(self._labels[-2:])
+        return DomainName._from_labels(self._labels[-2:])
 
     # -- hierarchy operations --------------------------------------------------
 
@@ -173,7 +212,7 @@ class DomainName:
         """
         if not self._labels:
             return self
-        return DomainName(self._labels[1:])
+        return DomainName._from_labels(self._labels[1:])
 
     def ancestors(self, include_self: bool = False,
                   include_root: bool = True) -> Iterator["DomainName"]:
@@ -223,7 +262,7 @@ class DomainName:
             if a != b:
                 break
             common.append(a)
-        return DomainName(tuple(reversed(common)))
+        return DomainName._from_labels(tuple(reversed(common)))
 
     def relativize(self, origin: NameLike) -> Tuple[str, ...]:
         """Return the labels of this name relative to ``origin``.

@@ -112,14 +112,21 @@ class AuthoritativeServer:
         return [zone.apex for zone in self.zones()]
 
     def find_zone(self, name: NameLike) -> Optional[Zone]:
-        """The deepest zone containing ``name``, or ``None``."""
-        name = DomainName(name)
-        best: Optional[Zone] = None
-        for apex, zone in self._zones.items():
-            if name.is_subdomain_of(apex):
-                if best is None or apex.depth > best.apex.depth:
-                    best = zone
-        return best
+        """The deepest zone containing ``name``, or ``None``.
+
+        Walks the name's ancestor suffixes deepest-first against the zone
+        dictionary — O(depth) lookups instead of a scan over every zone
+        this server carries (TLD registries carry thousands).
+        """
+        if not isinstance(name, DomainName):
+            name = DomainName(name)
+        zones = self._zones
+        labels = name.labels
+        for start in range(len(labels) + 1):
+            zone = zones.get(DomainName._from_labels(labels[start:]))
+            if zone is not None:
+                return zone
+        return None
 
     def is_authoritative_for(self, name: NameLike) -> bool:
         """True if this server can answer authoritatively for ``name``."""

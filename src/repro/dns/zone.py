@@ -221,13 +221,17 @@ class Zone:
         This is the delegation a server follows when answering a query for a
         name below one of its zone cuts.
         """
-        name = DomainName(name)
-        best: Optional[Delegation] = None
-        for child, delegation in self._delegations.items():
-            if name.is_subdomain_of(child):
-                if best is None or child.depth > best.child.depth:
-                    best = delegation
-        return best
+        if not isinstance(name, DomainName):
+            name = DomainName(name)
+        delegations = self._delegations
+        labels = name.labels
+        # Deepest-first suffix walk: O(depth) dictionary probes instead of
+        # scanning every delegation (a TLD zone holds one per SLD).
+        for start in range(len(labels) + 1):
+            delegation = delegations.get(DomainName._from_labels(labels[start:]))
+            if delegation is not None:
+                return delegation
+        return None
 
     def iter_delegations(self) -> Iterator[Delegation]:
         """Iterate over all delegations in the zone."""

@@ -3,7 +3,6 @@
 import json
 import random
 
-import networkx as nx
 import pytest
 
 from repro.dns.name import DomainName
@@ -15,6 +14,7 @@ from repro.core.delegation import (
     ns_node,
     zone_node,
 )
+from repro.core.graphcore import DependencyUniverse
 from repro.core.engine import BACKENDS, EngineConfig, SurveyEngine
 from repro.core.mincut import BottleneckAnalyzer
 from repro.core.snapshot import load_results, results_to_dict, save_results
@@ -28,7 +28,7 @@ def _names(closure):
 
 
 def test_closure_index_simple_chain():
-    graph = nx.DiGraph()
+    graph = DependencyUniverse()
     graph.add_edge(name_node("www.a.test"), zone_node("a.test"))
     graph.add_edge(zone_node("a.test"), ns_node("ns1.a.test"))
     graph.add_edge(zone_node("a.test"), ns_node("ns2.a.test"))
@@ -42,7 +42,7 @@ def test_closure_index_simple_chain():
 def test_closure_index_handles_cycles():
     # Mutual secondaries: a.test served by a host whose zone depends on
     # b.test, which is served by a host whose zone depends on a.test.
-    graph = nx.DiGraph()
+    graph = DependencyUniverse()
     graph.add_edge(zone_node("a.test"), ns_node("ns.a.test"))
     graph.add_edge(ns_node("ns.a.test"), zone_node("b.test"))
     graph.add_edge(zone_node("b.test"), ns_node("ns.b.test"))
@@ -56,7 +56,7 @@ def test_closure_index_handles_cycles():
 
 
 def test_closure_index_excludes_suffixes():
-    graph = nx.DiGraph()
+    graph = DependencyUniverse()
     graph.add_edge(zone_node("a.test"), ns_node("ns.a.test"))
     graph.add_edge(zone_node("a.test"), ns_node("x.root-servers.net"))
     index = ClosureIndex(graph, (DomainName("root-servers.net"),))
@@ -64,7 +64,7 @@ def test_closure_index_excludes_suffixes():
 
 
 def test_closure_index_invalidation_recomputes():
-    graph = nx.DiGraph()
+    graph = DependencyUniverse()
     graph.add_edge(name_node("www.a.test"), zone_node("a.test"))
     graph.add_edge(zone_node("a.test"), ns_node("ns1.a.test"))
     index = ClosureIndex(graph)
@@ -78,18 +78,26 @@ def test_closure_index_invalidation_recomputes():
 
 
 def test_closure_index_unknown_node_is_empty_and_uncached():
-    graph = nx.DiGraph()
+    graph = DependencyUniverse()
     index = ClosureIndex(graph)
     assert index.closure(zone_node("ghost.test")) == frozenset()
     assert len(index) == 0
 
 
-# -- builder closure vs. nx.descendants ground truth --------------------------------------
+# -- builder closure vs. fresh-reachability ground truth -----------------------------------
 
 def _descendants_tcb(builder, name):
-    """Ground-truth TCB computed the pre-engine way (fresh every time)."""
+    """Ground-truth TCB computed the pre-engine way (fresh BFS every time)."""
+    universe = builder.universe
     source = name_node(name)
-    reachable = nx.descendants(builder.universe, source) | {source}
+    reachable = {source}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        for succ in universe.successors(node):
+            if succ not in reachable:
+                reachable.add(succ)
+                frontier.append(succ)
     return {key[1] for key in reachable
             if key[0] == NS_KIND and
             not key[1].is_subdomain_of("root-servers.net")}
@@ -109,7 +117,7 @@ def test_tcb_view_matches_descendants_on_mini_internet(mini_internet):
 
 def test_closure_memoization_matches_descendants_on_survey(small_internet,
                                                            small_survey):
-    """Regression: memoized closures == fresh nx.descendants on a sample."""
+    """Regression: memoized closures == fresh reachability on a sample."""
     survey = Survey(small_internet, popular_count=10)
     sample = random.Random(7).sample(small_survey.resolved_records(), 25)
     builder = survey.builder

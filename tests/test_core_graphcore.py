@@ -1,0 +1,376 @@
+"""The integer graph core, and integer/generic analysis equivalence.
+
+The first half unit-tests :mod:`repro.core.graphcore` (name table, universe
+duck API, CSR snapshot, slot bitsets).  The second half is the equivalence
+suite the CSR PR promises: for hand-built topologies — including cyclic
+(mutual secondaries), self-looped (in-bailiwick NS), and never-resolvable
+(dead zone) ones — the bitset/integer paths (closures, min-cut, analytic
+availability, bit-parallel Monte-Carlo, SPOF kill sets) must agree exactly
+with the frozenset/NodeKey reference paths running on a materialised
+:class:`DelegationGraph` of the same shape.
+"""
+
+import random
+
+import pytest
+
+from repro.dns.name import DomainName
+from repro.core.availability import AvailabilityAnalyzer
+from repro.core.delegation import (
+    ClosureIndex,
+    DelegationGraph,
+    TCBView,
+    name_node,
+    ns_node,
+    zone_node,
+)
+from repro.core.graphcore import (
+    DependencyUniverse,
+    KeyGraph,
+    NameTable,
+    NS_CODE,
+    ZONE_CODE,
+)
+from repro.core.mincut import BottleneckAnalyzer
+
+
+# -- graph core unit behaviour -------------------------------------------------------
+
+def test_name_table_interns_densely():
+    table = NameTable()
+    a = table.intern(DomainName("a.test"))
+    b = table.intern(DomainName("b.test"))
+    assert (a, b) == (0, 1)
+    assert table.intern(DomainName("a.test")) == a
+    assert table.name_of(b) == DomainName("b.test")
+    assert len(table) == 2
+    assert DomainName("a.test") in table
+    assert table.id_of(DomainName("ghost.test")) is None
+
+
+def test_universe_duck_api_matches_nodekey_encoding():
+    universe = DependencyUniverse()
+    universe.add_edge(name_node("www.a.test"), zone_node("a.test"))
+    universe.add_edge(zone_node("a.test"), ns_node("ns1.a.test"))
+    assert name_node("www.a.test") in universe
+    assert universe.has_edge(zone_node("a.test"), ns_node("ns1.a.test"))
+    assert not universe.has_edge(ns_node("ns1.a.test"), zone_node("a.test"))
+    assert list(universe.successors(name_node("www.a.test"))) == \
+        [zone_node("a.test")]
+    assert list(universe.predecessors(ns_node("ns1.a.test"))) == \
+        [zone_node("a.test")]
+    assert universe.number_of_nodes() == 3
+    assert universe.number_of_edges() == 2
+    assert set(universe.nodes) == {name_node("www.a.test"),
+                                   zone_node("a.test"), ns_node("ns1.a.test")}
+    assert (zone_node("a.test"), ns_node("ns1.a.test")) in set(universe.edges)
+
+
+def test_universe_assigns_ns_slots_in_discovery_order():
+    universe = DependencyUniverse()
+    universe.add_edge(zone_node("a.test"), ns_node("ns1.a.test"))
+    universe.add_edge(zone_node("a.test"), ns_node("ns2.a.test"))
+    universe.add_edge(zone_node("b.test"), ns_node("ns1.a.test"))
+    assert universe.slot_count() == 2
+    assert universe.slot_hosts[0] == DomainName("ns1.a.test")
+    assert universe.slot_hosts[1] == DomainName("ns2.a.test")
+    zone_id = universe.find_id(ZONE_CODE, DomainName("a.test"))
+    assert universe.ns_slots[zone_id] == -1
+    assert universe.mask_to_hosts(0b11) == [DomainName("ns1.a.test"),
+                                            DomainName("ns2.a.test")]
+
+
+def test_universe_csr_snapshot_tracks_growth():
+    universe = DependencyUniverse()
+    universe.add_edge(zone_node("a.test"), ns_node("ns1.a.test"))
+    offsets, targets = universe.csr()
+    zone_id = universe.find_id(ZONE_CODE, DomainName("a.test"))
+    row = list(targets[offsets[zone_id]:offsets[zone_id + 1]])
+    assert row == [universe.find_id(NS_CODE, DomainName("ns1.a.test"))]
+    assert universe.csr() is universe.csr()  # cached until the graph grows
+    universe.add_edge(zone_node("a.test"), ns_node("ns2.a.test"))
+    offsets, targets = universe.csr()
+    row = list(targets[offsets[zone_id]:offsets[zone_id + 1]])
+    assert len(row) == 2
+
+
+def test_universe_merge_reinterns_ids():
+    left = DependencyUniverse()
+    left.add_edge(zone_node("a.test"), ns_node("ns.a.test"))
+    right = DependencyUniverse()
+    right.add_edge(zone_node("b.test"), ns_node("ns.b.test"))
+    right.add_edge(zone_node("a.test"), ns_node("ns.b.test"))
+    left.merge(right)
+    assert left.has_edge(zone_node("b.test"), ns_node("ns.b.test"))
+    assert left.has_edge(zone_node("a.test"), ns_node("ns.a.test"))
+    assert left.has_edge(zone_node("a.test"), ns_node("ns.b.test"))
+    assert left.slot_count() == 2
+
+
+def test_keygraph_mirrors_digraph_surface():
+    graph = KeyGraph()
+    graph.add_edge(name_node("www.a.test"), zone_node("a.test"))
+    graph.add_edge(zone_node("a.test"), ns_node("ns.a.test"))
+    assert name_node("www.a.test") in graph
+    assert graph.has_edge(zone_node("a.test"), ns_node("ns.a.test"))
+    assert list(graph.successors(zone_node("a.test"))) == \
+        [ns_node("ns.a.test")]
+    assert list(graph.predecessors(zone_node("a.test"))) == \
+        [name_node("www.a.test")]
+    assert graph.number_of_nodes() == 3
+    assert graph.number_of_edges() == 2
+
+
+# -- equivalence suite: integer paths vs. the generic reference ------------------------
+
+#: Topologies as NodeKey edge lists.  Every shape the recursions special-case
+#: is represented: plain chains, shared dependencies, mutual-secondary
+#: cycles, self-loops through in-bailiwick nameservers, dead zones (no
+#: nameservers), and names whose chain was never discovered.
+TOPOLOGIES = {
+    "chain": [
+        (name_node("www.a.test"), zone_node("test")),
+        (name_node("www.a.test"), zone_node("a.test")),
+        (zone_node("test"), ns_node("ns1.nic.test")),
+        (zone_node("test"), ns_node("ns2.nic.test")),
+        (zone_node("a.test"), ns_node("ns1.a.test")),
+        (zone_node("a.test"), ns_node("ns2.a.test")),
+    ],
+    "cyclic": [
+        # Mutual secondaries: a.test's server depends on b.test and vice
+        # versa — the classic SCC the closure index collapses.
+        (name_node("www.a.test"), zone_node("a.test")),
+        (zone_node("a.test"), ns_node("ns.a.test")),
+        (ns_node("ns.a.test"), zone_node("b.test")),
+        (zone_node("b.test"), ns_node("ns.b.test")),
+        (ns_node("ns.b.test"), zone_node("a.test")),
+        (zone_node("b.test"), ns_node("ns2.b.test")),
+    ],
+    "self_loop": [
+        # In-bailiwick nameserver whose own chain crosses its zone: the
+        # single-node cycle every real SLD with glued servers exhibits.
+        (name_node("www.a.test"), zone_node("a.test")),
+        (zone_node("a.test"), ns_node("ns1.a.test")),
+        (ns_node("ns1.a.test"), zone_node("a.test")),
+        (zone_node("a.test"), ns_node("offsite.b.test")),
+        (ns_node("offsite.b.test"), zone_node("b.test")),
+        (zone_node("b.test"), ns_node("ns.b.test")),
+    ],
+    "never_resolvable": [
+        # The name's zone is served only by a host whose chain crosses a
+        # dead (nameserver-less) zone: resolution can never succeed.
+        (name_node("www.a.test"), zone_node("a.test")),
+        (zone_node("a.test"), ns_node("ns.dead.test")),
+        (ns_node("ns.dead.test"), zone_node("dead.test")),
+    ],
+    "shared_diamond": [
+        (name_node("www.a.test"), zone_node("test")),
+        (name_node("www.a.test"), zone_node("a.test")),
+        (zone_node("test"), ns_node("ns1.nic.test")),
+        (zone_node("a.test"), ns_node("ns1.nic.test")),
+        (zone_node("a.test"), ns_node("ns1.a.test")),
+        (ns_node("ns1.a.test"), zone_node("test")),
+        (ns_node("ns1.nic.test"), zone_node("test")),
+    ],
+}
+
+#: Vulnerable hosts per topology (exercises the lexicographic min-cut).
+VULNERABLE = {
+    "chain": {"ns1.a.test", "ns1.nic.test"},
+    "cyclic": {"ns.b.test"},
+    "self_loop": {"ns1.a.test", "ns.b.test"},
+    "never_resolvable": set(),
+    "shared_diamond": {"ns1.nic.test"},
+}
+
+
+def _twin(edges):
+    """Build the same topology as (int universe + index, generic graph)."""
+    universe = DependencyUniverse()
+    generic = KeyGraph()
+    for source, target in edges:
+        universe.add_edge(source, target)
+        generic.add_edge(source, target)
+    return universe, ClosureIndex(universe), generic
+
+
+def _int_view(universe, closures, name) -> TCBView:
+    """A TCBView over a hand-built universe (what the builder would make)."""
+    target_id = universe.ensure_key(name_node(name))
+    mask = closures.closure_mask_id(target_id)
+    return TCBView(name, universe, mask, structure=closures,
+                   target_id=target_id)
+
+
+def _reference_closure(generic, node):
+    """Reachable non-excluded NS hostnames via a plain BFS (ground truth)."""
+    if node not in generic:
+        return frozenset()
+    seen = {node}
+    stack = [node]
+    while stack:
+        for succ in generic.successors(stack.pop()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return frozenset(key[1] for key in seen if key[0] == "ns")
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_bitset_closures_match_reference(topology):
+    universe, closures, generic = _twin(TOPOLOGIES[topology])
+    for node in list(universe.nodes):
+        assert closures.closure(node) == _reference_closure(generic, node), \
+            f"closure mismatch at {node} in {topology}"
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_integer_mincut_matches_generic(topology):
+    universe, closures, generic = _twin(TOPOLOGIES[topology])
+    vulnerability = {DomainName(host): True for host in VULNERABLE[topology]}
+    view = _int_view(universe, closures, "www.a.test")
+    graph = DelegationGraph("www.a.test", generic)
+    for aware in (True, False):
+        from_view = BottleneckAnalyzer(
+            vulnerability, vulnerability_aware=aware).analyze(view)
+        from_graph = BottleneckAnalyzer(
+            vulnerability, vulnerability_aware=aware).analyze(graph)
+        assert from_view.feasible == from_graph.feasible
+        assert from_view.cut_servers == from_graph.cut_servers
+        assert from_view.safe_in_cut == from_graph.safe_in_cut
+        assert from_view.vulnerable_in_cut == from_graph.vulnerable_in_cut
+
+
+@pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+def test_integer_availability_matches_generic(topology):
+    universe, closures, generic = _twin(TOPOLOGIES[topology])
+    view = _int_view(universe, closures, "www.a.test")
+    graph = DelegationGraph("www.a.test", generic)
+    int_analyzer = AvailabilityAnalyzer(0.9, shared_memo={},
+                                        shared_spof_memo={})
+    ref_analyzer = AvailabilityAnalyzer(0.9)
+
+    assert int_analyzer.resolution_probability(view) == \
+        ref_analyzer.resolution_probability(graph)
+    assert int_analyzer.single_points_of_failure(view) == \
+        ref_analyzer.single_points_of_failure(graph)
+    assert int_analyzer.single_points_of_failure(view) == \
+        ref_analyzer.single_points_of_failure_exhaustive(graph)
+    assert int_analyzer.monte_carlo(view, samples=64,
+                                    rng=random.Random(42)) == \
+        ref_analyzer.monte_carlo(graph, samples=64, rng=random.Random(42))
+    for failed in ([], ["ns1.a.test"], ["ns1.a.test", "ns2.a.test"],
+                   ["ns.a.test", "ns.b.test"]):
+        down = {DomainName(host) for host in failed}
+        assert int_analyzer.resolvable_with_failures(view, down) == \
+            ref_analyzer.resolvable_with_failures(graph, down), \
+            f"resolvable mismatch with {failed} down in {topology}"
+
+
+def test_never_resolvable_name_has_full_tcb_spof():
+    universe, closures, _generic = _twin(TOPOLOGIES["never_resolvable"])
+    view = _int_view(universe, closures, "www.a.test")
+    analyzer = AvailabilityAnalyzer(0.99)
+    assert analyzer.resolution_probability(view) == 0.0
+    # Unresolvable even with everything up: every TCB member is reported.
+    assert analyzer.single_points_of_failure(view) == view.tcb_frozen()
+
+
+def test_undiscovered_name_is_unresolvable():
+    universe, closures, generic = _twin(TOPOLOGIES["chain"])
+    view = _int_view(universe, closures, "ghost.test")
+    graph = DelegationGraph("ghost.test", generic)
+    analyzer = AvailabilityAnalyzer(0.99)
+    assert analyzer.resolution_probability(view) == \
+        analyzer.resolution_probability(graph) == 0.0
+    assert not analyzer.resolvable_with_failures(view, set())
+
+
+def test_prefix_resume_matches_fresh_analysis_across_many_names():
+    """Shared-analyzer evaluation over many names sharing a TLD (the
+    prefix-resume + zone-replay machinery) must equal fresh per-name
+    generic analysis."""
+    universe = DependencyUniverse()
+    generic = KeyGraph()
+
+    def edge(source, target):
+        universe.add_edge(source, target)
+        generic.add_edge(source, target)
+
+    # One TLD with mutually-dependent registry servers (tainted region) and
+    # many SLDs below it, with in-bailiwick self-loops and one shared
+    # offsite secondary — the shape real survey chains take.
+    edge(zone_node("test"), ns_node("a.nic.test"))
+    edge(zone_node("test"), ns_node("b.nic.test"))
+    edge(ns_node("a.nic.test"), zone_node("nic.test"))
+    edge(ns_node("b.nic.test"), zone_node("nic.test"))
+    edge(zone_node("nic.test"), ns_node("a.nic.test"))
+    edge(zone_node("nic.test"), ns_node("b.nic.test"))
+    names = [f"www.sld{i}.test" for i in range(8)]
+    for i, name in enumerate(names):
+        sld = f"sld{i}.test"
+        edge(name_node(name), zone_node("test"))
+        edge(name_node(name), zone_node(sld))
+        edge(zone_node(sld), ns_node(f"ns1.{sld}"))
+        edge(ns_node(f"ns1.{sld}"), zone_node("test"))
+        edge(ns_node(f"ns1.{sld}"), zone_node(sld))
+        edge(zone_node(sld), ns_node("backup.sld0.test"))
+        edge(ns_node("backup.sld0.test"), zone_node("test"))
+        edge(ns_node("backup.sld0.test"), zone_node("sld0.test"))
+
+    def per_name_subgraph(name):
+        """What builder.build() would materialise: the reachable copy."""
+        source = name_node(name)
+        copy = KeyGraph()
+        copy.add_node(source)
+        seen = {source}
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for succ in generic.successors(node):
+                copy.add_edge(node, succ)
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return DelegationGraph(name, copy)
+
+    closures = ClosureIndex(universe)
+    vulnerability = {DomainName("ns1.sld3.test"): True,
+                     DomainName("backup.sld0.test"): True}
+    shared_avail = AvailabilityAnalyzer(0.93, shared_memo={},
+                                        shared_spof_memo={})
+    shared_cut = BottleneckAnalyzer(vulnerability, shared_memo={})
+    for name in names:
+        view = _int_view(universe, closures, name)
+        graph = per_name_subgraph(name)
+        fresh_avail = AvailabilityAnalyzer(0.93)
+        fresh_cut = BottleneckAnalyzer(vulnerability)
+        assert view.tcb_frozen() == graph.tcb()
+        assert shared_avail.resolution_probability(view) == \
+            fresh_avail.resolution_probability(graph), name
+        assert shared_avail.single_points_of_failure(view) == \
+            fresh_avail.single_points_of_failure(graph), name
+        got = shared_cut.analyze(view)
+        want = fresh_cut.analyze(graph)
+        assert (got.cut_servers, got.safe_in_cut) == \
+            (want.cut_servers, want.safe_in_cut), name
+
+
+def test_analyzer_reused_across_universes_resets_slot_cache():
+    """Slots are universe-local: a per-server up-model must follow hosts,
+    not slot numbers, when one analyzer sees views from two builders."""
+    first = DependencyUniverse()
+    first.add_edge(name_node("www.a.test"), zone_node("a.test"))
+    first.add_edge(zone_node("a.test"), ns_node("ns.down.test"))
+    second = DependencyUniverse()
+    second.add_edge(name_node("www.a.test"), zone_node("a.test"))
+    second.add_edge(zone_node("a.test"), ns_node("ns.up.test"))
+
+    analyzer = AvailabilityAnalyzer({DomainName("ns.down.test"): 0.0},
+                                    default_up=1.0)
+    view_down = _int_view(first, ClosureIndex(first), "www.a.test")
+    view_up = _int_view(second, ClosureIndex(second), "www.a.test")
+    assert analyzer.resolution_probability(view_down) == 0.0
+    # ns.up.test occupies slot 0 of ITS universe, just like ns.down.test
+    # did in the first one — the cached probability must not leak over.
+    assert analyzer.resolution_probability(view_up) == 1.0

@@ -179,3 +179,87 @@ def test_extras_summary_shapes(pass_survey):
                         if key.startswith("dnssec_status=")]
     assert status_fractions
     assert sum(status_fractions) == pytest.approx(1.0)
+
+
+# -- value ranking pass (finalize hook) ---------------------------------------------------
+
+def test_value_pass_spec_and_options():
+    value = build_pass("value:top=3;high_leverage_fraction=0.2")
+    assert value.name == "value"
+    assert value.top == 3
+    assert value.high_leverage_fraction == 0.2
+    assert value.columns == ()
+    with pytest.raises(ValueError):
+        build_pass("value:bogus=1")
+    with pytest.raises(ValueError):
+        build_pass("value:top=-1")
+
+
+def test_value_pass_finalize_matches_post_hoc_analyzer(small_internet):
+    """The finalize() reduce over aggregator counts must equal the post-hoc
+    SurveyResults.value_analyzer() walk."""
+    engine = SurveyEngine(
+        small_internet,
+        config=EngineConfig(popular_count=10, passes=("value:top=5",)))
+    results = engine.run(max_names=80)
+    post_hoc = results.value_analyzer()
+
+    summary = results.metadata["value_summary"]
+    reference = post_hoc.summary()
+    for key in ("servers", "names", "mean_names_controlled",
+                "median_names_controlled"):
+        assert summary[key] == pytest.approx(reference[key], abs=1e-6), key
+
+    top = results.metadata["value_top_servers"]
+    assert len(top) <= 5
+    reference_ranking = post_hoc.ranking()[:len(top)]
+    assert [entry["hostname"] for entry in top] == \
+        [str(value.hostname) for value in reference_ranking]
+    assert [entry["names_controlled"] for entry in top] == \
+        [value.names_controlled for value in reference_ranking]
+    # Per-record columns are untouched: the pass is metadata-only.
+    assert "value" not in results.extras_columns()
+
+
+def test_value_pass_finalize_identical_across_backends(small_internet):
+    from repro.core.engine import BACKENDS
+    metadata = {}
+    for backend in BACKENDS:
+        engine = SurveyEngine(
+            small_internet,
+            config=EngineConfig(popular_count=10, backend=backend, workers=3,
+                                passes=("value",)))
+        results = engine.run(max_names=60)
+        metadata[backend] = (results.metadata["value_summary"],
+                             results.metadata["value_top_servers"])
+    assert metadata["thread"] == metadata["serial"]
+    assert metadata["sharded"] == metadata["serial"]
+    assert metadata["process"] == metadata["serial"]
+
+
+def test_value_pass_snapshot_round_trip(small_internet, tmp_path):
+    engine = SurveyEngine(
+        small_internet,
+        config=EngineConfig(popular_count=5, passes=("value:top=2",)))
+    results = engine.run(max_names=40)
+    path = save_results(results, tmp_path / "value.json")
+    loaded = load_results(path)
+    assert loaded.metadata["value_summary"] == \
+        results.metadata["value_summary"]
+    assert loaded.metadata["value_top_servers"] == \
+        results.metadata["value_top_servers"]
+
+
+def test_dnssec_zone_cache_preserves_validation_results(pass_internet):
+    """ChainValidator(cache_zones=True) must agree with the uncached path."""
+    from repro.dns.dnssec import ChainValidator
+
+    resolver = pass_internet.make_resolver()
+    cached = ChainValidator(resolver, cache_zones=True)
+    uncached = ChainValidator(pass_internet.make_resolver())
+    names = [entry.name for entry in pass_internet.directory.entries()[:40]]
+    for name in names:
+        got = cached.validate(name)
+        want = uncached.validate(name)
+        assert (got.status, got.broken_zone, got.detail) == \
+            (want.status, want.broken_zone, want.detail), str(name)

@@ -105,3 +105,19 @@ def test_server_value_to_dict():
     assert payload["hostname"] == "a.gtld-servers.net"
     assert payload["names_controlled"] == 13
     assert payload["rank"] == 1
+
+
+def test_from_counts_matches_incremental_accumulation():
+    incremental = NameserverValueAnalyzer({DomainName("ns1.a.test"): True})
+    incremental.add_name(["ns1.a.test", "ns2.a.test"])
+    incremental.add_name(["ns1.a.test"])
+    incremental.add_name(["ns3.b.test", "ns1.a.test"])
+
+    rebuilt = NameserverValueAnalyzer.from_counts(
+        incremental.counts(), incremental.total_names,
+        {DomainName("ns1.a.test"): True})
+    assert rebuilt.total_names == incremental.total_names
+    assert rebuilt.counts() == incremental.counts()
+    assert rebuilt.summary() == incremental.summary()
+    assert [value.to_dict() for value in rebuilt.ranking()] == \
+        [value.to_dict() for value in incremental.ranking()]

@@ -228,3 +228,19 @@ def test_common_ancestor_is_symmetric_and_ancestral(a, b):
 def test_subdomain_relation_antisymmetry(a, b):
     if a.is_subdomain_of(b) and b.is_subdomain_of(a):
         assert a == b
+
+
+def test_string_equality_rejects_malformed_strings():
+    """The textual __eq__ fast path must match the old coercion semantics:
+    strings the constructor rejects never compare equal."""
+    root = DomainName(".")
+    assert root == "."
+    assert root == ""
+    assert root != ".."
+    assert root != " .. "
+    name = DomainName("www.example.com")
+    assert name == "WWW.Example.Com."
+    assert name == "  www.example.com  "
+    assert name != "www.example.com.."
+    assert name != "www..example.com"
+    assert name == "www.example.com. "  # whitespace strips before the dot
