@@ -23,7 +23,11 @@ import pathlib
 import sys
 
 #: Benchmarks whose names_per_s participates in the regression gate.
-THROUGHPUT_BENCHES = ("engine_survey_throughput", "passes_survey_throughput")
+#: ``delta_resurvey`` is the incremental re-survey smoke (effective
+#: names/s over the whole directory when only a few names are dirty);
+#: baselines from branches predating it are skipped automatically.
+THROUGHPUT_BENCHES = ("engine_survey_throughput", "passes_survey_throughput",
+                      "delta_resurvey")
 
 
 def _load_section(path: pathlib.Path, config: str):

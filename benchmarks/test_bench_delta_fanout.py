@@ -1,0 +1,113 @@
+"""Ancestor-invalidation fan-out: dirty-set size vs. mutated-zone depth.
+
+The delta engine's cost model: re-delegating a zone invalidates every name
+whose dependency closure crosses it.  For a TLD that is most of the
+directory; for a leaf site it is a handful of names.  This micro-benchmark
+quantifies both halves of that fan-out on a warm engine —
+
+* the :class:`~repro.core.delegation.ClosureIndex` memo entries dropped by
+  invalidating the zone's node (the graph-side cost), and
+* the :class:`~repro.core.delta.DirtyIndex` dirty-name count for an NS-set
+  edit of the zone (the re-survey cost)
+
+— at increasing zone depth, asserting both shrink monotonically.
+"""
+
+import time
+
+from repro.core.delegation import zone_node
+from repro.core.delta import DirtyIndex
+from repro.core.engine import EngineConfig, SurveyEngine
+from repro.topology.changes import ChangeSet
+from repro.topology.generator import InternetGenerator
+
+from conftest import BENCH_CONFIG
+
+
+def _edit_change_set(internet, apex):
+    """The ChangeSet an NS-set edit of ``apex`` would fold to (no mutation)."""
+    nameservers = internet.zones[apex].apex_nameservers()
+    return ChangeSet(edited_zones={apex: list(nameservers)},
+                     created_zones=(), chain_zones=(),
+                     touched_hosts=frozenset(nameservers),
+                     refingerprint_hosts=frozenset(),
+                     added_names=frozenset(), dnssec_deployments=(),
+                     dirty_all=False)
+
+
+def _pick_zones(internet, previous, index):
+    """One zone per depth tier: a TLD, a provider SLD, and a leaf cut.
+
+    The SLD is a hosting provider (a mid-sized dependency hub, not shared
+    registry infrastructure); the deep zone is the depth>=3 cut with the
+    smallest dirty footprint (a genuinely leafy delegation).
+    """
+    from repro.dns.name import DomainName
+    by_tld = {}
+    for record in previous.resolved_records():
+        by_tld[record.tld] = by_tld.get(record.tld, 0) + 1
+    tld = max(sorted(by_tld), key=lambda label: by_tld[label])
+    sld = next(org.domain for org in internet.organizations
+               if org.kind.value == "hosting" and org.domain.depth == 2)
+    zones = internet.zones
+
+    def footprint(apex):
+        return len(index.dirty_names(_edit_change_set(internet, apex)))
+
+    deep = min((apex for apex in zones
+                if apex.depth >= 3 and zones[apex].apex_nameservers() and
+                not apex.is_subdomain_of("root-servers.net")),
+               key=lambda apex: (footprint(apex), str(apex)))
+    return [DomainName(tld), sld, deep]
+
+
+def test_bench_invalidation_fanout_by_depth(figure_writer, bench_metrics):
+    internet = InternetGenerator(BENCH_CONFIG).generate()
+    engine = SurveyEngine(
+        internet,
+        config=EngineConfig(popular_count=BENCH_CONFIG.alexa_count))
+    previous = engine.run()
+    index = DirtyIndex(previous)
+    closures = engine.builder.closures
+    targets = _pick_zones(internet, previous, index)
+
+    lines = ["zone                        depth  closure-drops  dirty-names"
+             "  map-time"]
+    rows = []
+    for apex in targets:
+        # Re-warm the memo (invalidations below drop entries).
+        for record in previous.records:
+            engine.builder.tcb_view(record.name)
+        warm = len(closures)
+        closures.invalidate(zone_node(apex))
+        dropped = warm - len(closures)
+
+        start = time.perf_counter()
+        dirty = index.dirty_names(_edit_change_set(internet, apex))
+        map_elapsed = time.perf_counter() - start
+        rows.append((apex, dropped, len(dirty), map_elapsed))
+        lines.append(f"{str(apex):26s}  {apex.depth:5d}  {dropped:13d}  "
+                     f"{len(dirty):11d}  {map_elapsed * 1e3:7.2f}ms")
+
+    (tld, tld_drops, tld_dirty, _t0) = rows[0]
+    (_sld, sld_drops, sld_dirty, _t1) = rows[1]
+    (_deep, deep_drops, deep_dirty, _t2) = rows[2]
+    lines.append("")
+    lines.append(f"fan-out ratio TLD/deep: {tld_dirty / max(deep_dirty, 1):.0f}x "
+                 f"dirty names, {tld_drops / max(deep_drops, 1):.0f}x "
+                 f"closure drops")
+    figure_writer.write("delta_fanout",
+                        "Invalidation fan-out vs. mutated-zone depth", lines)
+    bench_metrics.record(
+        "delta_fanout",
+        tld_dirty=tld_dirty, sld_dirty=sld_dirty, deep_dirty=deep_dirty,
+        tld_closure_drops=tld_drops, deep_closure_drops=deep_drops)
+
+    # Fan-out must shrink with depth: the delta engine's economics.
+    assert tld_dirty >= sld_dirty >= deep_dirty
+    assert tld_dirty > deep_dirty, "TLD edit should dwarf a leaf edit"
+    assert tld_drops >= deep_drops
+    # A TLD edit dirties a large share of the directory; a leaf edit a
+    # sliver of it.
+    assert tld_dirty >= len(previous.records) * 0.05
+    assert deep_dirty <= len(previous.records) * 0.05

@@ -21,6 +21,20 @@ Subcommands
 ``diff``
     Compare two snapshots name by name: TCB size, classification, and
     pass-column (availability / DNSSEC) churn.
+``resurvey``
+    Incremental re-survey: regenerate the snapshot's synthetic Internet,
+    apply ``--mutate`` world changes through a change journal, and re-survey
+    only the names the changes invalidated — patching everything else from
+    the previous snapshot.  The output snapshot is byte-identical to a cold
+    full survey of the mutated world.  Alongside each ``--output`` snapshot
+    a ``<output>.journal`` sidecar records the applied mutation specs, and
+    a later ``resurvey`` of that snapshot replays them first, so chained
+    incremental runs keep seeing the correctly re-mutated world::
+
+        repro-dns resurvey prev.json \\
+            --mutate 'set-ns:zone=site1.com;ns=ns1.webhost2.com' \\
+            --mutate 'set-software:host=dns1.univ3.edu;software=BIND 8.2.2' \\
+            --output next.json
 ``inspect``
     Build the delegation graph of a single name and print its TCB, bottleneck
     analysis, and (if any) attack path.
@@ -87,6 +101,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comparison snapshot JSON")
     diff.add_argument("--top", type=_positive_int, default=10,
                       help="number of most-changed names to list")
+
+    resurvey = subparsers.add_parser(
+        "resurvey",
+        help="mutate the world and re-survey only the invalidated names")
+    resurvey.add_argument("previous", type=str,
+                          help="snapshot JSON of the previous survey (must "
+                               "have been produced with the same generator "
+                               "arguments)")
+    _add_generator_arguments(resurvey)
+    resurvey.add_argument("--mutate", action="append", default=[],
+                          metavar="SPEC",
+                          help="world mutation to journal before the "
+                               "re-survey, e.g. "
+                               "'set-ns:zone=site1.com;ns=ns1.webhost2.com' "
+                               "or 'dnssec:fraction=0.5' (repeatable)")
+    resurvey.add_argument("--max-names", type=int, default=None,
+                          help="survey scope, matching the previous run's "
+                               "--max-names")
+    resurvey.add_argument("--output", type=str, default=None,
+                          help="write the re-survey snapshot here")
+    resurvey.add_argument("--no-bottleneck", action="store_true",
+                          help="skip the min-cut bottleneck analysis")
+    resurvey.add_argument("--backend", type=str, default="serial",
+                          choices=BACKENDS,
+                          help="re-survey execution backend")
+    resurvey.add_argument("--workers", type=_positive_int, default=1,
+                          help="worker/shard count for partitioned backends")
+    resurvey.add_argument("--passes", type=str, default=None,
+                          help="analysis passes, matching the previous run")
+    resurvey.add_argument("--progress", action="store_true",
+                          help="print re-survey progress to stderr")
 
     inspect = subparsers.add_parser(
         "inspect", help="analyse a single name on a fresh synthetic Internet")
@@ -201,6 +246,13 @@ def _command_survey(args: argparse.Namespace) -> int:
     if args.output:
         path = save_results(results, args.output)
         print(f"\nsnapshot written to {path}")
+        # A full survey starts a fresh lineage: a mutation sidecar left
+        # over from an earlier resurvey at this path no longer describes
+        # this snapshot and must not be replayed onto it.
+        sidecar = _sidecar_journal_path(args.output)
+        if sidecar.exists():
+            sidecar.unlink()
+            print(f"stale mutation journal {sidecar} removed")
     return 0
 
 
@@ -260,6 +312,72 @@ def _command_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sidecar_journal_path(snapshot_path: str):
+    import pathlib
+    return pathlib.Path(str(snapshot_path) + ".journal")
+
+
+def _command_resurvey(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.core.engine import EngineConfig, SurveyEngine
+    from repro.topology.changes import ChangeJournal, apply_mutation_spec
+
+    previous = load_results(args.previous)
+    config = _config_from_args(args)
+    internet = InternetGenerator(config).generate()
+    engine = SurveyEngine(
+        internet,
+        config=EngineConfig(backend=args.backend, workers=args.workers,
+                            include_bottleneck=not args.no_bottleneck,
+                            passes=build_passes(args.passes)))
+
+    # Snapshots are byte-identical to cold surveys by design, so a snapshot
+    # cannot reveal which mutations produced it.  A sidecar journal
+    # (<snapshot>.journal) written next to every resurvey output records
+    # the applied specs; replaying it first makes chained resurveys see
+    # the correctly re-mutated world instead of a pristine regeneration.
+    journal = ChangeJournal(internet)
+    replayed: List[str] = []
+    sidecar = _sidecar_journal_path(args.previous)
+    if sidecar.exists():
+        replayed = json_module.loads(sidecar.read_text(encoding="utf-8"))
+        for spec in replayed:
+            apply_mutation_spec(journal, spec)
+        print(f"replayed {len(replayed)} prior mutation(s) from {sidecar}")
+    prior_events = len(journal)
+    for spec in args.mutate:
+        event = apply_mutation_spec(journal, spec)
+        print(f"mutated: {event}")
+
+    # Replayed mutations rebuilt world state the previous snapshot already
+    # reflects; only the new events determine what is dirty (DNSSEC
+    # deployment adoption always sees the whole chain — see
+    # ChangeJournal.changes).
+    changes = journal.changes(since=prior_events)
+
+    progress = ProgressPrinter() if args.progress else None
+    outcome = engine.run_delta(previous, changes,
+                               max_names=args.max_names, progress=progress)
+
+    stats = outcome.stats
+    print(f"re-surveyed {stats.dirty_names}/{stats.total_names} names "
+          f"({stats.dirty_fraction:.1%} dirty, {stats.patched_names} "
+          f"patched from {args.previous}) in {stats.elapsed_s:.2f}s")
+    _print_headline(outcome.results)
+    _print_extras_summary(outcome.results)
+    _print_value_summary(outcome.results)
+    if args.output:
+        path = save_results(outcome.results, args.output)
+        print(f"\nsnapshot written to {path}")
+        journal_path = _sidecar_journal_path(args.output)
+        journal_path.write_text(
+            json_module.dumps(replayed + list(args.mutate), indent=1) + "\n",
+            encoding="utf-8")
+        print(f"mutation journal written to {journal_path}")
+    return 0
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     internet = InternetGenerator(config).generate()
@@ -303,6 +421,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "survey": _command_survey,
         "report": _command_report,
         "diff": _command_diff,
+        "resurvey": _command_resurvey,
         "inspect": _command_inspect,
     }
     handler = handlers[args.command]

@@ -20,6 +20,8 @@ contribution, on top of the DNS / network / topology substrates:
 * :mod:`repro.core.report` -- CDFs, summary statistics, and per-figure data
   series.
 * :mod:`repro.core.snapshot` -- JSON persistence of survey results.
+* :mod:`repro.core.delta` -- dirty-set computation for incremental
+  re-surveys over a journalled world change.
 """
 
 from repro.core.delegation import (
@@ -51,6 +53,7 @@ from repro.core.report import (
     average_by_group,
     rank_series,
 )
+from repro.core.delta import DeltaOutcome, DeltaStats, DirtyIndex
 from repro.core.snapshot import save_results, load_results
 from repro.core.availability import (
     AvailabilityAnalyzer,
@@ -91,6 +94,9 @@ __all__ = [
     "summary_stats",
     "average_by_group",
     "rank_series",
+    "DeltaOutcome",
+    "DeltaStats",
+    "DirtyIndex",
     "save_results",
     "load_results",
     "AvailabilityAnalyzer",

@@ -336,6 +336,21 @@ class ClosureIndex:
         # and the recomputation walks the arrays instead of the rows.
         self._graph.csr()
 
+    def reset_companions(self) -> None:
+        """Clear every companion memo and bump the version, keeping closures.
+
+        Used when world state *outside* the graph structure changed (a
+        server's software banner, a DNSSEC deployment): closure bitsets are
+        pure graph reachability and stay valid, but analysis memos keyed on
+        the same node ids may embed vulnerability or signature verdicts and
+        must go.  The version bump also retires every derived cache keyed
+        on it (the engine's per-chain analysis memo, availability
+        prefix-resume snapshots).
+        """
+        for companion in self._companions:
+            companion.clear()
+        self.version += 1
+
     def invalidate(self, node: NodeKey) -> None:
         """Drop memoized closures for ``node`` and everything reaching it."""
         node_id = self._graph.find_key(node)
@@ -692,6 +707,100 @@ class DelegationGraphBuilder:
         self._expanded_hosts |= other._expanded_hosts
         self._expanded_names |= other._expanded_names
         self._closures.clear()
+
+    def apply_changes(self, changes, dirty_names: Iterable[NameLike] = ()
+                      ) -> None:
+        """Surgically update the warm universe for a journalled world change.
+
+        ``changes`` is a :class:`~repro.topology.changes.ChangeSet`.  The
+        goal is byte-identity with a cold discovery of the mutated world
+        while keeping every untouched region's closures, splits, chains,
+        and resolver walk state warm:
+
+        * resolver walk caches through or below re-delegated / newly cut
+          zones are dropped (:meth:`IterativeResolver.invalidate_zones`);
+        * re-delegated zone nodes get their successor rows rebuilt in the
+          new canonical ``ZoneCut.nameservers`` order, with ancestor
+          closures invalidated;
+        * cached chains that traverse a re-delegated zone (or run below a
+          newly cut one) are dropped, and the hosts among them get their
+          dependency rows cleared and re-walked eagerly — their regions
+          feed closure recomputation before any per-name walk would reach
+          them;
+        * every dirty name's expansion marker and dependency row is
+          cleared so its next ``tcb_view`` re-walks the live chain,
+          rebuilding the row in cold (top-down) cut order.
+
+        Per-node successor order is what makes this sound: a node's row
+        only ever depends on its *own* first discovery walk (later walks
+        de-duplicate), so rebuilding exactly the affected rows in walk
+        order reproduces what a from-scratch discovery would hold.
+        """
+        universe = self._universe
+        closures = self._closures
+        edited = dict(changes.edited_zones)
+        created = tuple(changes.created_zones)
+
+        self.resolver.invalidate_zones(list(edited) + list(created))
+        if changes.added_names:
+            self.resolver.cache.purge(names=changes.added_names)
+
+        # Cached chains that embed a stale cut (re-delegated zone on the
+        # path) or miss a new one (the walked name lies below a new cut).
+        def chain_stale(name: DomainName, cuts) -> bool:
+            if any(cut.zone in edited for cut in cuts):
+                return True
+            return any(name.is_subdomain_of(apex) for apex in created)
+
+        stale = [name for name, cuts in self._chain_cache.items()
+                 if chain_stale(name, cuts)]
+        stale_hosts: List[Tuple[DomainName, int]] = []
+        for name in stale:
+            del self._chain_cache[name]
+            if name in self._expanded_hosts:
+                self._expanded_hosts.discard(name)
+                hnode = universe.find_id(NS_CODE, name)
+                if hnode is not None:
+                    closures.invalidate_id(hnode)
+                    universe.clear_out_edges(hnode)
+                    stale_hosts.append((name, hnode))
+            if name in self._expanded_names:
+                # Stale surveyed names are normally also dirty (handled
+                # below); clearing here as well keeps the universe sound
+                # even for callers that under-report the dirty set.
+                self._expanded_names.discard(name)
+                node_id = universe.find_id(NAME_CODE, name)
+                if node_id is not None:
+                    closures.invalidate_id(node_id)
+                    universe.clear_out_edges(node_id)
+
+        # Dirty names: clear their rows so the next tcb_view re-walks.
+        for name in dirty_names:
+            name = DomainName(name)
+            self._expanded_names.discard(name)
+            self._chain_cache.pop(name, None)
+            node_id = universe.find_id(NAME_CODE, name)
+            if node_id is not None:
+                closures.invalidate_id(node_id)
+                universe.clear_out_edges(node_id)
+
+        # Re-delegated zones: rebuild NS successor rows in canonical order.
+        for apex, nameservers in edited.items():
+            znode = universe.find_id(ZONE_CODE, apex)
+            if znode is None:
+                continue
+            targets = [universe.ensure_id(NS_CODE, hostname)
+                       for hostname in nameservers
+                       if not self._is_excluded(hostname)]
+            universe.set_out_edges(znode, targets)
+            closures.invalidate_id(znode)
+
+        # Eagerly rebuild stale host regions: closures of dirty names may
+        # traverse them without any walk ever revisiting the host itself.
+        for hostname, hnode in stale_hosts:
+            if hostname in self._expanded_hosts:
+                continue  # pulled back in by an earlier host's re-walk
+            self._expand_host(hostname, hnode, depth=1)
 
     def build_many(self, names: Iterable[NameLike]) -> Dict[DomainName, DelegationGraph]:
         """Build graphs for many names, sharing every intermediate result."""

@@ -1,0 +1,134 @@
+"""Dirty-set computation for incremental re-surveys.
+
+A survey record is a pure function of the world: re-running any name on any
+backend reproduces its record byte for byte.  After a journalled world
+mutation (:mod:`repro.topology.changes`), the only names whose records can
+differ from the previous snapshot are those whose *dependency graph*
+touches the mutation's footprint — and because a name's TCB is the
+transitive closure of its dependencies, that footprint test reduces to a
+set intersection over data the previous snapshot already holds:
+
+    a name depends on zone ``Z``  ⟹  its TCB contains every non-excluded
+    nameserver ``Z`` had at survey time.
+
+:class:`DirtyIndex` builds the inverted index (host → names whose TCB holds
+it) once per previous result set and answers "which names must be
+re-surveyed for this :class:`~repro.topology.changes.ChangeSet`?".  The
+mapping is deliberately conservative — a name sharing a *server* with a
+mutated zone without depending on the zone is re-surveyed for nothing —
+because over-dirtying only costs time while under-dirtying would silently
+serve stale records.  Working purely in record space (no graph required)
+is what makes it backend-agnostic: the previous results may come from a
+``process``-backend run whose shard universes were never merged, or
+straight from a JSON snapshot on disk (the CLI ``resurvey`` path).
+
+Two rules extend the closure argument to the cases it cannot see:
+
+* a newly cut zone changes the delegation path of every name *below* it
+  (and of every name depending on a host below it — covered by the host
+  index), so names under a created apex are always dirty;
+* names that previously failed to resolve have empty TCBs and therefore no
+  footprint, so any mutation that can create namespace (a new zone cut)
+  marks all unresolved names dirty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Set
+
+from repro.dns.name import DomainName
+from repro.core.survey import SurveyResults
+
+
+class DirtyIndex:
+    """Maps a change footprint back to the names needing re-survey."""
+
+    def __init__(self, previous: SurveyResults):
+        self._names: List[DomainName] = []
+        self._unresolved: List[DomainName] = []
+        self._by_host: Dict[DomainName, List[DomainName]] = {}
+        by_host = self._by_host
+        for record in previous.records:
+            self._names.append(record.name)
+            if not record.resolved:
+                self._unresolved.append(record.name)
+            for host in record.tcb_servers:
+                bucket = by_host.get(host)
+                if bucket is None:
+                    by_host[host] = [record.name]
+                else:
+                    bucket.append(record.name)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def names_depending_on(self, host: DomainName) -> List[DomainName]:
+        """Names whose previous TCB contained ``host``."""
+        return list(self._by_host.get(host, ()))
+
+    def dirty_names(self, changes) -> Set[DomainName]:
+        """The names whose records the given ChangeSet can invalidate."""
+        if changes.dirty_all:
+            return set(self._names)
+        dirty: Set[DomainName] = set()
+        by_host = self._by_host
+        for host in changes.touched_hosts:
+            dirty.update(by_host.get(host, ()))
+        # Ancestry-scoped zones (new cuts, newly signed apexes) affect
+        # exactly the names below them — walk each name's ancestor chain
+        # against the apex set rather than testing every (name, apex) pair.
+        apexes = set(changes.created_zones) | set(changes.chain_zones)
+        if apexes:
+            for name in self._names:
+                if any(ancestor in apexes
+                       for ancestor in name.ancestors(include_self=True,
+                                                      include_root=False)):
+                    dirty.add(name)
+        if changes.created_zones:
+            dirty.update(self._unresolved)
+        return dirty
+
+
+@dataclasses.dataclass
+class DeltaStats:
+    """Bookkeeping for one :meth:`SurveyEngine.run_delta` call.
+
+    Deliberately *not* part of the returned ``SurveyResults`` metadata: the
+    delta contract is that results (and their snapshots) are byte-identical
+    to a cold full survey of the mutated world, so anything describing how
+    they were produced lives here instead.
+    """
+
+    total_names: int
+    dirty_names: int
+    patched_names: int
+    events: int
+    edited_zones: int
+    created_zones: int
+    touched_hosts: int
+    dirty_fraction: float
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly view (CLI reporting, benchmarks)."""
+        return {
+            "total_names": self.total_names,
+            "dirty_names": self.dirty_names,
+            "patched_names": self.patched_names,
+            "events": self.events,
+            "edited_zones": self.edited_zones,
+            "created_zones": self.created_zones,
+            "touched_hosts": self.touched_hosts,
+            "dirty_fraction": round(self.dirty_fraction, 6),
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+
+@dataclasses.dataclass
+class DeltaOutcome:
+    """What an incremental re-survey produced."""
+
+    results: SurveyResults
+    stats: DeltaStats
+    dirty: FrozenSet[DomainName]

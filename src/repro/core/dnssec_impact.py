@@ -46,6 +46,20 @@ class DNSSECDeployment:
         return len(self.signed_zones)
 
 
+def _deployment_score(seed: str, apex: DomainName) -> float:
+    """A stable per-zone adoption score in [0, 1).
+
+    A zone is signed by a ``fraction=f`` deployment iff its score is below
+    ``f``.  Scoring each zone independently (instead of shuffling the zone
+    list and taking a prefix) makes deployments *monotone under namespace
+    growth*: raising the fraction with the same seed always signs a
+    superset, even if zones were created or re-delegated in between — the
+    property the incremental re-survey's journalled deployment progress
+    relies on.
+    """
+    return random.Random(f"{seed}|deploy|{apex}").random()
+
+
 def deploy_dnssec(internet, fraction: float = 1.0,
                   always_sign_tlds: bool = True,
                   rng: Optional[random.Random] = None,
@@ -53,21 +67,25 @@ def deploy_dnssec(internet, fraction: float = 1.0,
     """Sign ``fraction`` of the Internet's zones and publish DS records.
 
     TLD zones (and the root) are signed first when ``always_sign_tlds`` is
-    true, mirroring how real deployment proceeded top-down; the remaining
-    budget is spent on a random sample of lower zones.  DS records are only
+    true, mirroring how real deployment proceeded top-down; each lower zone
+    adopts iff its stable per-zone score (seeded by ``seed`` and the apex)
+    falls below ``fraction``, so roughly that share of zones signs and a
+    larger fraction always signs a superset.  DS records are only
     published where the parent zone is itself signed, so partial deployment
-    naturally produces "islands of security".
+    naturally produces "islands of security".  ``rng`` is accepted for
+    backwards compatibility and ignored — sampling is a pure function of
+    ``seed`` and the zone apexes.
 
     Signing is additive and cannot be undone, so deploying is only allowed
     when every zone an *earlier* deployment signed is signed by this one
-    too (re-deploying the same fraction/seed is idempotent); a smaller or
-    differently-sampled deployment over an already-signed Internet would
+    too (re-deploying the same fraction/seed is idempotent, and extending
+    the fraction models deployment progress); a smaller or
+    differently-seeded deployment over an already-signed Internet would
     validate against the old, larger deployment while reporting the new
     fraction, and is rejected instead.
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be within [0, 1]")
-    rng = rng or random.Random(42)
     signer = ZoneSigner(seed=seed)
 
     zones = dict(internet.zones)
@@ -77,14 +95,11 @@ def deploy_dnssec(internet, fraction: float = 1.0,
     to_sign: List[DomainName] = []
     if always_sign_tlds:
         to_sign.extend(sorted(tld_apexes))
-        budget = int(round(fraction * len(lower_apexes)))
-        sample = sorted(lower_apexes)
-        rng.shuffle(sample)
-        to_sign.extend(sample[:budget])
+        to_sign.extend(apex for apex in sorted(lower_apexes)
+                       if _deployment_score(seed, apex) < fraction)
     else:
-        every = sorted(zones)
-        rng.shuffle(every)
-        to_sign.extend(every[:int(round(fraction * len(every)))])
+        to_sign.extend(apex for apex in sorted(zones)
+                       if _deployment_score(seed, apex) < fraction)
 
     planned = set(to_sign)
     stale = [apex for apex, zone in zones.items()

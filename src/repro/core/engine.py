@@ -58,6 +58,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import (
     Callable,
@@ -78,6 +79,7 @@ from repro.core.delegation import (
     TCBView,
     name_node,
 )
+from repro.core.delta import DeltaOutcome, DeltaStats, DirtyIndex
 from repro.core.mincut import BottleneckAnalyzer
 from repro.core.passes import AnalysisPass, PassContext, build_passes
 from repro.core.survey import NameRecord, SurveyResults
@@ -255,6 +257,27 @@ class SurveyAggregator:
             self._vulnerability_map.update(vulnerability_map)
             self._compromisable_map.update(compromisable_map)
 
+    def tcb_host_union(self) -> Set[DomainName]:
+        """Every host appearing in at least one aggregated record's TCB.
+
+        This is exactly the set of hosts a cold survey fingerprints (stage
+        3 probes TCB members and nothing else), which makes it the pruning
+        domain for server maps carried across an incremental re-survey.
+        """
+        with self._lock:
+            union: Set[DomainName] = set()
+            for record in self._records.values():
+                union.update(record.tcb_servers)
+            return union
+
+    def restrict_hosts(self, hosts: Set[DomainName]) -> None:
+        """Drop fingerprint / vulnerability entries outside ``hosts``."""
+        with self._lock:
+            for mapping in (self._fingerprints, self._vulnerability_map,
+                            self._compromisable_map):
+                for host in [h for h in mapping if h not in hosts]:
+                    del mapping[host]
+
     def results(self, popular: Set[DomainName],
                 metadata: Dict[str, object]) -> SurveyResults:
         """Assemble the final :class:`SurveyResults`."""
@@ -363,18 +386,40 @@ class SurveyEngine:
                    self.internet.directory.alexa_top(self.config.popular_count)}
         aggregator = SurveyAggregator(total=len(entries), progress=progress)
 
+        self._dispatch(list(enumerate(entries)), popular, aggregator)
+        return aggregator.results(
+            popular, self._final_metadata(len(entries), aggregator))
+
+    def _dispatch(self, indexed: List[Tuple[int, DirectoryEntry]],
+                  popular: Set[DomainName],
+                  aggregator: SurveyAggregator) -> None:
+        """Survey the indexed entries on the configured backend.
+
+        Shared by :meth:`run` (the whole directory) and :meth:`run_delta`
+        (just the dirty subset) so backend selection can never diverge
+        between the cold and incremental paths.
+        """
         backend = self.config.backend
         if backend == "serial" or \
                 (backend != "process" and self.config.effective_shards() == 1):
-            self._run_shard(self._root, list(enumerate(entries)), popular,
-                            aggregator)
+            self._run_shard(self._root, indexed, popular, aggregator)
         else:
-            self._run_partitioned(entries, popular, aggregator, backend)
+            self._run_partitioned(indexed, popular, aggregator, backend)
 
+    def _final_metadata(self, requested: int,
+                        aggregator: SurveyAggregator) -> Dict[str, object]:
+        """Survey metadata plus pass metadata and finalize() reduces.
+
+        Cross-record reduces run here: every record (and every shard's
+        maps) has been folded by now, and the aggregator state is identical
+        on all backends — and identical between a cold run and a delta run
+        that patched the same records — so finalizer output is too.
+        """
+        backend = self.config.backend
         metadata = {
             "popular_count": self.config.popular_count,
             "include_bottleneck": self.config.include_bottleneck,
-            "names_requested": len(entries),
+            "names_requested": requested,
             "backend": backend,
             "workers": self.config.workers,
             "shards": (1 if backend == "serial"
@@ -383,12 +428,126 @@ class SurveyEngine:
         }
         for pass_ in self.passes:
             metadata.update(pass_.metadata())
-        # Cross-record reduces: every record (and every shard's maps) has
-        # been folded by now, and the aggregator state is identical on all
-        # backends, so finalizer output is too.
         for pass_ in self.passes:
             metadata.update(pass_.finalize(aggregator))
-        return aggregator.results(popular, metadata)
+        return metadata
+
+    # -- incremental re-survey ------------------------------------------------------------
+
+    def run_delta(self, previous: SurveyResults, journal,
+                  names: Optional[Iterable[NameLike]] = None,
+                  max_names: Optional[int] = None,
+                  progress: Optional[ProgressCallback] = None) -> DeltaOutcome:
+        """Re-survey only what a journalled world change invalidated.
+
+        ``previous`` is the last full (or delta) result set over this
+        engine's Internet — fresh from :meth:`run` or loaded from a JSON
+        snapshot; ``journal`` is the :class:`~repro.topology.changes.ChangeJournal`
+        whose mutations were applied since (a pre-folded ``ChangeSet`` is
+        accepted too).  The journal's footprint is mapped to dirty names
+        through the previous TCBs (:class:`~repro.core.delta.DirtyIndex`),
+        only those are re-surveyed — on the configured backend, with the
+        primary context's closures, splits, chains, and resolver walk
+        state surgically invalidated and otherwise carried — and every
+        clean record is patched straight from ``previous``.  Pass
+        ``finalize`` reduces re-run over the merged aggregate, so
+        cross-record metadata (value ranking, dnssec fraction) stays
+        exact.
+
+        The contract: the returned results (and their snapshot) are
+        byte-identical to a cold ``SurveyEngine(...).run()`` over the
+        mutated world with the same configuration.  Delta bookkeeping
+        therefore lives in the returned :class:`DeltaStats`, never in the
+        results metadata.
+        """
+        started = time.perf_counter()
+        changes = journal.changes() if hasattr(journal, "changes") else journal
+        entries = self._select_entries(names, max_names)
+
+        # A journalled deployment extends the signed world; deployment-
+        # tracking passes adopt it so their metadata matches a cold engine
+        # configured for the extended deployment.
+        for deployment in changes.dnssec_deployments:
+            for pass_ in self.passes:
+                adopt = getattr(pass_, "adopt_deployment", None)
+                if adopt is not None:
+                    adopt(deployment)
+
+        dirty = set(DirtyIndex(previous).dirty_names(changes))
+        prev_records = {record.name: record for record in previous.records}
+        dirty_indexed: List[Tuple[int, DirectoryEntry]] = []
+        clean_indexed: List[Tuple[int, DirectoryEntry]] = []
+        for position, entry in enumerate(entries):
+            if entry.name in dirty or entry.name not in prev_records:
+                dirty.add(entry.name)
+                dirty_indexed.append((position, entry))
+            else:
+                clean_indexed.append((position, entry))
+
+        self._invalidate_for_changes(changes, dirty)
+
+        popular = {entry.name for entry in
+                   self.internet.directory.alexa_top(self.config.popular_count)}
+        aggregator = SurveyAggregator(total=len(entries), progress=progress)
+        # Previous-world server maps go in first; shard merges from the
+        # re-survey overlay fresher verdicts (dict update, last wins).
+        aggregator.merge_maps(
+            dict(previous.fingerprints),
+            {host: host in previous.vulnerable_servers
+             for host in previous.fingerprints},
+            {host: host in previous.compromisable_servers
+             for host in previous.fingerprints})
+        for position, entry in clean_indexed:
+            aggregator.add_record(position, prev_records[entry.name])
+
+        if dirty_indexed:
+            self._dispatch(dirty_indexed, popular, aggregator)
+
+        # A cold run fingerprints exactly the TCB members of its records;
+        # prune carried entries for hosts nothing depends on any more.
+        aggregator.restrict_hosts(aggregator.tcb_host_union())
+
+        results = aggregator.results(
+            popular, self._final_metadata(len(entries), aggregator))
+        stats = DeltaStats(
+            total_names=len(entries), dirty_names=len(dirty_indexed),
+            patched_names=len(clean_indexed), events=len(journal)
+            if hasattr(journal, "__len__") else 0,
+            edited_zones=len(changes.edited_zones),
+            created_zones=len(changes.created_zones),
+            touched_hosts=len(changes.touched_hosts),
+            dirty_fraction=(len(dirty_indexed) / len(entries))
+            if entries else 0.0,
+            elapsed_s=time.perf_counter() - started)
+        return DeltaOutcome(results=results, stats=stats,
+                            dirty=frozenset(dirty))
+
+    def _invalidate_for_changes(self, changes,
+                                dirty: Set[DomainName]) -> None:
+        """Surgically invalidate the primary context for a world change.
+
+        The builder rewires the warm universe (see
+        :meth:`~repro.core.delegation.DelegationGraphBuilder.apply_changes`);
+        banner changes additionally retire the affected fingerprint and
+        vulnerability verdicts, and any verdict-sensitive memo (mincut
+        companions, per-chain analyses, validator zone caches) when
+        verdicts or signatures may have changed.  Partitioned backends
+        build their shard contexts *after* this, by cloning the
+        invalidated primary resolver, so every backend sees the same
+        post-change world.
+        """
+        context = self._root
+        context.builder.apply_changes(changes, dirty)
+        for host in changes.refingerprint_hosts:
+            context.vulnerability_map.pop(host, None)
+            context.compromisable_map.pop(host, None)
+            context.fingerprinter.forget(host)
+        if changes.analyses_stale:
+            context.builder.closures.reset_companions()
+            context.pass_states = {
+                pass_.name: pass_.refresh_state(
+                    context.pass_states[pass_.name], context)
+                for pass_ in context.passes}
 
     # -- backends -----------------------------------------------------------------------
 
@@ -402,13 +561,17 @@ class SurveyEngine:
             aggregator.add_record(index, record)
         aggregator.merge_context(context)
 
-    def _run_partitioned(self, entries: List[DirectoryEntry],
+    def _run_partitioned(self, indexed: List[Tuple[int, DirectoryEntry]],
                          popular: Set[DomainName],
                          aggregator: SurveyAggregator,
                          backend: str) -> None:
-        """Stripe the directory over shards and run them on ``backend``."""
-        shard_count = min(self.config.effective_shards(), max(len(entries), 1))
-        indexed = list(enumerate(entries))
+        """Stripe the indexed entries over shards and run them on ``backend``.
+
+        Entries arrive pre-indexed with their directory positions so the
+        delta path can stripe just the dirty subset while records still
+        land at their full-directory indices.
+        """
+        shard_count = min(self.config.effective_shards(), max(len(indexed), 1))
         shards = [indexed[offset::shard_count] for offset in range(shard_count)]
         if backend == "process":
             self._run_process_shards(shards, popular, aggregator)

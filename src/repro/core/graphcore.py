@@ -183,6 +183,38 @@ class DependencyUniverse:
         self.mutations += 1
         return True
 
+    def clear_out_edges(self, source: int) -> int:
+        """Remove every ``source -> *`` edge; returns how many were removed.
+
+        The delta-survey surgery path: when a journal records that a node's
+        dependency set changed, the node's forward adjacency is rebuilt from
+        scratch (:meth:`set_out_edges` or a fresh discovery walk) so the row
+        ends up in the exact order a cold discovery would have produced —
+        successor order feeds the min-cut recursion and the chain keys, so
+        it must match the cold run byte for byte.
+        """
+        row = self.out[source]
+        if not row:
+            return 0
+        removed = len(row)
+        inn = self.inn
+        for target in row:
+            inn[target].remove(source)
+        self.out[source] = []
+        self._edge_count -= removed
+        self.mutations += 1
+        return removed
+
+    def set_out_edges(self, source: int, targets: List[int]) -> None:
+        """Replace ``source``'s forward adjacency with ``targets`` (in order).
+
+        Duplicate targets are collapsed to their first occurrence, matching
+        what repeated :meth:`add_edge_ids` calls would build.
+        """
+        self.clear_out_edges(source)
+        for target in targets:
+            self.add_edge_ids(source, target)
+
     def node_name(self, node_id: int) -> DomainName:
         """The :class:`DomainName` of ``node_id``."""
         return self.names.name_of(self.name_ids[node_id])

@@ -107,6 +107,18 @@ class AnalysisPass:
         """Create this pass's per-worker mutable state."""
         return None
 
+    def refresh_state(self, state: object, worker) -> object:
+        """Return per-worker state valid after a journalled world change.
+
+        Called on carried worker contexts by the incremental re-survey path
+        when cached verdicts may be stale (a banner change, an extended
+        DNSSEC deployment).  The default rebuilds from scratch via
+        :meth:`make_state`; passes whose state registered closure-index
+        companions should instead clear those in place, so the companion
+        registration list does not grow per delta run.
+        """
+        return self.make_state(worker)
+
     def analyze(self, ctx: PassContext, state: object) -> Dict[str, object]:
         """Compute this pass's columns for one name."""
         raise NotImplementedError
@@ -184,6 +196,17 @@ class AvailabilityPass(AnalysisPass):
         worker.register_companion(analyzer.shared_reach_memo)
         return analyzer
 
+    def refresh_state(self, state: AvailabilityAnalyzer,
+                      worker) -> AvailabilityAnalyzer:
+        # The analyzer's memos are already registered as closure-index
+        # companions; clear them in place (availability is verdict-free,
+        # but the uniform delta contract is "no stale memo survives") and
+        # keep the analyzer so the registrations stay unique.
+        state.shared_memo.clear()
+        state.shared_spof_memo.clear()
+        state.shared_reach_memo.clear()
+        return state
+
     def analyze(self, ctx: PassContext, state: AvailabilityAnalyzer
                 ) -> Dict[str, object]:
         view = ctx.view
@@ -251,6 +274,19 @@ class DNSSECImpactPass(AnalysisPass):
 
     def metadata(self) -> Dict[str, object]:
         return {"dnssec_fraction": self.fraction}
+
+    def adopt_deployment(self, deployment) -> None:
+        """Track a deployment applied through a change journal.
+
+        Deployment is additive world state, not pass configuration: when a
+        journal extends it between surveys (see
+        :meth:`repro.topology.changes.ChangeJournal.deploy_dnssec`), the
+        pass adopts the extended deployment so its metadata — and therefore
+        a delta run's snapshot — matches a cold engine configured with the
+        extended fraction from the start.
+        """
+        self.deployment = deployment
+        self.fraction = deployment.fraction_requested
 
     def make_state(self, worker) -> ChainValidator:
         # Zone verdicts are per-worker memoized: the world is signed once in

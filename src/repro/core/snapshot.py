@@ -175,6 +175,12 @@ class SnapshotDiff:
     difference reported here comes from the worlds surveyed — a different
     generator configuration, BIND catalogue, or deployment — never from the
     execution backend.
+
+    Names present in only one snapshot are first-class changes: each
+    contributes a :class:`NameChange` whose ``presence`` field records the
+    add/removal, so ``changed``/:meth:`top_movers` — and equivalence checks
+    built on :attr:`is_identical` — see namespace churn, not just field
+    churn on the intersection.
     """
 
     only_in_a: List[DomainName]
@@ -186,11 +192,20 @@ class SnapshotDiff:
 
     @property
     def changed(self) -> int:
-        """Number of common names whose compared fields differ."""
+        """Number of names whose records differ (adds/removals included)."""
         return len(self.changes)
 
+    @property
+    def is_identical(self) -> bool:
+        """True when the snapshots agree on every name and compared field.
+
+        The check an incremental re-survey's delta-vs-full equivalence
+        uses: no field churn, no names added, no names removed.
+        """
+        return not self.changes and not self.only_in_a and not self.only_in_b
+
     def top_movers(self, count: int = 10) -> List[NameChange]:
-        """The most-changed common names, largest magnitude first."""
+        """The most-changed names, largest magnitude first."""
         ordered = sorted(self.changes,
                          key=lambda change: (-change.magnitude(),
                                              change.name))
@@ -270,8 +285,24 @@ def diff_results(a: SurveyResults, b: SurveyResults) -> SnapshotDiff:
         if before_values:
             numeric[field] = delta_stats(before_values, after_values)
 
+    only_in_a = sorted(set(index_a) - set(index_b))
+    only_in_b = sorted(set(index_b) - set(index_a))
+    # Adds/removals are changes too: surface them through the same
+    # NameChange/transition machinery the per-field churn uses.
+    for name in only_in_a:
+        changes.append(NameChange(name=name,
+                                  fields={"presence": ("present", "absent")}))
+    for name in only_in_b:
+        changes.append(NameChange(name=name,
+                                  fields={"presence": ("absent", "present")}))
+    if only_in_a or only_in_b:
+        presence = transitions.setdefault("presence", {})
+        if only_in_a:
+            presence[("present", "absent")] = len(only_in_a)
+        if only_in_b:
+            presence[("absent", "present")] = len(only_in_b)
+
     return SnapshotDiff(
-        only_in_a=sorted(set(index_a) - set(index_b)),
-        only_in_b=sorted(set(index_b) - set(index_a)),
+        only_in_a=only_in_a, only_in_b=only_in_b,
         common=len(shared), numeric=numeric, transitions=transitions,
         changes=changes)

@@ -11,7 +11,7 @@ which keeps experiments deterministic.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dns.name import DomainName, NameLike
 from repro.dns.rdtypes import RCode, RRClass, RRType
@@ -141,6 +141,27 @@ class ResolverCache:
     def flush(self) -> None:
         """Drop every entry (stats are preserved)."""
         self._entries.clear()
+
+    def purge(self, names: Iterable[NameLike] = (),
+              subtrees: Iterable[NameLike] = ()) -> int:
+        """Remove entries for the given names / namespace subtrees.
+
+        ``names`` drops exact owner names; ``subtrees`` drops every entry
+        whose owner lies at or below one of the given apexes (the shape a
+        zone mutation or a newly cut delegation can stale — including
+        negative answers for names that now exist).  Returns the number of
+        entries removed.
+        """
+        exact = {DomainName(name) for name in names}
+        apexes = [DomainName(apex) for apex in subtrees]
+        if not exact and not apexes:
+            return 0
+        stale = [key for key in self._entries
+                 if key[0] in exact or
+                 any(key[0].is_subdomain_of(apex) for apex in apexes)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
 
     def purge_expired(self, now: float) -> int:
         """Remove expired entries; return how many were removed."""

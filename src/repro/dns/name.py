@@ -63,7 +63,7 @@ class DomainName:
             if len(str(".".join(labels))) > MAX_NAME_LENGTH:
                 raise NameError_(f"name too long: {'.'.join(labels)!r}")
         object.__setattr__(self, "_labels", labels)
-        object.__setattr__(self, "_hash", hash(labels))
+        object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_text", None)
 
     # -- construction helpers ------------------------------------------------
@@ -106,8 +106,26 @@ class DomainName:
         """
         name = object.__new__(cls)
         object.__setattr__(name, "_labels", labels)
-        object.__setattr__(name, "_hash", hash(labels))
+        object.__setattr__(name, "_hash", None)
         object.__setattr__(name, "_text", None)
+        return name
+
+    @classmethod
+    def _from_text(cls, text: str) -> "DomainName":
+        """Construct from already-canonical presentation text, trusted.
+
+        The unpickling fast path (see :meth:`__reduce__`): the text was
+        produced by our own ``__str__``, so labels are split without
+        re-running the per-label validation regex, and the cached
+        presentation string is seeded directly — the hot shard-merge path
+        of the ``process`` survey backend reconstructs every record name
+        through here.
+        """
+        name = object.__new__(cls)
+        labels = () if text == "." else tuple(text.split("."))
+        object.__setattr__(name, "_labels", labels)
+        object.__setattr__(name, "_hash", None)
+        object.__setattr__(name, "_text", text)
         return name
 
     # -- value-object protocol ----------------------------------------------
@@ -116,7 +134,15 @@ class DomainName:
         raise AttributeError("DomainName is immutable")
 
     def __hash__(self) -> int:
-        return self._hash
+        # Hash off the cached presentation string, computed on first probe
+        # and memoized: construction never walks the label tuple just to
+        # hash it, copy-construction and unpickling inherit both caches,
+        # and a name that is never used as a key pays nothing.
+        digest = self._hash
+        if digest is None:
+            digest = hash(self.__str__())
+            object.__setattr__(self, "_hash", digest)
+        return digest
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, DomainName):
@@ -162,10 +188,11 @@ class DomainName:
 
     def __reduce__(self):
         # The immutability guard (__setattr__ raises) breaks pickle's default
-        # slot-state protocol, so reconstruct through the validating
-        # constructor instead; the process survey backend ships DomainName
-        # instances between workers over pipes.
-        return (DomainName, (self._labels,))
+        # slot-state protocol, so reconstruct through the trusted
+        # presentation-text fast path; the process survey backend ships
+        # DomainName instances between workers over pipes, and re-validating
+        # every label with the constructor regex dominated that merge.
+        return (DomainName._from_text, (str(self),))
 
     def __len__(self) -> int:
         return len(self._labels)

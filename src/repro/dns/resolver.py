@@ -205,6 +205,39 @@ class IterativeResolver:
             cache=cache, use_glue=self.use_glue, selection=self.selection,
             max_queries=self.max_queries, max_depth=self.max_depth, rng=rng)
 
+    def invalidate_zones(self, apexes: Sequence[NameLike]) -> None:
+        """Drop cached walk state that a change to the given zones stales.
+
+        The delta-survey path: when a zone's NS set changes (or a new zone
+        is cut below an existing one), every memoized chain prefix *on the
+        edited apex's ancestor/descendant line* is dropped.  Descendant
+        prefixes embed the old referral chain outright; ancestor prefixes
+        must go too because a walk towards the edited zone resumes from
+        them, and the zone's *new* servers may short-circuit that walk
+        earlier than the cached candidates would (a server authoritative
+        for both an ancestor-path zone and the edited zone answers
+        directly instead of referring) — a cold walk from the root is the
+        only state that reproduces the new termination behaviour.  Apex-NS
+        memo entries for the apexes themselves are dropped likewise.  Walk
+        state for unrelated subtrees (sibling branches, other TLDs) is
+        kept: that carried warmth is what makes an incremental re-survey
+        cheap, and each dropped ancestor prefix is rebuilt by one live
+        walk.
+        """
+        apexes = [DomainName(apex) for apex in apexes]
+        if not apexes:
+            return
+        self._chain_prefix_cache = {
+            zone: entry for zone, entry in self._chain_prefix_cache.items()
+            if not any(zone.is_subdomain_of(apex) or
+                       apex.is_subdomain_of(zone)
+                       for apex in apexes)}
+        dropped = set(apexes)
+        self._apex_ns_cache = {
+            key: value for key, value in self._apex_ns_cache.items()
+            if key[0] not in dropped}
+        self.cache.purge(subtrees=apexes)
+
     def resolve(self, name: NameLike, rtype: RRType = RRType.A) -> ResolutionTrace:
         """Resolve ``name`` iteratively and return the full trace."""
         qname = DomainName(name)

@@ -57,6 +57,22 @@ class Delegation:
                 if address not in self.glue[nameserver]:
                     self.glue[nameserver].append(address)
 
+    def set_nameservers(self, nameservers: Iterable[NameLike],
+                        glue: Optional[Dict[DomainName, List[str]]] = None
+                        ) -> None:
+        """Replace the delegation's NS set (and glue) wholesale.
+
+        The change-journal path for re-delegating an existing child: the
+        new preferential order is exactly the given order, and stale glue
+        for dropped servers is discarded.
+        """
+        self.nameservers = []
+        self.glue = {}
+        glue = glue or {}
+        for nameserver in nameservers:
+            nameserver = DomainName(nameserver)
+            self.add_nameserver(nameserver, glue.get(nameserver))
+
     def ns_records(self, ttl: int = DEFAULT_TTL) -> List[ResourceRecord]:
         """The delegation as NS resource records (for referral responses)."""
         return [ResourceRecord.create(self.child, RRType.NS, ns, ttl=ttl)
@@ -164,6 +180,17 @@ class Zone:
         for nameserver in nameservers:
             self.add(self.apex, RRType.NS, nameserver, ttl=ttl)
 
+    def replace_apex_nameservers(self, nameservers: Iterable[NameLike],
+                                 ttl: int = DEFAULT_TTL) -> None:
+        """Replace the zone's apex NS RRSet with the given set (in order).
+
+        Unlike :meth:`set_apex_nameservers` (which is additive, mirroring
+        zone-file loading), this drops the previous NS set first — the
+        primitive zone-handover mutations are built on.
+        """
+        self._rrsets.pop((self.apex, RRType.NS, RRClass.IN), None)
+        self.set_apex_nameservers(nameservers, ttl=ttl)
+
     def apex_nameservers(self) -> List[DomainName]:
         """The zone's apex NS targets, in declaration order."""
         rrset = self.get_rrset(self.apex, RRType.NS)
@@ -214,6 +241,31 @@ class Zone:
     def get_delegation(self, child: NameLike) -> Optional[Delegation]:
         """The delegation for exactly ``child``, or ``None``."""
         return self._delegations.get(DomainName(child))
+
+    def extract_subtree(self, apex: NameLike) -> Tuple[List[RRSet],
+                                                       List[Delegation]]:
+        """Remove and return everything this zone holds under ``apex``.
+
+        Used when a new child zone is cut out of this one: the records and
+        deeper delegations below the new apex move into the child so the
+        namespace keeps answering.  ``apex`` must be a proper subdomain of
+        this zone's apex.  SOA records are left behind (each zone owns its
+        own), and the returned RRSets/Delegations are in this zone's
+        insertion order.
+        """
+        apex = DomainName(apex)
+        if not apex.is_subdomain_of(self.apex, proper=True):
+            raise ZoneError(
+                f"cannot extract {apex}: not a proper subdomain of {self.apex}")
+        moved_keys = [key for key in self._rrsets
+                      if key[0].is_subdomain_of(apex) and
+                      key[1] is not RRType.SOA]
+        rrsets = [self._rrsets.pop(key) for key in moved_keys]
+        moved_children = [child for child in self._delegations
+                          if child.is_subdomain_of(apex, proper=True)]
+        delegations = [self._delegations.pop(child)
+                       for child in moved_children]
+        return rrsets, delegations
 
     def find_covering_delegation(self, name: NameLike) -> Optional[Delegation]:
         """The deepest delegation whose child zone contains ``name``.

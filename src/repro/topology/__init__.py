@@ -42,6 +42,12 @@ from repro.topology.generator import (
 )
 from repro.topology.webdirectory import WebDirectory, DirectoryEntry
 from repro.topology.anecdotes import AnecdotePlanter
+from repro.topology.changes import (
+    ChangeEvent,
+    ChangeJournal,
+    ChangeSet,
+    apply_mutation_spec,
+)
 
 __all__ = [
     "ZipfSampler",
@@ -62,4 +68,8 @@ __all__ = [
     "WebDirectory",
     "DirectoryEntry",
     "AnecdotePlanter",
+    "ChangeEvent",
+    "ChangeJournal",
+    "ChangeSet",
+    "apply_mutation_spec",
 ]

@@ -87,6 +87,14 @@ class Organization:
             self.nameservers.append(hostname)
         return hostname
 
+    def remove_nameserver(self, hostname: NameLike) -> bool:
+        """Forget a nameserver hostname (e.g. decommissioned); True if known."""
+        hostname = DomainName(hostname)
+        if hostname in self.nameservers:
+            self.nameservers.remove(hostname)
+            return True
+        return False
+
     def add_hosted_zone(self, apex: NameLike) -> DomainName:
         """Record that this organisation serves the zone rooted at ``apex``."""
         apex = DomainName(apex)
@@ -132,6 +140,13 @@ class OrganizationRegistry:
                          organization: Organization) -> None:
         """Associate a nameserver hostname with its operator."""
         self._by_nameserver[DomainName(hostname)] = organization
+
+    def forget_nameserver(self, hostname: NameLike) -> None:
+        """Drop a nameserver's operator association (and org membership)."""
+        hostname = DomainName(hostname)
+        organization = self._by_nameserver.pop(hostname, None)
+        if organization is not None:
+            organization.remove_nameserver(hostname)
 
     def by_name(self, name: str) -> Optional[Organization]:
         """Look up an organisation by its identifier."""

@@ -95,6 +95,16 @@ class Fingerprinter:
             self.fingerprint(hostname)
         return dict(self._results)
 
+    def forget(self, hostname: NameLike) -> bool:
+        """Drop the cached result for one host (e.g. after it was patched).
+
+        Returns True if a cached result existed.  The next
+        :meth:`fingerprint` call re-queries the live banner — the
+        incremental re-survey path uses this when a change journal reports
+        a server's software changed.
+        """
+        return self._results.pop(DomainName(hostname), None) is not None
+
     def absorb(self, other: "Fingerprinter") -> None:
         """Adopt another fingerprinter's cached results (shard merging)."""
         self._results.update(other._results)

@@ -137,6 +137,118 @@ def test_diff_command_reports_churn(tmp_path, capsys):
     assert "mincut_size" in output
 
 
+def test_resurvey_command_round_trip(tmp_path, capsys):
+    """Survey -> mutate -> resurvey: the incremental snapshot must equal a
+    cold survey of the mutated world, and only touched names re-survey."""
+    prev = tmp_path / "prev.json"
+    nxt = tmp_path / "next.json"
+    main(["survey", "--output", str(prev), *TINY])
+    capsys.readouterr()
+
+    # Pick the discovered server with the smallest TCB footprint so the
+    # re-survey provably touches a minority of the directory.
+    from repro.core.snapshot import load_results
+    previous = load_results(prev)
+    counts = {}
+    for record in previous.resolved_records():
+        for host in record.tcb_servers:
+            counts[host] = counts.get(host, 0) + 1
+    victim = min(sorted(counts), key=lambda host: counts[host])
+    mutation = f"set-software:host={victim};software=BIND 8.2.2"
+    exit_code = main(["resurvey", str(prev), "--mutate", mutation,
+                      "--output", str(nxt), *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "mutated: software(" in output
+    assert "re-surveyed" in output and "patched from" in output
+    assert "snapshot written" in output
+
+    # The mutation's footprint is a single university server: most of the
+    # directory must have been patched, not re-surveyed.
+    import re
+    match = re.search(r"re-surveyed (\d+)/(\d+) names", output)
+    dirty, total = int(match.group(1)), int(match.group(2))
+    assert 0 < dirty < total / 2
+
+    # And the snapshot equals a cold survey of the same mutated world.
+    from repro.core.snapshot import diff_results
+    from repro.core.engine import SurveyEngine
+    from repro.topology.changes import apply_mutation_spec, ChangeJournal
+    from repro.topology.generator import GeneratorConfig, InternetGenerator
+    internet = InternetGenerator(GeneratorConfig(
+        seed=11, sld_count=40, directory_name_count=60,
+        university_count=10)).generate()
+    apply_mutation_spec(ChangeJournal(internet), mutation)
+    cold = SurveyEngine(internet).run()
+    diff = diff_results(load_results(nxt), cold)
+    assert diff.is_identical
+
+
+def test_resurvey_chains_through_sidecar_journal(tmp_path, capsys):
+    """resurvey of a resurvey-produced snapshot replays the earlier
+    mutations from the sidecar journal, so the chained snapshot matches a
+    cold survey of the *twice*-mutated world."""
+    prev = tmp_path / "prev.json"
+    mid = tmp_path / "mid.json"
+    last = tmp_path / "last.json"
+    main(["survey", "--output", str(prev), *TINY])
+    capsys.readouterr()
+
+    from repro.core.snapshot import diff_results, load_results
+    host_a, host_b = sorted(load_results(prev).vulnerable_servers |
+                            load_results(prev).compromisable_servers |
+                            set(load_results(prev).fingerprints))[:2]
+    first = f"set-software:host={host_a};software=BIND 8.2.2"
+    second = f"set-software:host={host_b};software=BIND 9.2.3"
+
+    main(["resurvey", str(prev), "--mutate", first, "--output", str(mid),
+          *TINY])
+    assert (tmp_path / "mid.json.journal").exists()
+    capsys.readouterr()
+    main(["resurvey", str(mid), "--mutate", second, "--output", str(last),
+          *TINY])
+    output = capsys.readouterr().out
+    assert "replayed 1 prior mutation(s)" in output
+    assert json.loads((tmp_path / "last.json.journal").read_text()) == \
+        [first, second]
+
+    # Cold survey of the twice-mutated world must match the chained result.
+    from repro.core.engine import SurveyEngine
+    from repro.topology.changes import ChangeJournal, apply_mutation_spec
+    from repro.topology.generator import GeneratorConfig, InternetGenerator
+    internet = InternetGenerator(GeneratorConfig(
+        seed=11, sld_count=40, directory_name_count=60,
+        university_count=10)).generate()
+    journal = ChangeJournal(internet)
+    apply_mutation_spec(journal, first)
+    apply_mutation_spec(journal, second)
+    cold = SurveyEngine(internet).run()
+    diff = diff_results(load_results(last), cold)
+    assert diff.is_identical
+    assert load_results(last).vulnerable_servers == cold.vulnerable_servers
+
+
+def test_survey_output_removes_stale_sidecar_journal(tmp_path, capsys):
+    """Overwriting a snapshot with a fresh full survey must retire any
+    mutation sidecar a previous resurvey left at that path."""
+    snap = tmp_path / "snap.json"
+    sidecar = tmp_path / "snap.json.journal"
+    sidecar.write_text('["set-software:host=x.example.com"]')
+    main(["survey", "--max-names", "15", "--output", str(snap), *TINY])
+    output = capsys.readouterr().out
+    assert not sidecar.exists()
+    assert "stale mutation journal" in output
+
+
+def test_resurvey_rejects_bad_mutation_spec(tmp_path, capsys):
+    prev = tmp_path / "prev.json"
+    main(["survey", "--output", str(prev), *TINY])
+    capsys.readouterr()
+    with pytest.raises(ValueError, match="unknown mutation kind"):
+        main(["resurvey", str(prev), "--mutate", "frobnicate:zone=com",
+              *TINY])
+
+
 def test_diff_command_identical_snapshots(tmp_path, capsys):
     snapshot = tmp_path / "snap.json"
     main(["survey", "--max-names", "20", "--output", str(snapshot), *TINY])

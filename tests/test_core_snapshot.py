@@ -6,6 +6,7 @@ import pytest
 
 import dataclasses
 
+from repro.dns.name import DomainName
 from repro.core.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
     diff_results,
@@ -81,10 +82,34 @@ def test_diff_identical_snapshots_reports_no_churn(small_survey):
     assert diff.common == len(small_survey.records)
     assert diff.only_in_a == [] and diff.only_in_b == []
     assert diff.changed == 0
+    assert diff.is_identical
     assert diff.transitions == {}
     for stats in diff.numeric.values():
         assert stats["changed"] == 0.0
         assert stats["max_abs_delta"] == 0.0
+
+
+def test_diff_reports_added_and_removed_names_as_changes(small_survey):
+    """Adds/removals are first-class: equivalence checks must see them."""
+    mutated = results_from_dict(results_to_dict(small_survey))
+    dropped = mutated.records.pop()
+    extra = dataclasses.replace(small_survey.records[0],
+                                name=DomainName("brand.new.example"))
+    mutated.records.append(extra)
+
+    diff = diff_results(small_survey, mutated)
+    assert not diff.is_identical
+    assert diff.only_in_a == [dropped.name]
+    assert diff.only_in_b == [extra.name]
+    presence = {change.name: change.fields["presence"]
+                for change in diff.changes if "presence" in change.fields}
+    assert presence[dropped.name] == ("present", "absent")
+    assert presence[extra.name] == ("absent", "present")
+    assert diff.transitions["presence"][("present", "absent")] == 1
+    assert diff.transitions["presence"][("absent", "present")] == 1
+    assert diff.changed == 2
+    mover_names = {change.name for change in diff.top_movers(5)}
+    assert {dropped.name, extra.name} <= mover_names
 
 
 def test_diff_detects_tcb_and_classification_churn(small_survey):

@@ -79,6 +79,30 @@ def test_hashable_and_usable_as_dict_key():
     assert mapping[DomainName("A.COM")] == 1
 
 
+def test_hash_derives_from_cached_presentation_text():
+    name = DomainName("www.cs.cornell.edu")
+    assert hash(name) == hash(str(name))
+    # Hash/str caches survive copy-construction and hierarchy fast paths.
+    assert hash(DomainName(name)) == hash(name)
+    assert hash(name.parent()) == hash("cs.cornell.edu")
+    assert hash(DomainName.root()) == hash(".")
+    # A name equal to a string now hashes like it, so mixed-key dict
+    # probes behave consistently.
+    mapping = {DomainName("a.com"): 1}
+    assert mapping["a.com"] == 1
+
+
+def test_pickle_roundtrip_preserves_identity_semantics():
+    import pickle
+    for text in ("www.example.com", "a.root-servers.net", "."):
+        name = DomainName(text)
+        clone = pickle.loads(pickle.dumps(name))
+        assert clone == name
+        assert hash(clone) == hash(name)
+        assert str(clone) == str(name)
+        assert clone.labels == name.labels
+
+
 def test_immutable():
     name = DomainName("example.com")
     with pytest.raises(AttributeError):
