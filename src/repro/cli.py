@@ -35,6 +35,21 @@ Subcommands
             --mutate 'set-ns:zone=site1.com;ns=ns1.webhost2.com' \\
             --mutate 'set-software:host=dns1.univ3.edu;software=BIND 8.2.2' \\
             --output next.json
+``churn``
+    Longitudinal churn simulation: run a seeded churn model (registrar
+    transfers, server death/replacement, software and region churn, monotone
+    DNSSEC adoption) for ``--epochs`` epochs over one synthetic Internet,
+    re-surveying incrementally after each epoch, and write the per-epoch
+    drift series as a machine-readable ``timeline.json``::
+
+        repro-dns churn --epochs 12 --churn-seed 7 \\
+            --rates 'transfer=2,death=0.5,upgrade=3,dnssec=0.05' \\
+            --passes availability,dnssec:fraction=0.2 \\
+            --output timeline.json
+``timeline``
+    Render a timeline written by ``churn``: per-epoch drift (hijackable
+    fraction, TCB size, availability, DNSSEC progress, churned names) plus
+    the biggest movers of the final epoch.
 ``inspect``
     Build the delegation graph of a single name and print its TCB, bottleneck
     analysis, and (if any) attack path.
@@ -132,6 +147,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="analysis passes, matching the previous run")
     resurvey.add_argument("--progress", action="store_true",
                           help="print re-survey progress to stderr")
+
+    churn = subparsers.add_parser(
+        "churn",
+        help="simulate longitudinal churn: seeded world mutations with an "
+             "incremental re-survey after every epoch")
+    _add_generator_arguments(churn)
+    churn.add_argument("--epochs", type=_positive_int, default=10,
+                       help="number of churn epochs to simulate")
+    churn.add_argument("--churn-seed", type=int, default=0,
+                       help="RNG seed for the churn model (independent of "
+                            "the world seed, so one world supports many "
+                            "churn scenarios)")
+    churn.add_argument("--rates", type=str, default=None,
+                       help="per-epoch churn rates as class=rate pairs, "
+                            "e.g. 'transfer=2,death=0.5,upgrade=3,"
+                            "downgrade=1,region=2,dnssec=0.05' (expected "
+                            "events per epoch; dnssec is the per-epoch "
+                            "increment of the signed-zone fraction)")
+    churn.add_argument("--max-names", type=int, default=None,
+                       help="survey at most this many directory names")
+    churn.add_argument("--output", type=str, default=None,
+                       help="write the machine-readable timeline JSON here")
+    churn.add_argument("--no-bottleneck", action="store_true",
+                       help="skip the min-cut bottleneck analysis")
+    churn.add_argument("--backend", type=str, default="serial",
+                       choices=BACKENDS,
+                       help="survey execution backend for every epoch")
+    churn.add_argument("--workers", type=_positive_int, default=1,
+                       help="worker/shard count for partitioned backends")
+    churn.add_argument("--passes", type=str, default=None,
+                       help="analysis passes run every epoch, e.g. "
+                            "'availability,dnssec:fraction=0.2' (a dnssec "
+                            "pass seeds the adoption model's start state)")
+    churn.add_argument("--cold-check", action="store_true",
+                       help="audit mode: run a cold full survey after every "
+                            "epoch and record whether the incremental "
+                            "snapshot is byte-identical (slow)")
+    churn.add_argument("--progress", action="store_true",
+                       help="print per-epoch progress to stderr")
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="render the per-epoch drift series of a churn timeline")
+    timeline.add_argument("timeline", type=str,
+                          help="path to a timeline JSON written by churn")
+    timeline.add_argument("--movers", type=_positive_int, default=5,
+                          help="number of most-changed names to list for "
+                               "the final epoch (timelines record at most "
+                               "10 per epoch)")
 
     inspect = subparsers.add_parser(
         "inspect", help="analyse a single name on a fresh synthetic Internet")
@@ -378,6 +442,108 @@ def _command_resurvey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _timeline_rows(timeline) -> List[tuple]:
+    """Per-epoch drift rows shared by ``churn`` and ``timeline`` output."""
+    rows = []
+    for snapshot in timeline.snapshots:
+        availability = (f"{snapshot.availability_mean:.4f}"
+                        if snapshot.availability_mean is not None else "-")
+        secure = (f"{snapshot.dnssec_secure_fraction:.1%}"
+                  if snapshot.dnssec_secure_fraction is not None else "-")
+        rows.append((
+            snapshot.epoch, snapshot.events,
+            f"{snapshot.dirty_names}/{snapshot.total_names}",
+            f"{snapshot.hijackable_fraction:.1%}",
+            f"{snapshot.mean_tcb:.1f}",
+            f"{snapshot.p95_tcb:.0f}",
+            availability,
+            f"{snapshot.dnssec_fraction:.0%}",
+            secure,
+            snapshot.changed_names,
+            f"{snapshot.delta_elapsed_s:.2f}s"))
+    return rows
+
+
+_TIMELINE_HEADERS = ("epoch", "events", "dirty", "hijackable", "mean TCB",
+                     "p95 TCB", "avail", "signed", "secure", "changed",
+                     "survey")
+
+
+def print_timeline(timeline, movers: int = 5) -> None:
+    """Render the drift table plus the final epoch's biggest movers."""
+    config = timeline.config
+    print(f"churn timeline: {timeline.epochs} epochs, "
+          f"churn seed {config.get('churn_seed')}, "
+          f"backend {config.get('backend')}, "
+          f"rates {config.get('rates')}")
+    print()
+    print(format_table(_timeline_rows(timeline), headers=_TIMELINE_HEADERS))
+    last = timeline.snapshots[-1]
+    if last.cold_identical is not None:
+        audited = [s for s in timeline.snapshots
+                   if s.cold_identical is not None]
+        clean = sum(1 for s in audited if s.cold_identical)
+        print(f"\ncold audit: {clean}/{len(audited)} epochs byte-identical "
+              f"to a cold full survey")
+    if last.top_movers:
+        print(f"\nBiggest movers of epoch {last.epoch}")
+        rows = [(mover["name"], mover["changes"])
+                for mover in last.top_movers[:movers]]
+        print(format_table(rows, headers=("name", "changes")))
+
+
+def _command_churn(args: argparse.Namespace) -> int:
+    from repro.core.timeline import (dnssec_spec_options, run_churn_timeline,
+                                     save_timeline)
+    from repro.topology.churn import ChurnModel, ChurnRates
+
+    rates = ChurnRates.parse(args.rates)
+    config = _config_from_args(args)
+    internet = InternetGenerator(config).generate()
+
+    initial_dnssec, dnssec_seed, sign_tlds = dnssec_spec_options(args.passes)
+    model = ChurnModel(internet, rates, seed=args.churn_seed,
+                       initial_dnssec=initial_dnssec,
+                       dnssec_seed=dnssec_seed,
+                       dnssec_sign_tlds=sign_tlds)
+
+    def progress(epoch, snapshot):
+        if not args.progress:
+            return
+        print(f"epoch {epoch}/{args.epochs}: {snapshot.events} events, "
+              f"{snapshot.dirty_names}/{snapshot.total_names} re-surveyed "
+              f"in {snapshot.delta_elapsed_s:.2f}s", file=sys.stderr)
+
+    timeline = run_churn_timeline(
+        internet, model, epochs=args.epochs, backend=args.backend,
+        workers=args.workers, include_bottleneck=not args.no_bottleneck,
+        passes=args.passes, max_names=args.max_names,
+        cold_check=args.cold_check, progress=progress)
+    timeline.config["generator"] = {
+        "seed": args.seed, "sld_count": args.sld_count,
+        "directory_names": args.directory_names,
+        "universities": args.universities}
+
+    print_timeline(timeline)
+    if args.output:
+        path = save_timeline(timeline, args.output)
+        print(f"\ntimeline written to {path}")
+    if args.cold_check and not all(
+            snapshot.cold_identical for snapshot in timeline.snapshots[1:]):
+        print("\ncold audit FAILED: at least one incremental epoch diverged "
+              "from its cold survey", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _command_timeline(args: argparse.Namespace) -> int:
+    from repro.core.timeline import load_timeline
+
+    timeline = load_timeline(args.timeline)
+    print_timeline(timeline, movers=args.movers)
+    return 0
+
+
 def _command_inspect(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     internet = InternetGenerator(config).generate()
@@ -422,6 +588,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _command_report,
         "diff": _command_diff,
         "resurvey": _command_resurvey,
+        "churn": _command_churn,
+        "timeline": _command_timeline,
         "inspect": _command_inspect,
     }
     handler = handlers[args.command]

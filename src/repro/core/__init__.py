@@ -55,6 +55,13 @@ from repro.core.report import (
 )
 from repro.core.delta import DeltaOutcome, DeltaStats, DirtyIndex
 from repro.core.snapshot import save_results, load_results
+from repro.core.timeline import (
+    Timeline,
+    TimelineSnapshot,
+    load_timeline,
+    run_churn_timeline,
+    save_timeline,
+)
 from repro.core.availability import (
     AvailabilityAnalyzer,
     AvailabilityReport,
@@ -99,6 +106,11 @@ __all__ = [
     "DirtyIndex",
     "save_results",
     "load_results",
+    "Timeline",
+    "TimelineSnapshot",
+    "load_timeline",
+    "run_churn_timeline",
+    "save_timeline",
     "AvailabilityAnalyzer",
     "AvailabilityReport",
     "availability_security_tradeoff",

@@ -73,11 +73,40 @@ class DirtyIndex:
             return set(self._names)
         dirty: Set[DomainName] = set()
         by_host = self._by_host
-        for host in changes.touched_hosts:
+        # Host-scoped events (software, region, server lifecycle) dirty
+        # every dependant of each host.  Journal-folded ChangeSets carry
+        # them separately from zone-edit hosts; hand-built ones fall back
+        # to the conservative union over the whole touched set.
+        hosts = getattr(changes, "host_footprints", None)
+        if hosts is None:
+            hosts = changes.touched_hosts
+        for host in hosts:
             dirty.update(by_host.get(host, ()))
+        # Zone edits dirty by *intersection*: a name depends on the zone
+        # iff its previous TCB holds every countable member of the zone's
+        # previous NS set (the TCB is a closure), so intersecting the
+        # members' dependant lists finds the zone's dependants without
+        # dirtying every name that merely shares one co-hosted server.
+        # Hosts with no dependants are skipped, not intersected: they are
+        # either TCB-excluded (never indexed) or the zone has no
+        # dependants at all — in which case the survivors only ever
+        # over-approximate.  (The no-countable-member case never reaches
+        # here: the journal folds it to dirty_all.)
+        for footprint in getattr(changes, "zone_footprints", {}).values():
+            dependants = [by_host.get(host) for host in footprint]
+            dependants = [bucket for bucket in dependants if bucket]
+            if not dependants:
+                continue
+            dependants.sort(key=len)
+            candidates = set(dependants[0])
+            for bucket in dependants[1:]:
+                if not candidates:
+                    break
+                candidates.intersection_update(bucket)
+            dirty.update(candidates)
         # Ancestry-scoped zones (new cuts, newly signed apexes) affect
-        # exactly the names below them — walk each name's ancestor chain
-        # against the apex set rather than testing every (name, apex) pair.
+        # the names below them — walk each name's ancestor chain against
+        # the apex set rather than testing every (name, apex) pair.
         apexes = set(changes.created_zones) | set(changes.chain_zones)
         if apexes:
             for name in self._names:
@@ -86,6 +115,22 @@ class DirtyIndex:
                                                       include_root=False)):
                     dirty.add(name)
         if changes.created_zones:
+            # A new cut also adds a delegation level to the resolution of
+            # every *host* beneath it, so names elsewhere in the namespace
+            # whose TCB holds such a host gain dependencies too — the
+            # below-the-apex walk above cannot see them.
+            created = tuple(changes.created_zones)
+            for host, dependants in by_host.items():
+                if any(host.is_subdomain_of(apex) for apex in created):
+                    dirty.update(dependants)
+        if changes.created_zones or changes.edited_zones:
+            # Names that previously failed to resolve have empty TCBs and
+            # therefore no footprint at all, so no host mapping can ever
+            # reach them — yet any delegation change can be the one that
+            # makes them resolvable (e.g. a zone whose NS set was all
+            # ghosts getting live servers, which can cascade to names far
+            # outside the edited subtree through ghost-host dependencies).
+            # Re-survey them all whenever the delegation fabric changed.
             dirty.update(self._unresolved)
         return dirty
 

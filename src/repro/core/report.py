@@ -89,6 +89,16 @@ def summary_stats(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile (0..100) of an unsorted sample.
+
+    The public face of :func:`_percentile`, so other reducers (e.g. the
+    churn timeline's p95 TCB) report percentiles with the same definition
+    as :func:`summary_stats`.
+    """
+    return _percentile(sorted(float(v) for v in values), pct)
+
+
 def _percentile(ordered: Sequence[float], percentile: float) -> float:
     """Linear-interpolated percentile of an already-sorted sample."""
     if not ordered:

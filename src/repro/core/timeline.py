@@ -1,0 +1,428 @@
+"""Longitudinal churn timelines: epoch loops over the delta engine.
+
+The one-shot survey answers "whose servers does this name trust *today*?".
+The paper's larger point is that the answer drifts: zones change hands,
+boxes die, deployment creeps.  This module runs that movie.  Each epoch a
+:class:`~repro.topology.churn.ChurnModel` mutates the world through a fresh
+:class:`~repro.topology.changes.ChangeJournal`, the engine re-surveys just
+the invalidated names (:meth:`~repro.core.engine.SurveyEngine.run_delta`),
+and the results are reduced into a :class:`TimelineSnapshot` — the
+machine-readable per-epoch row a longitudinal analysis consumes.
+
+Invariants a :class:`Timeline` promises (and :meth:`Timeline.validate`
+enforces on load, so a corrupted or hand-edited ``timeline.json`` fails
+loudly instead of producing silent nonsense):
+
+* epoch indices are contiguous from 0 (the cold baseline) to ``epochs``;
+* the DNSSEC target fraction is monotone non-decreasing — signing is
+  additive, deployment never regresses;
+* every epoch surveys the same directory (``total_names`` constant).
+
+``cold_check=True`` additionally runs a cold full survey of the mutated
+world after every epoch and records whether the incremental snapshot is
+byte-identical to it (``cold_identical``) plus the cold wall-clock — the
+delta-correctness audit the tests and the churn benchmark assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import EngineConfig, SurveyEngine
+from repro.core.passes import build_passes
+from repro.core.report import percentile, summary_stats
+from repro.core.snapshot import diff_results, results_to_dict
+from repro.core.survey import SurveyResults
+
+# The topology layer imports core.delegation at module load (the shared
+# exclusion-suffix constant), so the loop back into topology must stay
+# call-time-lazy here or package initialisation becomes order-dependent.
+# ``ChurnModel`` is annotation-only (PEP 563 strings via the __future__
+# import above); ``ChangeJournal`` is imported inside the epoch loop.
+if TYPE_CHECKING:
+    from repro.topology.churn import ChurnModel
+
+#: Format version written into every timeline for forwards compatibility.
+TIMELINE_FORMAT_VERSION = 1
+
+#: How many most-changed names each epoch snapshot records.  This is the
+#: upper bound on what `repro-dns timeline --movers` can render — movers
+#: beyond it are not persisted.
+TOP_MOVER_COUNT = 10
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclasses.dataclass
+class TimelineSnapshot:
+    """One epoch's machine-readable reduction of the survey results.
+
+    ``epoch`` 0 is the cold baseline (everything "dirty", no drift); every
+    later epoch reflects one churn step re-surveyed incrementally.
+    """
+
+    epoch: int
+    #: Journalled events this epoch, total and per event kind.
+    events: int
+    event_kinds: Dict[str, int]
+    #: Delta bookkeeping (epoch 0: dirty == total, patched == 0).
+    total_names: int
+    dirty_names: int
+    patched_names: int
+    dirty_fraction: float
+    delta_elapsed_s: float
+    #: Survey aggregates — the drift series.
+    names_resolved: int
+    hijackable_fraction: float
+    mean_tcb: float
+    median_tcb: float
+    p95_tcb: float
+    mean_mincut: float
+    vulnerable_dependency_fraction: float
+    #: Pass aggregates, present when the corresponding pass ran.
+    availability_mean: Optional[float]
+    dnssec_secure_fraction: Optional[float]
+    #: The churn model's target signed fraction (monotone by construction).
+    dnssec_fraction: float
+    #: Drift vs the previous epoch (empty on the baseline).
+    changed_names: int
+    added_names: int
+    removed_names: int
+    tcb_mean_abs_delta: float
+    top_movers: List[Dict[str, str]]
+    #: Cold-audit fields, populated only when ``cold_check`` ran.
+    cold_elapsed_s: Optional[float] = None
+    cold_identical: Optional[bool] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (field names are the schema)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TimelineSnapshot":
+        """Rebuild a snapshot from :meth:`to_dict` output."""
+        fields = dataclasses.fields(cls)
+        known = {field.name for field in fields}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown timeline snapshot field(s) "
+                             f"{sorted(unknown)}")
+        required = {field.name for field in fields
+                    if field.default is dataclasses.MISSING}
+        missing = required - set(payload)
+        if missing:
+            raise ValueError(f"timeline snapshot missing field(s) "
+                             f"{sorted(missing)}")
+        return cls(**payload)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass
+class Timeline:
+    """A complete longitudinal run: configuration plus per-epoch snapshots."""
+
+    #: Run provenance: churn seed/rates, engine backend, pass specs, the
+    #: generator description the caller chose to record.
+    config: Dict[str, object]
+    snapshots: List[TimelineSnapshot]
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def epochs(self) -> int:
+        """Number of churn epochs (the baseline does not count)."""
+        return max(0, len(self.snapshots) - 1)
+
+    def drift_series(self, field: str) -> List[object]:
+        """One snapshot field across every epoch, baseline first."""
+        return [getattr(snapshot, field) for snapshot in self.snapshots]
+
+    def validate(self) -> None:
+        """Enforce the timeline invariants; raises ``ValueError``."""
+        if not self.snapshots:
+            raise ValueError("timeline has no snapshots")
+        for position, snapshot in enumerate(self.snapshots):
+            if snapshot.epoch != position:
+                raise ValueError(
+                    f"epoch indices must be contiguous from 0: found "
+                    f"epoch {snapshot.epoch} at position {position}")
+        fractions = self.drift_series("dnssec_fraction")
+        for previous, current in zip(fractions, fractions[1:]):
+            if current < previous:
+                raise ValueError(
+                    f"DNSSEC fraction must be monotone non-decreasing "
+                    f"(signing is additive): {previous} -> {current}")
+        totals = {snapshot.total_names for snapshot in self.snapshots}
+        if len(totals) > 1:
+            raise ValueError(f"every epoch must survey the same directory; "
+                             f"saw name counts {sorted(totals)}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format_version": TIMELINE_FORMAT_VERSION,
+            "config": dict(self.config),
+            "snapshots": [snapshot.to_dict() for snapshot in self.snapshots],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Timeline":
+        version = payload.get("format_version")
+        if version != TIMELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported timeline format version: {version!r}")
+        snapshots = [TimelineSnapshot.from_dict(raw)
+                     for raw in payload.get("snapshots", [])]
+        return cls(config=dict(payload.get("config", {})),
+                   snapshots=snapshots)
+
+
+def save_timeline(timeline: Timeline, path: PathLike) -> pathlib.Path:
+    """Write a timeline to ``path`` as JSON; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(timeline.to_dict(), indent=1, sort_keys=True)
+                    + "\n", encoding="utf-8")
+    return path
+
+
+def load_timeline(path: PathLike) -> Timeline:
+    """Read (and validate) a timeline written by :func:`save_timeline`."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    timeline = Timeline.from_dict(payload)
+    timeline.validate()
+    return timeline
+
+
+# -- pass-spec plumbing ----------------------------------------------------------------
+
+
+def dnssec_spec_options(passes: Union[str, Sequence[str], None]
+                        ) -> Tuple[float, str, bool]:
+    """(fraction, seed, sign_tlds) of the ``dnssec`` pass configuration.
+
+    Accepts the same forms as :func:`run_churn_timeline` (a comma-joined
+    CLI string, a sequence of spec strings, or ``None``).  The churn
+    model's adoption state must start exactly where the engine's
+    deployment starts — fraction, seed, *and* the sign-TLDs policy — or
+    the first journalled extension would deploy a mismatched superset and
+    be rejected.  The specs are resolved through
+    :func:`repro.core.passes.build_passes` and the built pass's own
+    attributes are read, so this can never drift from the grammar (or the
+    defaults) the engine itself applies.  Returns
+    (0.0, "repro-dnssec", True) — an unsigned world — when no dnssec
+    pass is configured.
+    """
+    for pass_ in build_passes(list(_normalise_pass_specs(passes))):
+        if pass_.name == "dnssec":
+            return pass_.fraction, pass_.seed, pass_.sign_tlds
+    return 0.0, "repro-dnssec", True
+
+
+def _with_dnssec_fraction(pass_specs: Sequence[str],
+                          fraction: float) -> List[str]:
+    """Pass specs with the dnssec fraction rewritten to ``fraction``.
+
+    Used by the cold audit: a cold engine over the epoch-``e`` world must
+    be *configured* for the deployment the journal has grown to, exactly
+    as the warm engine adopted it.
+    """
+    rewritten: List[str] = []
+    for spec in pass_specs:
+        kind, _, option_text = spec.partition(":")
+        if kind.strip() != "dnssec":
+            rewritten.append(spec)
+            continue
+        options = [item.strip() for item in option_text.split(";")
+                   if item.strip() and
+                   not item.strip().startswith("fraction")]
+        options.insert(0, f"fraction={fraction}")
+        rewritten.append("dnssec:" + ";".join(options))
+    return rewritten
+
+
+# -- the epoch loop --------------------------------------------------------------------
+
+
+def _normalise_pass_specs(passes: Union[str, Sequence[str], None]
+                          ) -> Tuple[str, ...]:
+    if passes is None:
+        return ()
+    if isinstance(passes, str):
+        return tuple(item.strip() for item in passes.split(",")
+                     if item.strip())
+    for spec in passes:
+        if not isinstance(spec, str):
+            raise TypeError(
+                "run_churn_timeline needs pass *spec strings* (it rebuilds "
+                "fresh pass instances for the cold audit); got "
+                f"{type(spec).__name__}")
+    return tuple(passes)
+
+
+def _reduce_epoch(epoch: int, results: SurveyResults,
+                  previous: Optional[SurveyResults],
+                  events: Sequence, stats,
+                  elapsed_s: float,
+                  dnssec_fraction: float) -> TimelineSnapshot:
+    """Fold one epoch's results (and drift vs ``previous``) into a row."""
+    sizes = [float(size) for size in results.tcb_sizes()]
+    event_kinds: Dict[str, int] = {}
+    for event in events:
+        event_kinds[event.kind] = event_kinds.get(event.kind, 0) + 1
+
+    extras = results.extras_summary()
+    availability = extras.get("availability")
+    dnssec_secure = extras.get("dnssec_status=secure")
+    if dnssec_secure is None and "dnssec_status" in \
+            results.extras_columns():
+        dnssec_secure = 0.0  # the pass ran but nothing validated secure
+
+    changed = added = removed = 0
+    tcb_drift = 0.0
+    movers: List[Dict[str, str]] = []
+    if previous is not None:
+        diff = diff_results(previous, results)
+        changed = diff.changed
+        added = len(diff.only_in_b)
+        removed = len(diff.only_in_a)
+        tcb_drift = diff.numeric.get("tcb_size", {}).get("mean_abs_delta",
+                                                         0.0)
+        movers = [
+            {"name": str(change.name),
+             "changes": "; ".join(
+                 f"{field}: {before} -> {after}"
+                 for field, (before, after) in sorted(change.fields.items()))}
+            for change in diff.top_movers(TOP_MOVER_COUNT)]
+
+    size_stats = summary_stats(sizes)
+
+    return TimelineSnapshot(
+        epoch=epoch,
+        events=len(events),
+        event_kinds=event_kinds,
+        total_names=stats.total_names,
+        dirty_names=stats.dirty_names,
+        patched_names=stats.patched_names,
+        dirty_fraction=stats.dirty_fraction,
+        delta_elapsed_s=round(elapsed_s, 6),
+        names_resolved=len(results.resolved_records()),
+        hijackable_fraction=results.fraction_completely_hijackable(),
+        mean_tcb=size_stats["mean"],
+        median_tcb=size_stats["median"],
+        p95_tcb=percentile(sizes, 95.0),
+        mean_mincut=results.mean_mincut_size(),
+        vulnerable_dependency_fraction=
+        results.fraction_with_vulnerable_dependency(),
+        availability_mean=availability,
+        dnssec_secure_fraction=dnssec_secure,
+        dnssec_fraction=dnssec_fraction,
+        changed_names=changed,
+        added_names=added,
+        removed_names=removed,
+        tcb_mean_abs_delta=tcb_drift,
+        top_movers=movers)
+
+
+@dataclasses.dataclass
+class _BaselineStats:
+    """Delta-shaped bookkeeping for the cold epoch-0 survey."""
+
+    total_names: int
+    dirty_names: int
+    patched_names: int = 0
+    dirty_fraction: float = 1.0
+
+
+def run_churn_timeline(internet, model: ChurnModel, epochs: int,
+                       backend: str = "serial", workers: int = 1,
+                       include_bottleneck: bool = True,
+                       passes: Union[str, Sequence[str], None] = None,
+                       popular_count: int = 500,
+                       max_names: Optional[int] = None,
+                       cold_check: bool = False,
+                       progress=None) -> Timeline:
+    """Run ``epochs`` churn steps over ``internet`` and reduce each epoch.
+
+    The loop alternates ``model.advance`` (world mutation through a fresh
+    journal) with ``engine.run_delta`` (dirty-only re-survey), starting
+    from a cold epoch-0 baseline.  ``passes`` must be spec strings (see
+    :func:`repro.core.passes.build_passes`) — the runner builds the warm
+    engine itself and, under ``cold_check``, fresh cold engines whose
+    dnssec fraction tracks the journal's deployment progress.
+
+    ``progress``, when given, is called as ``progress(epoch, snapshot)``
+    after each epoch is reduced.
+    """
+    from repro.topology.changes import ChangeJournal
+
+    if epochs < 0:
+        raise ValueError("epochs must be >= 0")
+    pass_specs = _normalise_pass_specs(passes)
+
+    def engine_config(specs: Sequence[str]) -> EngineConfig:
+        return EngineConfig(backend=backend, workers=workers,
+                            include_bottleneck=include_bottleneck,
+                            popular_count=popular_count,
+                            passes=build_passes(list(specs)))
+
+    engine = SurveyEngine(internet, config=engine_config(pass_specs))
+
+    started = time.perf_counter()
+    results = engine.run(max_names=max_names)
+    baseline_elapsed = time.perf_counter() - started
+    baseline = _reduce_epoch(
+        0, results, None, events=(),
+        stats=_BaselineStats(total_names=len(results.records),
+                             dirty_names=len(results.records)),
+        elapsed_s=baseline_elapsed,
+        dnssec_fraction=model.dnssec_fraction)
+    snapshots = [baseline]
+    if progress is not None:
+        progress(0, baseline)
+
+    for epoch in range(1, epochs + 1):
+        journal = ChangeJournal(internet)
+        events = model.advance(journal)
+        epoch_started = time.perf_counter()
+        outcome = engine.run_delta(results, journal, max_names=max_names)
+        elapsed = time.perf_counter() - epoch_started
+        snapshot = _reduce_epoch(epoch, outcome.results, results, events,
+                                 outcome.stats, elapsed,
+                                 model.dnssec_fraction)
+        if cold_check:
+            cold_specs = _with_dnssec_fraction(pass_specs,
+                                               model.dnssec_fraction)
+            cold_engine = SurveyEngine(internet,
+                                       config=engine_config(cold_specs))
+            cold_started = time.perf_counter()
+            cold = cold_engine.run(max_names=max_names)
+            snapshot.cold_elapsed_s = round(
+                time.perf_counter() - cold_started, 6)
+            snapshot.cold_identical = (
+                json.dumps(results_to_dict(outcome.results), sort_keys=True)
+                == json.dumps(results_to_dict(cold), sort_keys=True))
+        results = outcome.results
+        snapshots.append(snapshot)
+        if progress is not None:
+            progress(epoch, snapshot)
+
+    timeline = Timeline(
+        config={
+            "epochs": epochs,
+            "backend": backend,
+            "workers": workers,
+            "include_bottleneck": include_bottleneck,
+            "passes": list(pass_specs),
+            "popular_count": popular_count,
+            "max_names": max_names,
+            "churn_seed": model.seed,
+            "rates": model.rates.to_dict(),
+            "cold_check": cold_check,
+        },
+        snapshots=snapshots)
+    timeline.validate()
+    return timeline

@@ -47,7 +47,9 @@ from repro.topology.changes import (
     ChangeJournal,
     ChangeSet,
     apply_mutation_spec,
+    zone_nameserver_union,
 )
+from repro.topology.churn import ChurnModel, ChurnRates
 
 __all__ = [
     "ZipfSampler",
@@ -72,4 +74,7 @@ __all__ = [
     "ChangeJournal",
     "ChangeSet",
     "apply_mutation_spec",
+    "zone_nameserver_union",
+    "ChurnModel",
+    "ChurnRates",
 ]

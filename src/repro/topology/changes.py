@@ -109,6 +109,19 @@ class ChangeSet:
     #: TCBs (e.g. a re-delegated zone whose old NS set had no non-excluded
     #: member) — every name must then be treated as dirty.
     dirty_all: bool
+    #: Per re-delegated zone, the NS set it held when the previous survey
+    #: ran (the first in-window edit's before-set; created zones have no
+    #: entry — ancestry covers them).  A name depends on the zone iff its
+    #: previous TCB holds *every* non-excluded member, so the delta engine
+    #: dirties by dependant-set intersection instead of unioning every
+    #: name that merely shares one (possibly heavily co-hosted) server.
+    zone_footprints: Dict[DomainName, Tuple[DomainName, ...]] = \
+        dataclasses.field(default_factory=dict)
+    #: Hosts whose dependants are individually dirty (software, region,
+    #: and server-lifecycle events).  ``None`` means "not computed" — a
+    #: hand-built ChangeSet — and makes the delta engine fall back to
+    #: unioning over :attr:`touched_hosts`.
+    host_footprints: Optional[FrozenSet[DomainName]] = None
 
     @property
     def empty(self) -> bool:
@@ -122,6 +135,39 @@ class ChangeSet:
     def analyses_stale(self) -> bool:
         """True when cached vulnerability / signature verdicts are stale."""
         return bool(self.refingerprint_hosts or self.dnssec_deployments)
+
+
+def zone_nameserver_union(internet, apex: NameLike) -> List[DomainName]:
+    """A zone's effective NS union in discovery order.
+
+    Mirrors :attr:`repro.dns.resolver.ZoneCut.nameservers`: the parent
+    delegation's preferential order first, then apex-only extras.  Shared
+    by the journal (re-delegation bookkeeping) and the churn model
+    (server-death eligibility), so "which zones does this host serve"
+    can never diverge between the two.
+    """
+    apex = DomainName(apex)
+    zones = internet.zones
+    zone = zones.get(apex)
+    delegation = None
+    for ancestor in apex.ancestors(include_self=False):
+        parent = zones.get(ancestor)
+        if parent is not None:
+            delegation = parent.get_delegation(apex)
+            break
+    merged: List[DomainName] = []
+    seen: Set[DomainName] = set()
+    sources = []
+    if delegation is not None:
+        sources.append(delegation.nameservers)
+    if zone is not None:
+        sources.append(zone.apex_nameservers())
+    for source in sources:
+        for hostname in source:
+            if hostname not in seen:
+                seen.add(hostname)
+                merged.append(hostname)
+    return merged
 
 
 class ChangeJournal:
@@ -380,6 +426,8 @@ class ChangeJournal:
         refingerprint: Set[DomainName] = set()
         added: Set[DomainName] = set()
         deployments: List[object] = []
+        footprints: Dict[DomainName, Tuple[DomainName, ...]] = {}
+        host_dirty: Set[DomainName] = set()
         dirty_all = False
         for index, event in enumerate(self.events):
             if event.kind == "dnssec":
@@ -394,6 +442,15 @@ class ChangeJournal:
                 edited[event.zone] = list(event.hosts_after)
                 if event.created_zone and event.zone not in created:
                     created.append(event.zone)
+                if not event.created_zone and event.zone not in created \
+                        and event.zone not in footprints:
+                    # The first in-window edit's before-set is what the
+                    # previous survey's TCBs reflect: a name depends on
+                    # the zone iff it holds every countable member, so
+                    # this set is the zone's precise dirty footprint.
+                    # (Later edits see intermediate states no TCB holds;
+                    # zones created in-window dirty by ancestry instead.)
+                    footprints[event.zone] = tuple(event.hosts_before)
                 if not event.created_zone and \
                         not self._has_countable_host(event.hosts_before):
                     # The old NS set leaves no trace in any TCB, so the
@@ -401,18 +458,24 @@ class ChangeJournal:
                     dirty_all = True
             elif event.kind == "software":
                 refingerprint.update(event.touched_hosts)
+                host_dirty.update(event.touched_hosts)
             elif event.kind == "server-add":
                 added.update(event.hosts_after)
                 # A ghost NS coming online flips its fingerprint from
                 # unreachable to a live banner; cached verdicts are stale.
                 refingerprint.update(event.hosts_after)
+                host_dirty.update(event.touched_hosts)
+            else:  # server-remove, region, future host-scoped kinds
+                host_dirty.update(event.touched_hosts)
         return ChangeSet(edited_zones=edited, created_zones=tuple(created),
                          chain_zones=tuple(chain_zones),
                          touched_hosts=frozenset(touched),
                          refingerprint_hosts=frozenset(refingerprint),
                          added_names=frozenset(added),
                          dnssec_deployments=tuple(deployments),
-                         dirty_all=dirty_all)
+                         dirty_all=dirty_all,
+                         zone_footprints=footprints,
+                         host_footprints=frozenset(host_dirty))
 
     # -- internals ---------------------------------------------------------------------
 
@@ -474,27 +537,8 @@ class ChangeJournal:
         return parent, parent.get_delegation(apex)
 
     def _zone_ns_union(self, apex: NameLike) -> List[DomainName]:
-        """The zone's NS union in discovery order (parent set, then apex).
-
-        Mirrors :attr:`repro.dns.resolver.ZoneCut.nameservers`: the parent
-        delegation's preferential order first, then apex-only extras.
-        """
-        apex = DomainName(apex)
-        zone = self.internet.zones.get(apex)
-        _parent, delegation = self._parent_delegation(apex)
-        merged: List[DomainName] = []
-        seen: Set[DomainName] = set()
-        sources = []
-        if delegation is not None:
-            sources.append(delegation.nameservers)
-        if zone is not None:
-            sources.append(zone.apex_nameservers())
-        for source in sources:
-            for hostname in source:
-                if hostname not in seen:
-                    seen.add(hostname)
-                    merged.append(hostname)
-        return merged
+        """The zone's NS union in discovery order (parent set, then apex)."""
+        return zone_nameserver_union(self.internet, apex)
 
     def _glue_for(self, nameservers: Sequence[DomainName]
                   ) -> Dict[DomainName, List[str]]:

@@ -257,3 +257,72 @@ def test_diff_command_identical_snapshots(tmp_path, capsys):
     assert exit_code == 0
     output = capsys.readouterr().out
     assert "0 changed" in output
+
+
+def test_churn_command_writes_validated_timeline(tmp_path, capsys):
+    timeline_path = tmp_path / "timeline.json"
+    exit_code = main(["churn", "--epochs", "3", "--churn-seed", "4",
+                      "--rates", "transfer=1,death=0.5,upgrade=1,dnssec=0.2",
+                      "--output", str(timeline_path), *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "churn timeline: 3 epochs" in output
+    assert "hijackable" in output
+
+    payload = json.loads(timeline_path.read_text())
+    assert payload["format_version"] == 1
+    assert [row["epoch"] for row in payload["snapshots"]] == [0, 1, 2, 3]
+    fractions = [row["dnssec_fraction"] for row in payload["snapshots"]]
+    assert fractions == sorted(fractions)
+    assert sum(row["changed_names"] for row in payload["snapshots"]) > 0
+
+
+def test_churn_command_cold_check_passes(capsys):
+    exit_code = main(["churn", "--epochs", "2", "--churn-seed", "4",
+                      "--rates", "transfer=1,upgrade=1", "--cold-check",
+                      *TINY])
+    assert exit_code == 0
+    assert "cold audit: 2/2 epochs byte-identical" in capsys.readouterr().out
+
+
+def test_churn_command_is_deterministic(tmp_path, capsys):
+    paths = [tmp_path / "a.json", tmp_path / "b.json"]
+    for path in paths:
+        main(["churn", "--epochs", "2", "--churn-seed", "11",
+              "--rates", "transfer=1,upgrade=2,region=1",
+              "--output", str(path), *TINY])
+        capsys.readouterr()
+    payloads = [json.loads(path.read_text()) for path in paths]
+    for payload in payloads:
+        for row in payload["snapshots"]:
+            row["delta_elapsed_s"] = 0
+    assert payloads[0] == payloads[1]
+
+
+def test_churn_command_rejects_bad_rates(capsys):
+    with pytest.raises(ValueError, match="unknown churn class"):
+        main(["churn", "--epochs", "1", "--rates", "meteor=1", *TINY])
+
+
+def test_timeline_command_renders_drift(tmp_path, capsys):
+    timeline_path = tmp_path / "timeline.json"
+    main(["churn", "--epochs", "3", "--churn-seed", "4",
+          "--rates", "transfer=1,upgrade=1,dnssec=0.2",
+          "--passes", "dnssec:fraction=0.2",
+          "--output", str(timeline_path), *TINY])
+    capsys.readouterr()
+    exit_code = main(["timeline", str(timeline_path)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "epoch" in output and "hijackable" in output
+    assert "signed" in output
+    # The dnssec pass contributes the secure-fraction drift column.
+    assert "secure" in output
+
+
+def test_timeline_command_rejects_corrupt_timeline(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"format_version": 1, "config": {},
+                               "snapshots": []}))
+    with pytest.raises(ValueError, match="no snapshots"):
+        main(["timeline", str(bad)])

@@ -210,8 +210,15 @@ def test_dirty_index_created_zone_dirties_names_below_it(delta_world):
     apex = record.name.parent()
     dirty = index.dirty_names(_change_set(created_zones=(apex,)))
     assert record.name in dirty
+    # Dirty = names below the apex, unresolved names, and names elsewhere
+    # that depend on a *host* below the apex (whose resolution gains a
+    # delegation level) — nothing more.
+    def depends_on_host_below(name):
+        return any(host.is_subdomain_of(apex)
+                   for host in prev.record_for(name).tcb_servers)
     assert all(name.is_subdomain_of(apex) or
-               not prev.record_for(name).resolved for name in dirty)
+               not prev.record_for(name).resolved or
+               depends_on_host_below(name) for name in dirty)
 
 
 def test_dirty_index_dirty_all_falls_back_to_everything(delta_world):
@@ -245,6 +252,87 @@ def test_redelegation_to_ancestor_path_server_matches_cold():
         next(name for name in outcome.dirty
              if name.is_subdomain_of(victim)))
     assert record.tcb_size == cold.record_for(record.name).tcb_size
+
+
+def test_new_cut_above_a_depended_on_host_dirties_external_dependants():
+    """Cutting a zone above a host adds a delegation level to the host's
+    own resolution, so names *elsewhere* whose TCB holds that host change
+    too — the below-the-apex ancestry walk alone would miss them."""
+    internet = _make_internet(888)
+    univ = internet.organizations.by_name("univ1")
+    host = univ.domain.child("dept").child("ns")
+    setup = ChangeJournal(internet)
+    setup.add_server(str(host), software="BIND 9.2.1")
+
+    engine = SurveyEngine(internet, config=EngineConfig())
+    site = next(record.name.parent() for record in engine.run().records
+                if record.resolved and record.category == "small-business")
+    setup.add_zone_nameserver(site, host)
+    prev = SurveyEngine(internet, config=EngineConfig()).run()
+    dependant = next(record.name for record in prev.resolved_records()
+                     if host in record.tcb_servers)
+    assert not dependant.is_subdomain_of(univ.domain)
+
+    journal = ChangeJournal(internet)
+    # The new cut's own NS must sit outside the dependant's previous TCB,
+    # or the touched-host union would mask the ancestry gap under test.
+    other = internet.organizations.by_name("univ2")
+    assert other.nameservers[0] not in \
+        prev.record_for(dependant).tcb_servers
+    journal.set_zone_nameservers(univ.domain.child("dept"),
+                                 [other.nameservers[0]])
+    fresh = SurveyEngine(internet, config=EngineConfig())
+    outcome = fresh.run_delta(prev, journal)
+    cold = SurveyEngine(internet, config=EngineConfig()).run()
+    assert dependant in outcome.dirty
+    assert _snapshot_bytes(outcome.results) == _snapshot_bytes(cold)
+
+
+def test_ghost_redelegation_round_trip_matches_cold():
+    """Delegating a zone to ghosts and back: the ghost hostnames enter
+    dependant TCBs through the referral chain, so both the break and the
+    heal must map through the footprint machinery and stay byte-identical
+    to cold surveys."""
+    internet = _make_internet(666)
+    engine = SurveyEngine(internet, config=EngineConfig())
+    baseline = engine.run()
+    victim = next(record.name.parent()
+                  for record in baseline.resolved_records()
+                  if record.category == "small-business")
+    breaker = ChangeJournal(internet)
+    breaker.set_zone_nameservers(victim, ["ghost1.nowhere.net",
+                                          "ghost2.nowhere.net"])
+    outcome = engine.run_delta(baseline, breaker)
+    prev = outcome.results
+    broken = next(record for record in prev.records
+                  if record.name.is_subdomain_of(victim))
+    assert DomainName("ghost1.nowhere.net") in broken.tcb_servers
+
+    provider = internet.organizations.by_name("webhost1")
+    healer = ChangeJournal(internet)
+    healer.set_zone_nameservers(victim, provider.nameservers[:2])
+    healed = engine.run_delta(prev, healer)
+    cold = SurveyEngine(internet, config=EngineConfig()).run()
+    assert broken.name in healed.dirty
+    assert _snapshot_bytes(healed.results) == _snapshot_bytes(cold)
+
+
+def test_zone_edits_dirty_unresolved_names():
+    """Names that failed to resolve have no TCB footprint at all, so any
+    delegation-fabric change must conservatively re-survey them."""
+    internet = _make_internet(31337)
+    engine = SurveyEngine(internet, config=EngineConfig())
+    adhoc = DomainName("www.never-registered.zz")
+    directory = [entry.name for entry in internet.directory.entries()[:10]]
+    prev = engine.run(names=directory + [adhoc])
+    assert not prev.record_for(adhoc).resolved
+
+    index = DirtyIndex(prev)
+    some_zone = directory[0].parent()
+    dirty = index.dirty_names(_change_set(edited_zones={some_zone: []}))
+    assert adhoc in dirty
+    # Without any delegation change the unresolved name stays patched.
+    assert adhoc not in index.dirty_names(_change_set())
 
 
 def test_ghost_nameserver_coming_online_is_dirty(tmp_path):

@@ -189,3 +189,73 @@ def test_mutation_specs_round_trip(world, journal):
 def test_root_zone_is_off_limits(journal):
     with pytest.raises(ValueError, match="root"):
         journal.set_zone_nameservers(".", ["a.root-servers.net"])
+
+
+def test_mutation_spec_rejects_malformed_option(journal):
+    """An option without ``=`` names the offending fragment and the spec."""
+    with pytest.raises(ValueError, match="malformed option 'zone'"):
+        apply_mutation_spec(journal, "set-ns:zone;ns=a.example.com")
+
+
+def test_mutation_spec_rejects_missing_key(journal):
+    with pytest.raises(ValueError, match="'drop-ns' needs zone"):
+        apply_mutation_spec(journal, "drop-ns:ns=a.example.com")
+    with pytest.raises(ValueError, match="'set-software' needs host"):
+        apply_mutation_spec(journal, "set-software:software=BIND 9.2.3")
+    with pytest.raises(ValueError, match="'dnssec' needs fraction"):
+        apply_mutation_spec(journal, "dnssec:seed=x")
+
+
+def test_mutation_spec_rejects_unknown_kind_with_catalogue(journal):
+    """The error lists the whole spec grammar, not just the bad kind."""
+    with pytest.raises(ValueError, match="expected one of set-ns, add-ns"):
+        apply_mutation_spec(journal, "transmogrify:host=a.example.com")
+    # A bare kind with no options at all is still an unknown-kind error.
+    with pytest.raises(ValueError, match="unknown mutation kind ''"):
+        apply_mutation_spec(journal, ":host=a.example.com")
+
+
+def test_mutation_spec_rejects_non_numeric_fraction(journal):
+    with pytest.raises(ValueError):
+        apply_mutation_spec(journal, "dnssec:fraction=lots")
+
+
+def test_mutation_spec_world_errors_leave_journal_clean(world, journal):
+    """A spec whose mutation the world rejects journals nothing."""
+    with pytest.raises(ValueError, match="unknown server"):
+        apply_mutation_spec(journal, "remove-server:host=ns.nowhere.zz")
+    with pytest.raises(ValueError, match="needs at least one nameserver"):
+        apply_mutation_spec(journal, "set-ns:zone=site1.com;ns=")
+    assert len(journal) == 0
+    assert journal.changes().empty
+
+
+def test_changes_fold_exposes_zone_and_host_footprints(world, journal):
+    """Zone edits fold to before-set footprints; host events fold apart."""
+    provider = _provider(world, 2)
+    apex = provider.domain
+    before = tuple(journal._zone_ns_union(apex))
+    journal.add_zone_nameserver(apex, _provider(world, 3).nameservers[0])
+    # A second edit to the same zone must not overwrite the footprint:
+    # previous TCBs only ever saw the pre-journal state.
+    journal.add_zone_nameserver(apex, _provider(world, 4).nameservers[0])
+    univ = world.organizations.by_name("univ2")
+    journal.set_server_software(univ.nameservers[0], "BIND 9.2.3")
+    changes = journal.changes()
+    assert changes.zone_footprints[apex] == before
+    assert changes.host_footprints == frozenset((univ.nameservers[0],))
+    # touched_hosts stays the full (conservative) union for stats and
+    # hand-built consumers.
+    assert frozenset(before) <= changes.touched_hosts
+
+
+def test_changes_fold_created_zone_has_no_footprint(world, journal):
+    univ = world.organizations.by_name("univ4")
+    department = univ.domain.child("physics")
+    journal.set_zone_nameservers(department, [univ.nameservers[0]])
+    # Editing the freshly cut zone again still leaves footprints empty:
+    # nothing in any previous TCB describes a zone that did not exist.
+    journal.add_zone_nameserver(department, univ.nameservers[-1])
+    changes = journal.changes()
+    assert changes.created_zones == (department,)
+    assert department not in changes.zone_footprints
