@@ -25,9 +25,11 @@ import sys
 #: Benchmarks whose names_per_s participates in the regression gate.
 #: ``delta_resurvey`` is the incremental re-survey smoke (effective
 #: names/s over the whole directory when only a few names are dirty);
-#: baselines from branches predating it are skipped automatically.
+#: ``snapshot_store`` is the lazy-open smoke (random ``record_for``
+#: queries per second against an mmap'd binary snapshot).  Baselines from
+#: branches predating either are skipped automatically.
 THROUGHPUT_BENCHES = ("engine_survey_throughput", "passes_survey_throughput",
-                      "delta_resurvey")
+                      "delta_resurvey", "snapshot_store")
 
 
 def _load_section(path: pathlib.Path, config: str):

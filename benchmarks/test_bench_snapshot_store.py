@@ -1,0 +1,146 @@
+"""Columnar snapshot store acceptance: O(1) open, lazy records, shared epochs.
+
+The workload a longitudinal survey implies is *open-heavy*: every diff,
+resurvey, and timeline report starts by loading a previous snapshot, and a
+JSON codec pays a full parse + hydrate for it no matter how little of the
+snapshot the command touches.  This bench saves the session survey through
+both codecs and measures what the binary mmap store buys:
+
+* **open**: ``open_results`` (header + TOC validation only) vs. a full
+  ``load_results`` of the JSON document.  Acceptance floor: the binary
+  open must be at least ``MIN_OPEN_SPEEDUP`` faster at bench scale.
+* **random access**: 1,000 seeded-random ``record_for`` lookups against a
+  freshly opened lazy view — the lookup path hydrates one row per query.
+* **epoch sharing**: a private world churned for eight epochs through an
+  :class:`EpochStore`; the whole store (full epoch 0 + eight column
+  deltas) must stay under twice the size of epoch 0 alone.
+
+Metrics land in ``BENCH_results.json`` under ``snapshot_store``; the
+``names_per_s`` field (random record_for queries per second) rides the CI
+perf-smoke regression gate.
+"""
+
+import os
+import random
+import time
+
+from repro.core.engine import EngineConfig, SurveyEngine
+from repro.core.snapshot import load_results, save_results
+from repro.core.snapstore import EpochStore, open_results
+from repro.topology.changes import ChangeJournal
+from repro.topology.churn import ChurnModel, ChurnRates
+from repro.topology.generator import InternetGenerator
+
+from conftest import BENCH_CONFIG
+
+#: Acceptance floor on json-load / binary-open wall-clock.  The tiny CI
+#: world parses so little JSON that constant overheads compress the gap;
+#: the 10x floor is asserted at full bench scale.
+MIN_OPEN_SPEEDUP = 10.0 if not os.environ.get("REPRO_BENCH_TINY") else 3.0
+
+#: Ceiling on eight-epoch store size relative to one full epoch.
+MAX_STORE_RATIO = 2.0
+
+QUERIES = 1000
+
+#: Modest per-epoch churn relative to the bench directory — the "a few
+#: zones changed hands overnight" regime the timeline store targets.
+CHURN_RATES = ChurnRates(transfer=2.0, death=1.0, upgrade=3.0,
+                         downgrade=1.0, region=2.0)
+
+EPOCHS = 8
+
+
+def _median_time(action, repeats=5):
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        action()
+        timings.append(time.perf_counter() - start)
+    return sorted(timings)[len(timings) // 2]
+
+
+def test_bench_snapshot_store(paper_survey, figure_writer, bench_metrics,
+                              tmp_path):
+    results = paper_survey
+    json_path = tmp_path / "survey.json"
+    binary_path = tmp_path / "survey.rsnap"
+
+    start = time.perf_counter()
+    save_results(results, binary_path, format="binary")
+    save_s = time.perf_counter() - start
+    save_results(results, json_path)
+
+    json_load_s = _median_time(lambda: load_results(json_path), repeats=3)
+    open_s = _median_time(lambda: open_results(binary_path))
+    open_speedup = json_load_s / open_s
+
+    # Seeded random record_for lookups on a cold lazy view: every query
+    # hydrates at most one row, repeats hit the per-row cache.
+    lazy = open_results(binary_path)
+    names = [record.name for record in results.records]
+    rng = random.Random(BENCH_CONFIG.seed)
+    queries = [rng.choice(names) for _ in range(QUERIES)]
+    start = time.perf_counter()
+    for name in queries:
+        assert lazy.record_for(name) is not None
+    query_1k_s = time.perf_counter() - start
+    names_per_s = QUERIES / query_1k_s
+    assert lazy.hydrated_record_count <= min(QUERIES, len(names))
+
+    # Eight churned epochs through the delta-sharing store (private world:
+    # the journals mutate it in place).
+    internet = InternetGenerator(BENCH_CONFIG).generate()
+    engine = SurveyEngine(
+        internet,
+        config=EngineConfig(popular_count=BENCH_CONFIG.alexa_count))
+    epoch_results = engine.run()
+    model = ChurnModel(internet, CHURN_RATES, seed=BENCH_CONFIG.seed)
+    store = EpochStore(tmp_path / "epochs")
+    store.append(epoch_results)
+    for _ in range(EPOCHS):
+        journal = ChangeJournal(internet)
+        model.advance(journal)
+        outcome = engine.run_delta(epoch_results, journal)
+        store.append(outcome.results, previous=epoch_results,
+                     dirty=outcome.dirty)
+        epoch_results = outcome.results
+    epoch0_bytes = store.epoch_path(0).stat().st_size
+    store_bytes = store.total_bytes()
+    store_ratio = store_bytes / epoch0_bytes
+
+    figure_writer.write(
+        "snapshot_store", "Columnar snapshot store vs. JSON codec",
+        [f"records                   {len(results.records)}",
+         f"binary save               {save_s:.3f}s",
+         f"json load (full hydrate)  {json_load_s:.3f}s",
+         f"binary open (lazy)        {open_s * 1000:.2f}ms "
+         f"({open_speedup:.0f}x faster, floor {MIN_OPEN_SPEEDUP:.0f}x)",
+         f"{QUERIES} random record_for   {query_1k_s:.3f}s "
+         f"({names_per_s:.0f} queries/s)",
+         f"bytes on disk             binary "
+         f"{binary_path.stat().st_size} vs json "
+         f"{json_path.stat().st_size}",
+         f"epoch store ({EPOCHS} epochs)    {store_bytes} bytes "
+         f"({store_ratio:.2f}x one full epoch, "
+         f"ceiling {MAX_STORE_RATIO:.1f}x)"])
+    bench_metrics.record(
+        "snapshot_store", records=len(results.records),
+        save_s=round(save_s, 4),
+        open_s=round(open_s, 6),
+        json_load_s=round(json_load_s, 4),
+        open_speedup=round(open_speedup, 1),
+        query_1k_s=round(query_1k_s, 4),
+        names_per_s=round(names_per_s, 1),
+        binary_bytes=binary_path.stat().st_size,
+        json_bytes=json_path.stat().st_size,
+        store_bytes_8_epochs=store_bytes,
+        epoch0_bytes=epoch0_bytes,
+        store_ratio=round(store_ratio, 3))
+
+    assert open_speedup >= MIN_OPEN_SPEEDUP, (
+        f"binary open only {open_speedup:.1f}x faster than a JSON load "
+        f"(floor {MIN_OPEN_SPEEDUP:.0f}x)")
+    assert store_ratio < MAX_STORE_RATIO, (
+        f"{EPOCHS}-epoch store is {store_ratio:.2f}x one full epoch "
+        f"(ceiling {MAX_STORE_RATIO:.1f}x)")

@@ -14,7 +14,10 @@ Subcommands
 ``survey``
     Generate a synthetic Internet, run the full survey (optionally with
     extra analysis passes on any execution backend), print the headline
-    statistics, and optionally write a JSON snapshot.
+    statistics, and optionally write a snapshot — JSON by default
+    (``--compress`` for zlib), or the columnar binary REPRO-SNAP store
+    with ``--format binary``.  Every command that reads a snapshot sniffs
+    the codec from the file's leading bytes, so formats mix freely.
 ``report``
     Re-print the headline statistics and per-figure summaries from a snapshot
     produced by ``survey``.
@@ -64,7 +67,13 @@ from typing import List, Optional, Sequence
 from repro.core.engine import BACKENDS
 from repro.core.passes import build_passes
 from repro.core.report import format_table, sort_groups_descending
-from repro.core.snapshot import diff_results, load_results, save_results
+from repro.core.snapshot import (
+    SNAPSHOT_FORMATS,
+    SnapshotFormatError,
+    diff_results,
+    load_results,
+    save_results,
+)
 from repro.core.survey import Survey, SurveyResults
 from repro.core.hijack import HijackAnalyzer
 from repro.core.delegation import DelegationGraphBuilder
@@ -87,7 +96,8 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--max-names", type=int, default=None,
                         help="survey at most this many directory names")
     survey.add_argument("--output", type=str, default=None,
-                        help="write a JSON snapshot of the results here")
+                        help="write a snapshot of the results here")
+    _add_snapshot_output_arguments(survey)
     survey.add_argument("--no-bottleneck", action="store_true",
                         help="skip the min-cut bottleneck analysis")
     survey.add_argument("--backend", type=str, default="serial",
@@ -136,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "--max-names")
     resurvey.add_argument("--output", type=str, default=None,
                           help="write the re-survey snapshot here")
+    _add_snapshot_output_arguments(resurvey)
     resurvey.add_argument("--no-bottleneck", action="store_true",
                           help="skip the min-cut bottleneck analysis")
     resurvey.add_argument("--backend", type=str, default="serial",
@@ -169,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="survey at most this many directory names")
     churn.add_argument("--output", type=str, default=None,
                        help="write the machine-readable timeline JSON here")
+    churn.add_argument("--store", type=str, default=None, metavar="DIR",
+                       help="persist every epoch's full results into a "
+                            "binary epoch store at DIR (epoch 0 complete, "
+                            "later epochs as column deltas; any epoch "
+                            "re-opens with 'repro-dns report DIR/"
+                            "epoch_NNNN.rsnap' — epoch 0 — or via "
+                            "repro.core.snapstore.EpochStore)")
     churn.add_argument("--no-bottleneck", action="store_true",
                        help="skip the min-cut bottleneck analysis")
     churn.add_argument("--backend", type=str, default="serial",
@@ -210,6 +228,30 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_snapshot_output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--format", type=str, default="json",
+                        choices=SNAPSHOT_FORMATS, dest="format",
+                        help="snapshot codec for --output: 'json' (interop, "
+                             "human-greppable) or 'binary' (columnar "
+                             "REPRO-SNAP: mmap-backed, O(1) open, lazy "
+                             "records); loaders sniff the format by magic "
+                             "bytes, never by extension")
+    parser.add_argument("--compress", action="store_true",
+                        help="zlib-compress the JSON snapshot (loaders "
+                             "sniff and decompress transparently; not "
+                             "applicable to --format binary)")
+
+
+def _write_snapshot(results: SurveyResults, args: argparse.Namespace):
+    """Write ``--output`` honouring ``--format`` / ``--compress``."""
+    if args.compress and args.format == "binary":
+        raise SnapshotFormatError(
+            "--compress applies to --format json only (binary snapshots "
+            "are already compact)")
+    return save_results(results, args.output, format=args.format,
+                        compress=args.compress)
 
 
 def _add_generator_arguments(parser: argparse.ArgumentParser) -> None:
@@ -308,7 +350,7 @@ def _command_survey(args: argparse.Namespace) -> int:
     _print_extras_summary(results)
     _print_value_summary(results)
     if args.output:
-        path = save_results(results, args.output)
+        path = _write_snapshot(results, args)
         print(f"\nsnapshot written to {path}")
         # A full survey starts a fresh lineage: a mutation sidecar left
         # over from an earlier resurvey at this path no longer describes
@@ -432,7 +474,7 @@ def _command_resurvey(args: argparse.Namespace) -> int:
     _print_extras_summary(outcome.results)
     _print_value_summary(outcome.results)
     if args.output:
-        path = save_results(outcome.results, args.output)
+        path = _write_snapshot(outcome.results, args)
         print(f"\nsnapshot written to {path}")
         journal_path = _sidecar_journal_path(args.output)
         journal_path.write_text(
@@ -518,13 +560,18 @@ def _command_churn(args: argparse.Namespace) -> int:
         internet, model, epochs=args.epochs, backend=args.backend,
         workers=args.workers, include_bottleneck=not args.no_bottleneck,
         passes=args.passes, max_names=args.max_names,
-        cold_check=args.cold_check, progress=progress)
+        cold_check=args.cold_check, store=args.store, progress=progress)
     timeline.config["generator"] = {
         "seed": args.seed, "sld_count": args.sld_count,
         "directory_names": args.directory_names,
         "universities": args.universities}
 
     print_timeline(timeline)
+    if args.store:
+        from repro.core.snapstore import EpochStore
+        store = EpochStore(args.store)
+        print(f"\nepoch store: {store.epochs} epochs, "
+              f"{store.total_bytes()} bytes at {store.root}")
     if args.output:
         path = save_timeline(timeline, args.output)
         print(f"\ntimeline written to {path}")
@@ -593,7 +640,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "inspect": _command_inspect,
     }
     handler = handlers[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except SnapshotFormatError as error:
+        # Corrupt, truncated, or wrong-format input: one clear line on
+        # stderr instead of a json.JSONDecodeError traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation only

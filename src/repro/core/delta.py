@@ -49,16 +49,20 @@ class DirtyIndex:
         self._unresolved: List[DomainName] = []
         self._by_host: Dict[DomainName, List[DomainName]] = {}
         by_host = self._by_host
-        for record in previous.records:
-            self._names.append(record.name)
-            if not record.resolved:
-                self._unresolved.append(record.name)
-            for host in record.tcb_servers:
+        # The tcb_index_rows protocol instead of record iteration: a
+        # column-backed lazy view (mmap'd snapshot) serves these three
+        # columns without hydrating any NameRecord, so building the index
+        # over a loaded snapshot costs column scans, not a full parse.
+        for name, resolved, tcb_servers in previous.tcb_index_rows():
+            self._names.append(name)
+            if not resolved:
+                self._unresolved.append(name)
+            for host in tcb_servers:
                 bucket = by_host.get(host)
                 if bucket is None:
-                    by_host[host] = [record.name]
+                    by_host[host] = [name]
                 else:
-                    bucket.append(record.name)
+                    bucket.append(name)
 
     def __len__(self) -> int:
         return len(self._names)

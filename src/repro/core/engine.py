@@ -474,15 +474,20 @@ class SurveyEngine:
                     adopt(deployment)
 
         dirty = set(DirtyIndex(previous).dirty_names(changes))
-        prev_records = {record.name: record for record in previous.records}
         dirty_indexed: List[Tuple[int, DirectoryEntry]] = []
-        clean_indexed: List[Tuple[int, DirectoryEntry]] = []
+        clean_records: List[Tuple[int, NameRecord]] = []
+        # Per-entry record_for instead of a records scan: on a lazy
+        # (mmap-backed) previous this hydrates exactly the clean records
+        # being patched into the output — dirty rows are re-surveyed, so
+        # their previous records are never materialised at all.
         for position, entry in enumerate(entries):
-            if entry.name in dirty or entry.name not in prev_records:
+            previous_record = None if entry.name in dirty else \
+                previous.record_for(entry.name)
+            if previous_record is None:
                 dirty.add(entry.name)
                 dirty_indexed.append((position, entry))
             else:
-                clean_indexed.append((position, entry))
+                clean_records.append((position, previous_record))
 
         self._invalidate_for_changes(changes, dirty)
 
@@ -497,8 +502,8 @@ class SurveyEngine:
              for host in previous.fingerprints},
             {host: host in previous.compromisable_servers
              for host in previous.fingerprints})
-        for position, entry in clean_indexed:
-            aggregator.add_record(position, prev_records[entry.name])
+        for position, record in clean_records:
+            aggregator.add_record(position, record)
 
         if dirty_indexed:
             self._dispatch(dirty_indexed, popular, aggregator)
@@ -511,7 +516,7 @@ class SurveyEngine:
             popular, self._final_metadata(len(entries), aggregator))
         stats = DeltaStats(
             total_names=len(entries), dirty_names=len(dirty_indexed),
-            patched_names=len(clean_indexed), events=len(journal)
+            patched_names=len(clean_records), events=len(journal)
             if hasattr(journal, "__len__") else 0,
             edited_zones=len(changes.edited_zones),
             created_zones=len(changes.created_zones),

@@ -1,22 +1,29 @@
-"""Exporting delegation graphs for visualisation and external analysis.
+"""Export codecs: JSON snapshots and delegation-graph visualisations.
 
-Figure 1 of the paper is a drawing of www.cs.cornell.edu's delegation graph.
-This module renders the same structure for any name in three forms:
+Two families live here, both *interop boundaries* rather than hot paths:
 
-* :func:`to_ascii_tree` — an indented text rendering (what the
-  ``figure1_delegation_graph.py`` example prints);
-* :func:`to_dot` — Graphviz DOT, with zones drawn as boxes, nameservers as
-  ellipses, and vulnerable servers highlighted;
-* :func:`to_graphml` — GraphML via networkx, for Gephi/Cytoscape-style
-  exploration of large survey graphs.
+**Survey-results JSON.**  The original snapshot format — a self-describing
+JSON document mirroring :meth:`NameRecord.to_dict` — now demoted to an
+export/interop codec: the performance path is the binary REPRO-SNAP store
+(:mod:`repro.core.snapstore`), while JSON remains the golden format the
+byte-identity tests compare everything against and the form external
+tooling can read.  :func:`save_results_json` optionally zlib-compresses
+(stdlib only); :func:`load_results_json` sniffs and decompresses
+transparently.  Most callers should go through the format-dispatching
+:func:`repro.core.snapshot.save_results` / ``load_results`` instead.
+
+**Delegation-graph drawings.**  Figure 1 of the paper is a drawing of
+www.cs.cornell.edu's delegation graph; :func:`to_ascii_tree`,
+:func:`to_dot`, and :func:`to_graphml` render the same structure for any
+name (networkx is imported lazily — only :func:`to_graphml` needs it).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import zlib
 from typing import Dict, List, Mapping, Optional, Set, Union
-
-import networkx as nx
 
 from repro.dns.name import DomainName
 from repro.core.delegation import (
@@ -26,8 +33,137 @@ from repro.core.delegation import (
     ZONE_KIND,
     name_node,
 )
+from repro.core.survey import NameRecord, SurveyResults
+from repro.vulns.bindversion import BindVersion
+from repro.vulns.fingerprint import FingerprintResult
 
 PathLike = Union[str, pathlib.Path]
+
+#: Format version written into every JSON snapshot.
+SNAPSHOT_FORMAT_VERSION = 1
+
+
+# -- survey-results JSON codec ---------------------------------------------------------
+
+
+def results_to_dict(results: SurveyResults) -> Dict[str, object]:
+    """Convert survey results to a JSON-serialisable dictionary."""
+    return {
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "metadata": dict(results.metadata),
+        "records": [record.to_dict() for record in results.records],
+        "server_names_controlled": {
+            str(host): count
+            for host, count in results.server_names_controlled.items()},
+        "vulnerable_servers": sorted(str(host)
+                                     for host in results.vulnerable_servers),
+        "compromisable_servers": sorted(
+            str(host) for host in results.compromisable_servers),
+        "popular_names": sorted(str(name) for name in results.popular_names),
+        "fingerprints": {
+            str(host): {
+                "banner": result.banner,
+                "reachable": result.reachable,
+                "vulnerabilities": list(result.vulnerabilities),
+            }
+            for host, result in results.fingerprints.items()},
+    }
+
+
+def results_from_dict(payload: Dict[str, object]) -> SurveyResults:
+    """Rebuild survey results from a dictionary produced by
+    :func:`results_to_dict`."""
+    version = payload.get("format_version")
+    if version != SNAPSHOT_FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot format version: {version!r}")
+
+    records = []
+    for raw in payload.get("records", []):
+        records.append(NameRecord(
+            name=DomainName(raw["name"]),
+            tld=raw["tld"],
+            category=raw["category"],
+            is_popular=bool(raw["is_popular"]),
+            resolved=bool(raw["resolved"]),
+            tcb_size=int(raw["tcb_size"]),
+            in_bailiwick=int(raw["in_bailiwick"]),
+            vulnerable_in_tcb=int(raw["vulnerable_in_tcb"]),
+            compromisable_in_tcb=int(raw["compromisable_in_tcb"]),
+            safety_percentage=float(raw["safety_percentage"]),
+            mincut_size=int(raw["mincut_size"]),
+            mincut_safe=int(raw["mincut_safe"]),
+            mincut_vulnerable=int(raw["mincut_vulnerable"]),
+            classification=raw["classification"],
+            tcb_servers={DomainName(s) for s in raw.get("tcb_servers", [])},
+            mincut_servers={DomainName(s)
+                            for s in raw.get("mincut_servers", [])},
+            extras=dict(raw.get("extras", {})),
+        ))
+
+    fingerprints = {}
+    for host_text, raw in payload.get("fingerprints", {}).items():
+        hostname = DomainName(host_text)
+        banner = raw.get("banner")
+        fingerprints[hostname] = FingerprintResult(
+            hostname=hostname, banner=banner,
+            version=BindVersion.parse(banner),
+            reachable=bool(raw.get("reachable", True)),
+            vulnerabilities=list(raw.get("vulnerabilities", [])))
+
+    return SurveyResults(
+        records=records,
+        server_names_controlled={
+            DomainName(host): int(count)
+            for host, count in payload.get("server_names_controlled",
+                                           {}).items()},
+        vulnerable_servers={DomainName(host)
+                            for host in payload.get("vulnerable_servers", [])},
+        compromisable_servers={
+            DomainName(host)
+            for host in payload.get("compromisable_servers", [])},
+        fingerprints=fingerprints,
+        popular_names={DomainName(name)
+                       for name in payload.get("popular_names", [])},
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def _is_zlib_header(head: bytes) -> bool:
+    """True when ``head`` starts a zlib stream (RFC 1950 CMF/FLG pair)."""
+    return (len(head) >= 2 and head[0] == 0x78
+            and head[1] in (0x01, 0x5E, 0x9C, 0xDA))
+
+
+def save_results_json(results: SurveyResults, path: PathLike,
+                      indent: int = 0, compress: bool = False
+                      ) -> pathlib.Path:
+    """Write survey results to ``path`` as JSON; returns the path written.
+
+    ``compress=True`` wraps the document in a stdlib zlib stream —
+    :func:`load_results_json` (and the sniffing loader) detects the
+    two-byte zlib header and decompresses transparently, so compressed and
+    plain snapshots are interchangeable everywhere a path is accepted.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = results_to_dict(results)
+    text = json.dumps(payload, indent=indent or None, sort_keys=True)
+    if compress:
+        path.write_bytes(zlib.compress(text.encode("utf-8"), level=6))
+    else:
+        path.write_text(text, encoding="utf-8")
+    return path
+
+
+def load_results_json(path: PathLike) -> SurveyResults:
+    """Read JSON survey results (zlib-compressed or plain) from ``path``."""
+    raw = pathlib.Path(path).read_bytes()
+    if _is_zlib_header(raw[:2]):
+        raw = zlib.decompress(raw)
+    return results_from_dict(json.loads(raw.decode("utf-8")))
+
+
+# -- delegation-graph drawings ---------------------------------------------------------
 
 
 def _label(node) -> str:
@@ -100,6 +236,8 @@ def to_dot(graph: DelegationGraph,
 
 def to_graphml(graph: DelegationGraph, path: PathLike) -> pathlib.Path:
     """Write the graph as GraphML; returns the path written."""
+    import networkx as nx
+
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     exportable = nx.DiGraph()

@@ -1,21 +1,33 @@
-"""Persistence of survey results as JSON snapshots.
+"""Snapshot persistence: format dispatch, sniffing load, and diffing.
 
 The paper kept an active web site with the raw results of its July 2004
-snapshot.  :func:`save_results` / :func:`load_results` play the same role for
-this reproduction: they serialise a :class:`~repro.core.survey.SurveyResults`
-to a self-describing JSON document (and back) so that expensive surveys can
-be archived, diffed across generator configurations, and re-analysed without
-re-running resolution.
+snapshot.  :func:`save_results` / :func:`load_results` play the same role
+for this reproduction, over two interchangeable codecs:
+
+* **binary** — the columnar REPRO-SNAP store (:mod:`repro.core.snapstore`):
+  mmap-backed, O(1) open, lazy records.  The performance path.
+* **json** — the original self-describing document, now an export/interop
+  codec living in :mod:`repro.core.export` (optionally zlib-compressed).
+  The golden format the byte-identity tests compare everything against.
+
+:func:`load_results` never trusts extensions: it sniffs the first bytes —
+REPRO-SNAP magic, zlib header, or JSON — and dispatches, raising
+:class:`~repro.core.snapstore.SnapshotFormatError` with a precise reason
+(wrong magic / truncated / checksum mismatch / malformed JSON) instead of
+leaking a raw ``json.JSONDecodeError`` on corrupt input.
 
 Snapshots are the **name boundary** of the integer-interned graph core
 (:mod:`repro.core.graphcore`): integer node ids and NS-slot bitsets are
 builder-local and never serialised — every server set reaching this module
-has already been materialised back to :class:`~repro.dns.name.DomainName`
-(and is written as sorted presentation strings), which is what keeps
-snapshots byte-identical across execution backends and across internal
-representation changes.  Pass ``finalize`` metadata (e.g. the ``value``
-pass's ranking summary) nests plain JSON values inside ``metadata`` and
-round-trips unchanged.
+has already been materialised back to :class:`~repro.dns.name.DomainName`,
+which is what keeps snapshots byte-identical across execution backends and
+across internal representation changes (the binary codec content-addresses
+those sets; the JSON codec writes them as sorted presentation strings).
+
+:func:`diff_results` compares two result sets name by name.  When both
+sides are lazy binary views it runs columnar — cell reads straight off the
+mmap, no :class:`~repro.core.survey.NameRecord` hydration — and produces
+the exact same :class:`SnapshotDiff` the record-walking path yields.
 """
 
 from __future__ import annotations
@@ -23,118 +35,103 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import zlib
 from typing import Dict, List, Tuple, Union
 
 from repro.dns.name import DomainName
-from repro.core.survey import NameRecord, SurveyResults
-from repro.vulns.bindversion import BindVersion
-from repro.vulns.fingerprint import FingerprintResult
-
-#: Format version written into every snapshot for forwards compatibility.
-SNAPSHOT_FORMAT_VERSION = 1
+from repro.core.export import (
+    SNAPSHOT_FORMAT_VERSION,
+    _is_zlib_header,
+    load_results_json,
+    results_from_dict,
+    results_to_dict,
+    save_results_json,
+)
+from repro.core.snapstore import (
+    MAGIC,
+    SnapshotFormatError,
+    open_results,
+    save_results_snapshot,
+)
+from repro.core.survey import SurveyResults
 
 PathLike = Union[str, pathlib.Path]
 
-
-def results_to_dict(results: SurveyResults) -> Dict[str, object]:
-    """Convert survey results to a JSON-serialisable dictionary."""
-    return {
-        "format_version": SNAPSHOT_FORMAT_VERSION,
-        "metadata": dict(results.metadata),
-        "records": [record.to_dict() for record in results.records],
-        "server_names_controlled": {
-            str(host): count
-            for host, count in results.server_names_controlled.items()},
-        "vulnerable_servers": sorted(str(host)
-                                     for host in results.vulnerable_servers),
-        "compromisable_servers": sorted(
-            str(host) for host in results.compromisable_servers),
-        "popular_names": sorted(str(name) for name in results.popular_names),
-        "fingerprints": {
-            str(host): {
-                "banner": result.banner,
-                "reachable": result.reachable,
-                "vulnerabilities": list(result.vulnerabilities),
-            }
-            for host, result in results.fingerprints.items()},
-    }
+#: Codec names accepted by :func:`save_results` (and the CLI ``--format``).
+SNAPSHOT_FORMATS = ("json", "binary")
 
 
-def results_from_dict(payload: Dict[str, object]) -> SurveyResults:
-    """Rebuild survey results from a dictionary produced by
-    :func:`results_to_dict`."""
-    version = payload.get("format_version")
-    if version != SNAPSHOT_FORMAT_VERSION:
-        raise ValueError(f"unsupported snapshot format version: {version!r}")
+def save_results(results: SurveyResults, path: PathLike, indent: int = 0,
+                 format: str = "json", compress: bool = False
+                 ) -> pathlib.Path:
+    """Write survey results to ``path``; returns the path written.
 
-    records = []
-    for raw in payload.get("records", []):
-        records.append(NameRecord(
-            name=DomainName(raw["name"]),
-            tld=raw["tld"],
-            category=raw["category"],
-            is_popular=bool(raw["is_popular"]),
-            resolved=bool(raw["resolved"]),
-            tcb_size=int(raw["tcb_size"]),
-            in_bailiwick=int(raw["in_bailiwick"]),
-            vulnerable_in_tcb=int(raw["vulnerable_in_tcb"]),
-            compromisable_in_tcb=int(raw["compromisable_in_tcb"]),
-            safety_percentage=float(raw["safety_percentage"]),
-            mincut_size=int(raw["mincut_size"]),
-            mincut_safe=int(raw["mincut_safe"]),
-            mincut_vulnerable=int(raw["mincut_vulnerable"]),
-            classification=raw["classification"],
-            tcb_servers={DomainName(s) for s in raw.get("tcb_servers", [])},
-            mincut_servers={DomainName(s)
-                            for s in raw.get("mincut_servers", [])},
-            extras=dict(raw.get("extras", {})),
-        ))
-
-    fingerprints = {}
-    for host_text, raw in payload.get("fingerprints", {}).items():
-        hostname = DomainName(host_text)
-        banner = raw.get("banner")
-        fingerprints[hostname] = FingerprintResult(
-            hostname=hostname, banner=banner,
-            version=BindVersion.parse(banner),
-            reachable=bool(raw.get("reachable", True)),
-            vulnerabilities=list(raw.get("vulnerabilities", [])))
-
-    return SurveyResults(
-        records=records,
-        server_names_controlled={
-            DomainName(host): int(count)
-            for host, count in payload.get("server_names_controlled",
-                                           {}).items()},
-        vulnerable_servers={DomainName(host)
-                            for host in payload.get("vulnerable_servers", [])},
-        compromisable_servers={
-            DomainName(host)
-            for host in payload.get("compromisable_servers", [])},
-        fingerprints=fingerprints,
-        popular_names={DomainName(name)
-                       for name in payload.get("popular_names", [])},
-        metadata=dict(payload.get("metadata", {})),
-    )
+    ``format="json"`` (default) writes the interop JSON document,
+    optionally zlib-compressed with ``compress=True``; ``format="binary"``
+    writes a REPRO-SNAP columnar snapshot (already compact — ``compress``
+    is rejected there).  Both round-trip byte-identically through
+    :func:`load_results`.
+    """
+    if format == "binary":
+        if compress:
+            raise ValueError("binary snapshots do not take compress=True "
+                             "(the columnar format is already compact)")
+        return save_results_snapshot(results, path)
+    if format != "json":
+        raise ValueError(f"unknown snapshot format {format!r} "
+                         f"(expected one of {SNAPSHOT_FORMATS})")
+    return save_results_json(results, path, indent=indent,
+                             compress=compress)
 
 
-def save_results(results: SurveyResults, path: PathLike,
-                 indent: int = 0) -> pathlib.Path:
-    """Write survey results to ``path`` as JSON; returns the path written."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = results_to_dict(results)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=indent or None, sort_keys=True)
-    return path
+def sniff_format(path: PathLike) -> str:
+    """The snapshot codec at ``path``: "binary", "zlib", or "json".
+
+    Decided by leading bytes only — the REPRO-SNAP magic, the two-byte
+    zlib header, or anything else (assumed JSON) — never by extension.
+    """
+    with pathlib.Path(path).open("rb") as handle:
+        head = handle.read(len(MAGIC))
+    if head.startswith(MAGIC):
+        return "binary"
+    if _is_zlib_header(head):
+        return "zlib"
+    return "json"
 
 
 def load_results(path: PathLike) -> SurveyResults:
-    """Read survey results previously written by :func:`save_results`."""
+    """Read survey results written by :func:`save_results`, any codec.
+
+    Binary snapshots open lazily (O(1), mmap-backed
+    :class:`~repro.core.snapstore.LazySurveyResults`); JSON — plain or
+    zlib-compressed — hydrates eagerly.  Corrupt input raises
+    :class:`SnapshotFormatError` naming what was expected and what was
+    found.
+    """
     path = pathlib.Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return results_from_dict(payload)
+    codec = sniff_format(path)
+    if codec == "binary":
+        return open_results(path)
+    try:
+        if codec == "zlib":
+            raw = zlib.decompress(path.read_bytes())
+        else:
+            raw = path.read_bytes()
+        payload = json.loads(raw.decode("utf-8"))
+    except zlib.error as error:
+        raise SnapshotFormatError(
+            f"{path}: truncated or corrupt zlib snapshot: {error}"
+        ) from error
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise SnapshotFormatError(
+            f"{path}: not a recognised snapshot (expected magic {MAGIC!r}, "
+            f"a zlib stream, or JSON; got malformed JSON: {error})"
+        ) from error
+    try:
+        return results_from_dict(payload)
+    except (KeyError, TypeError, AttributeError) as error:
+        raise SnapshotFormatError(
+            f"{path}: malformed JSON snapshot: {error!r}") from error
 
 
 # -- snapshot diffing ---------------------------------------------------------------
@@ -233,6 +230,31 @@ def _field_value(record, field: str):
     return getattr(record, field, None)
 
 
+class _RecordDiffView:
+    """Diff cell access over hydrated records (the non-lazy path)."""
+
+    def __init__(self, results: SurveyResults):
+        self.names = {record.name: record for record in results.records}
+
+    @staticmethod
+    def value(record, field: str):
+        return _field_value(record, field)
+
+
+def _diff_view(results: SurveyResults):
+    """Cell-access view for diffing: columnar for lazy snapshots.
+
+    Lazy binary views expose ``column_diff_view()`` — per-field cell reads
+    straight from the mmap'd columns, no record hydration; everything else
+    gets the hydrating record walk.  Both return identical values for
+    every (name, field), so the diff below cannot tell them apart.
+    """
+    maker = getattr(results, "column_diff_view", None)
+    if maker is not None:
+        return maker()
+    return _RecordDiffView(results)
+
+
 def diff_results(a: SurveyResults, b: SurveyResults) -> SnapshotDiff:
     """Compare two survey results name by name.
 
@@ -242,11 +264,17 @@ def diff_results(a: SurveyResults, b: SurveyResults) -> SnapshotDiff:
     (classification, ``dnssec_status``, ...) get transition counts.  Fields
     are drawn from snapshot *a*'s schema so diffing against an older
     snapshot without pass columns degrades gracefully.
+
+    Two lazy binary snapshots diff columnar: only the *names* materialise
+    (they key and order the comparison); records never hydrate, which is
+    what makes diffing two mmap'd snapshots O(cells read), not O(parse).
     """
     from repro.core.report import delta_stats
 
-    index_a = {record.name: record for record in a.records}
-    index_b = {record.name: record for record in b.records}
+    view_a = _diff_view(a)
+    view_b = _diff_view(b)
+    index_a = view_a.names
+    index_b = view_b.names
     shared = sorted(set(index_a) & set(index_b))
     numeric_fields, categorical_fields = _diff_fields(a)
 
@@ -257,11 +285,11 @@ def diff_results(a: SurveyResults, b: SurveyResults) -> SnapshotDiff:
     changes: List[NameChange] = []
 
     for name in shared:
-        record_a, record_b = index_a[name], index_b[name]
+        handle_a, handle_b = index_a[name], index_b[name]
         changed_fields: Dict[str, Tuple[object, object]] = {}
         for field in numeric_fields:
-            before = _field_value(record_a, field)
-            after = _field_value(record_b, field)
+            before = view_a.value(handle_a, field)
+            after = view_b.value(handle_b, field)
             if before is None or after is None:
                 continue
             pairs[field][0].append(float(before))
@@ -269,8 +297,8 @@ def diff_results(a: SurveyResults, b: SurveyResults) -> SnapshotDiff:
             if before != after:
                 changed_fields[field] = (before, after)
         for field in categorical_fields:
-            before = _field_value(record_a, field)
-            after = _field_value(record_b, field)
+            before = view_a.value(handle_a, field)
+            after = view_b.value(handle_b, field)
             if before is None or after is None:
                 continue
             if before != after:

@@ -1,0 +1,1276 @@
+"""REPRO-SNAP v1: the columnar, memory-mapped snapshot & timeline store.
+
+JSON snapshots re-hydrate every :class:`~repro.dns.name.DomainName` and
+frozenset before the first query can run; at bench scale that parse
+dominates a delta re-survey by an order of magnitude, and a longitudinal
+run pays it per epoch.  This module is the binary codec that removes the
+ceiling: snapshots ride the integer-interned core
+(:mod:`repro.core.graphcore`) directly, so opening one is O(1) — a header
+read plus an ``mmap`` — and every column is a typed array addressed
+zero-copy through :class:`memoryview` casts.
+
+On-disk layout (all integers little-endian)::
+
+    magic "RSNP1\\r\\n\\x00"                       8 bytes
+    header  <HBBIQII                               version, file kind,
+                                                   flags, payload crc32,
+                                                   TOC offset, TOC length,
+                                                   header crc32
+    sections ...                                   raw bytes, 8-aligned
+    TOC     json {"sections": {name: [off, len]}}
+
+Three file kinds share the container:
+
+* **results** (:func:`save_results_snapshot` / :func:`open_results`) — a
+  full :class:`~repro.core.survey.SurveyResults`: one string pool, a
+  content-addressed *set store* (CSR offsets + members; equal server sets
+  are stored once and shared), per-record typed columns (ints as ``q``,
+  floats as ``d``, flags as ``B``, strings/sets as pool/store ids), typed
+  pass-``extras`` columns with presence bytes, and the aggregate maps;
+* **delta** (:class:`EpochStore`) — only the rows whose records changed
+  since the previous epoch (keyed off the delta engine's dirty set), plus
+  aggregate-map patches, with a file-local pool/set-store;
+* **universe** (:func:`save_universe` / :func:`load_universe`) — a
+  :class:`~repro.core.graphcore.DependencyUniverse`: the
+  :class:`~repro.core.graphcore.NameTable` string pool plus the CSR
+  adjacency arrays, for warm-starting a serving daemon.
+
+:func:`open_results` returns a :class:`LazySurveyResults` — a drop-in
+:class:`~repro.core.survey.SurveyResults` whose record list materialises
+:class:`~repro.core.survey.NameRecord` objects on demand (and counts how
+many it did, so tests can assert laziness).  Frozensets are
+content-addressed exactly as in the closure index: one set id materialises
+one shared frozenset, at the API boundary only.
+
+Byte-identity contract: ``results_to_dict(open_results(save(results)))``
+equals ``results_to_dict(results)`` — the binary round trip is
+indistinguishable from the JSON one (floats are stored at the same 3-dp
+rounding the JSON codec applies), across all four execution backends.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import pathlib
+import struct
+import sys
+import zlib
+from array import array
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.dns.name import DomainName, NameLike
+from repro.core.graphcore import DependencyUniverse, NameTable
+from repro.core.survey import NameRecord, SurveyResults
+from repro.vulns.bindversion import BindVersion
+from repro.vulns.fingerprint import FingerprintResult
+
+PathLike = Union[str, pathlib.Path]
+
+#: File magic: sniffable, never valid JSON or a zlib stream header.
+MAGIC = b"RSNP1\r\n\x00"
+
+#: Container format version.
+SNAPSTORE_VERSION = 1
+
+#: File kinds sharing the container.
+KIND_RESULTS = 1
+KIND_DELTA = 2
+KIND_UNIVERSE = 3
+
+_KIND_NAMES = {KIND_RESULTS: "results snapshot", KIND_DELTA: "epoch delta",
+               KIND_UNIVERSE: "universe"}
+
+#: Header struct after the magic: version, kind, flags, payload crc32,
+#: TOC offset, TOC length, header crc32.
+_HEADER = struct.Struct("<HBBIQII")
+_HEADER_SIZE = len(MAGIC) + _HEADER.size
+
+_FLAG_LITTLE_ENDIAN = 1
+
+#: Built-in integer record columns, in write order.
+_INT_COLUMNS = ("tcb_size", "in_bailiwick", "vulnerable_in_tcb",
+                "compromisable_in_tcb", "mincut_size", "mincut_safe",
+                "mincut_vulnerable")
+
+_FLAG_POPULAR = 1
+_FLAG_RESOLVED = 2
+
+#: Extras column kinds (the ``json`` fallback preserves anything a JSON
+#: snapshot could carry, mixed numeric types included).
+_EXTRA_KINDS = ("bool", "int", "float", "str", "json")
+
+
+class SnapshotFormatError(ValueError):
+    """A snapshot file is not what it claims to be (bad magic, truncated,
+    checksum mismatch, unsupported version, wrong kind)."""
+
+
+# -- low-level container ----------------------------------------------------------------
+
+
+class _SectionWriter:
+    """Streams named byte sections into the REPRO-SNAP container."""
+
+    def __init__(self, path: PathLike, kind: int):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._kind = kind
+        self._handle = self.path.open("wb")
+        self._handle.write(b"\x00" * _HEADER_SIZE)
+        self._sections: Dict[str, Tuple[int, int]] = {}
+        self._offset = _HEADER_SIZE
+        self._crc = 0
+
+    def add(self, name: str, data) -> None:
+        """Append one section (bytes, bytearray, array, or memoryview)."""
+        if name in self._sections:
+            raise ValueError(f"duplicate section {name!r}")
+        payload = bytes(data) if not isinstance(data, (bytes, bytearray)) \
+            else data
+        # 8-align every section so memoryview casts to q/d never fault.
+        padding = (-self._offset) % 8
+        if padding:
+            pad = b"\x00" * padding
+            self._handle.write(pad)
+            self._crc = zlib.crc32(pad, self._crc)
+            self._offset += padding
+        self._sections[name] = (self._offset, len(payload))
+        self._handle.write(payload)
+        self._crc = zlib.crc32(payload, self._crc)
+        self._offset += len(payload)
+
+    def add_json(self, name: str, payload) -> None:
+        """Append a JSON section (sorted keys, compact)."""
+        self.add(name, json.dumps(payload, sort_keys=True,
+                                  separators=(",", ":")).encode("utf-8"))
+
+    def close(self) -> pathlib.Path:
+        """Write the TOC, patch the header, flush; returns the path."""
+        toc = json.dumps(
+            {"sections": {name: list(span)
+                          for name, span in sorted(self._sections.items())}},
+            sort_keys=True, separators=(",", ":")).encode("utf-8")
+        toc_offset = self._offset
+        self._handle.write(toc)
+        self._crc = zlib.crc32(toc, self._crc)
+        flags = _FLAG_LITTLE_ENDIAN if sys.byteorder == "little" else 0
+        header = _HEADER.pack(SNAPSTORE_VERSION, self._kind, flags,
+                              self._crc, toc_offset, len(toc), 0)
+        header_crc = zlib.crc32(MAGIC + header[:-4])
+        header = _HEADER.pack(SNAPSTORE_VERSION, self._kind, flags,
+                              self._crc, toc_offset, len(toc), header_crc)
+        self._handle.seek(0)
+        self._handle.write(MAGIC + header)
+        self._handle.close()
+        return self.path
+
+
+class _SectionReader:
+    """Memory-maps a REPRO-SNAP container and hands out section views.
+
+    Opening validates the magic, version, endianness, and the header
+    checksum (which covers the TOC location), and bounds-checks every
+    section extent against the file size — so truncation fails loudly at
+    open — but does *not* stream the payload: open cost is independent of
+    snapshot size.  :meth:`verify` walks the payload crc32 on demand.
+    """
+
+    def __init__(self, path: PathLike, expected_kind: Optional[int] = None):
+        self.path = pathlib.Path(path)
+        try:
+            self._handle = self.path.open("rb")
+        except OSError as error:
+            raise SnapshotFormatError(f"cannot open snapshot {self.path}: "
+                                      f"{error}") from error
+        head = self._handle.read(_HEADER_SIZE)
+        if len(head) < _HEADER_SIZE or not head.startswith(MAGIC):
+            self._handle.close()
+            raise SnapshotFormatError(
+                f"{self.path}: not a REPRO-SNAP snapshot (expected magic "
+                f"{MAGIC!r}, got {bytes(head[:len(MAGIC)])!r})")
+        (version, kind, flags, payload_crc, toc_offset, toc_length,
+         header_crc) = _HEADER.unpack(head[len(MAGIC):])
+        if zlib.crc32(head[:-4]) != header_crc:
+            self._handle.close()
+            raise SnapshotFormatError(
+                f"{self.path}: header checksum mismatch (corrupt or "
+                f"truncated header)")
+        if version != SNAPSTORE_VERSION:
+            self._handle.close()
+            raise SnapshotFormatError(
+                f"{self.path}: unsupported REPRO-SNAP version {version} "
+                f"(this build reads version {SNAPSTORE_VERSION})")
+        little = bool(flags & _FLAG_LITTLE_ENDIAN)
+        if little != (sys.byteorder == "little"):
+            self._handle.close()
+            raise SnapshotFormatError(
+                f"{self.path}: snapshot byte order does not match this "
+                f"machine ({sys.byteorder}-endian)")
+        if expected_kind is not None and kind != expected_kind:
+            self._handle.close()
+            raise SnapshotFormatError(
+                f"{self.path}: expected a {_KIND_NAMES[expected_kind]} "
+                f"file, got a {_KIND_NAMES.get(kind, f'kind-{kind}')} file")
+        self.kind = kind
+        self._payload_crc = payload_crc
+        size = self.path.stat().st_size
+        if toc_offset + toc_length > size:
+            self._handle.close()
+            raise SnapshotFormatError(
+                f"{self.path}: truncated snapshot (TOC at "
+                f"{toc_offset}+{toc_length} exceeds file size {size})")
+        self._mmap = mmap.mmap(self._handle.fileno(), 0,
+                               access=mmap.ACCESS_READ)
+        self._view = memoryview(self._mmap)
+        self._toc_end = toc_offset + toc_length
+        try:
+            toc = json.loads(
+                bytes(self._view[toc_offset:self._toc_end]).decode("utf-8"))
+            self._sections = {name: (int(span[0]), int(span[1]))
+                              for name, span in toc["sections"].items()}
+        except (ValueError, KeyError, TypeError) as error:
+            raise SnapshotFormatError(
+                f"{self.path}: corrupt section table: {error}") from error
+        for name, (offset, length) in self._sections.items():
+            if offset + length > size:
+                raise SnapshotFormatError(
+                    f"{self.path}: truncated snapshot (section {name!r} at "
+                    f"{offset}+{length} exceeds file size {size})")
+
+    def has(self, name: str) -> bool:
+        return name in self._sections
+
+    def raw(self, name: str) -> memoryview:
+        """The section's bytes as a zero-copy memoryview."""
+        offset, length = self._sections[name]
+        return self._view[offset:offset + length]
+
+    def q(self, name: str) -> memoryview:
+        """The section as a typed int64 view."""
+        return self.raw(name).cast("q")
+
+    def d(self, name: str) -> memoryview:
+        """The section as a typed float64 view."""
+        return self.raw(name).cast("d")
+
+    def bytes_view(self, name: str) -> memoryview:
+        return self.raw(name).cast("B")
+
+    def json(self, name: str):
+        return json.loads(bytes(self.raw(name)).decode("utf-8"))
+
+    def verify(self) -> None:
+        """Re-walk the payload crc32; raises on checksum mismatch."""
+        crc = zlib.crc32(self._view[_HEADER_SIZE:self._toc_end])
+        if crc != self._payload_crc:
+            raise SnapshotFormatError(
+                f"{self.path}: payload checksum mismatch (expected "
+                f"{self._payload_crc:#010x}, got {crc:#010x})")
+
+
+def sniff_kind(path: PathLike) -> Optional[int]:
+    """The REPRO-SNAP file kind at ``path``, or ``None`` if not REPRO-SNAP."""
+    path = pathlib.Path(path)
+    with path.open("rb") as handle:
+        head = handle.read(_HEADER_SIZE)
+    if len(head) < _HEADER_SIZE or not head.startswith(MAGIC):
+        return None
+    return _HEADER.unpack(head[len(MAGIC):])[1]
+
+
+# -- pools and set stores ---------------------------------------------------------------
+
+
+class _PoolWriter:
+    """Interns strings into a blob + offsets pool (dense first-seen ids).
+
+    With ``base_index`` (text -> id in a base file's pool), strings the
+    base already stores intern to *negative* ids — ``-(base_id + 1)`` —
+    instead of re-entering the local blob.  Delta files use this to share
+    the epoch-0 pool: churned records mostly re-mention names and hosts
+    the base interned long ago.
+    """
+
+    def __init__(self, base_index: Optional[Dict[str, int]] = None) -> None:
+        self._ids: Dict[str, int] = {}
+        self._base = base_index or {}
+        self._blob = bytearray()
+        self._offsets = array("q", [0])
+        self._local = 0
+
+    def intern(self, text: str) -> int:
+        found = self._ids.get(text)
+        if found is None:
+            base_id = self._base.get(text)
+            if base_id is not None:
+                found = -base_id - 1
+            else:
+                found = self._local
+                self._local += 1
+                self._blob.extend(text.encode("utf-8"))
+                self._offsets.append(len(self._blob))
+            self._ids[text] = found
+        return found
+
+    def intern_name(self, name: DomainName) -> int:
+        return self.intern(str(name))
+
+    def write(self, writer: _SectionWriter, prefix: str) -> None:
+        writer.add(prefix + ".off", self._offsets)
+        writer.add(prefix + ".blob", bytes(self._blob))
+
+
+class _SetWriter:
+    """Content-addresses sets of pool ids into a CSR (offsets + members).
+
+    ``base_index`` maps membership keys (tuples of *this* pool's ids) to
+    set ids in a base file's set store; matching sets encode as negative
+    references the same way the pool does.  A churned record's TCB usually
+    keeps its membership (verdicts change, topology doesn't), so delta
+    files shed their heaviest section almost entirely.
+    """
+
+    def __init__(self, pool: _PoolWriter,
+                 base_index: Optional[Dict[Tuple[int, ...], int]] = None
+                 ) -> None:
+        self._pool = pool
+        self._ids: Dict[Tuple[int, ...], int] = {}
+        self._base = base_index or {}
+        self._offsets = array("q", [0])
+        self._members = array("q")
+        self._local = 0
+
+    def intern(self, hosts) -> int:
+        key = tuple(sorted(self._pool.intern_name(host) for host in hosts))
+        found = self._ids.get(key)
+        if found is None:
+            base_id = self._base.get(key)
+            if base_id is not None:
+                found = -base_id - 1
+            else:
+                found = self._local
+                self._local += 1
+                self._members.extend(key)
+                self._offsets.append(len(self._members))
+            self._ids[key] = found
+        return found
+
+    def write(self, writer: _SectionWriter, prefix: str) -> None:
+        writer.add(prefix + ".off", self._offsets)
+        writer.add(prefix + ".mem", self._members)
+
+
+class _Pool:
+    """Lazy reader-side string pool: decode + DomainName caches per id.
+
+    Negative ids are references into ``base`` (the epoch-0 pool a delta
+    file was written against) and delegate there — landing in the base's
+    caches, which every overlay of the same store shares.
+    """
+
+    __slots__ = ("_offsets", "_blob", "_texts", "_names", "_base")
+
+    def __init__(self, reader: _SectionReader, prefix: str,
+                 base: Optional["_Pool"] = None):
+        self._offsets = reader.q(prefix + ".off")
+        self._blob = reader.raw(prefix + ".blob")
+        self._texts: Dict[int, str] = {}
+        self._names: Dict[int, DomainName] = {}
+        self._base = base
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def text(self, index: int) -> str:
+        if index < 0:
+            return self._base.text(-index - 1)
+        found = self._texts.get(index)
+        if found is None:
+            found = bytes(
+                self._blob[self._offsets[index]:self._offsets[index + 1]]
+            ).decode("utf-8")
+            self._texts[index] = found
+        return found
+
+    def name(self, index: int) -> DomainName:
+        if index < 0:
+            return self._base.name(-index - 1)
+        found = self._names.get(index)
+        if found is None:
+            found = DomainName._from_text(self.text(index))
+            self._names[index] = found
+        return found
+
+
+class _SetStore:
+    """Lazy reader-side set store: one shared frozenset per set id.
+
+    Negative ids delegate to ``base`` exactly as :class:`_Pool` does, so
+    an overlaid record whose TCB membership never changed hands back the
+    very frozenset the base row would.
+    """
+
+    __slots__ = ("_offsets", "_members", "_pool", "_frozen", "_base")
+
+    def __init__(self, reader: _SectionReader, prefix: str, pool: _Pool,
+                 base: Optional["_SetStore"] = None):
+        self._offsets = reader.q(prefix + ".off")
+        self._members = reader.q(prefix + ".mem")
+        self._pool = pool
+        self._frozen: Dict[int, frozenset] = {}
+        self._base = base
+
+    def frozen(self, set_id: int) -> frozenset:
+        if set_id < 0:
+            return self._base.frozen(-set_id - 1)
+        found = self._frozen.get(set_id)
+        if found is None:
+            name = self._pool.name
+            found = frozenset(
+                name(member) for member in
+                self._members[self._offsets[set_id]:
+                              self._offsets[set_id + 1]])
+            self._frozen[set_id] = found
+        return found
+
+
+# -- record column writing --------------------------------------------------------------
+
+
+def _extra_kind(values: List[object]) -> str:
+    """The narrowest typed column that stores ``values`` exactly."""
+    if all(isinstance(value, bool) for value in values):
+        return "bool"
+    if all(isinstance(value, int) and not isinstance(value, bool)
+           and -(2 ** 63) <= value < 2 ** 63 for value in values):
+        return "int"
+    if all(isinstance(value, float) for value in values):
+        return "float"
+    if all(isinstance(value, str) for value in values):
+        return "str"
+    return "json"
+
+
+def _write_record_sections(writer: _SectionWriter,
+                           records: Sequence[NameRecord],
+                           pool: _PoolWriter, sets: _SetWriter) -> None:
+    """Write the per-record typed columns (including extras columns)."""
+    count = len(records)
+    names = array("q", bytes(8 * count))
+    tlds = array("q", bytes(8 * count))
+    categories = array("q", bytes(8 * count))
+    classifications = array("q", bytes(8 * count))
+    flags = bytearray(count)
+    ints = {column: array("q", bytes(8 * count)) for column in _INT_COLUMNS}
+    safety = array("d", bytes(8 * count))
+    tcb_sets = array("q", bytes(8 * count))
+    cut_sets = array("q", bytes(8 * count))
+    extras_values: Dict[str, Dict[int, object]] = {}
+
+    for row, record in enumerate(records):
+        names[row] = pool.intern_name(record.name)
+        tlds[row] = pool.intern(record.tld)
+        categories[row] = pool.intern(record.category)
+        classifications[row] = pool.intern(record.classification)
+        flags[row] = ((_FLAG_POPULAR if record.is_popular else 0) |
+                      (_FLAG_RESOLVED if record.resolved else 0))
+        for column in _INT_COLUMNS:
+            ints[column][row] = getattr(record, column)
+        # The JSON codec rounds to 3 dp on write; store the same value so
+        # both round trips hydrate identical records.
+        safety[row] = round(record.safety_percentage, 3)
+        tcb_sets[row] = sets.intern(record.tcb_servers)
+        cut_sets[row] = sets.intern(record.mincut_servers)
+        for column, value in record.extras.items():
+            extras_values.setdefault(column, {})[row] = value
+
+    writer.add("rec.name", names)
+    writer.add("rec.tld", tlds)
+    writer.add("rec.category", categories)
+    writer.add("rec.classification", classifications)
+    writer.add("rec.flags", bytes(flags))
+    for column in _INT_COLUMNS:
+        writer.add(f"rec.{column}", ints[column])
+    writer.add("rec.safety", safety)
+    writer.add("rec.tcbset", tcb_sets)
+    writer.add("rec.cutset", cut_sets)
+
+    directory = []
+    for position, column in enumerate(sorted(extras_values)):
+        present = extras_values[column]
+        kind = _extra_kind(list(present.values()))
+        directory.append({"column": column, "kind": kind})
+        presence = bytearray(count)
+        for row in present:
+            presence[row] = 1
+        writer.add(f"ex.{position}.pres", bytes(presence))
+        if kind == "bool":
+            cells = bytearray(count)
+            for row, value in present.items():
+                cells[row] = 1 if value else 0
+            writer.add(f"ex.{position}.val", bytes(cells))
+        elif kind == "int":
+            cells = array("q", bytes(8 * count))
+            for row, value in present.items():
+                cells[row] = value
+            writer.add(f"ex.{position}.val", cells)
+        elif kind == "float":
+            cells = array("d", bytes(8 * count))
+            for row, value in present.items():
+                cells[row] = value
+            writer.add(f"ex.{position}.val", cells)
+        else:  # str / json ride the string pool
+            cells = array("q", bytes(8 * count))
+            for row, value in present.items():
+                text = value if kind == "str" else \
+                    json.dumps(value, sort_keys=True)
+                cells[row] = pool.intern(text)
+            writer.add(f"ex.{position}.val", cells)
+    writer.add_json("ex.dir", directory)
+
+
+def _write_aggregate_sections(writer: _SectionWriter, results: SurveyResults,
+                              pool: _PoolWriter) -> None:
+    """Write the aggregate maps (counts, vuln/comp sets, fingerprints)."""
+    counts = sorted(results.server_names_controlled.items(),
+                    key=lambda item: str(item[0]))
+    writer.add("agg.counts.host",
+               array("q", [pool.intern_name(host) for host, _ in counts]))
+    writer.add("agg.counts.n", array("q", [count for _, count in counts]))
+    for section, hosts in (("agg.vuln", results.vulnerable_servers),
+                           ("agg.comp", results.compromisable_servers),
+                           ("agg.pop", results.popular_names)):
+        writer.add(section, array("q", sorted(
+            (pool.intern_name(host) for host in hosts))))
+    _write_fingerprint_sections(writer, "fp", results.fingerprints, pool)
+    writer.add("meta", json.dumps(results.metadata,
+                                  sort_keys=True).encode("utf-8"))
+
+
+#: Banner column sentinel for "no banner" — far outside both the local
+#: (non-negative) and base-reference (small negative) pool id ranges.
+_NO_BANNER = -(2 ** 62)
+
+
+def _write_fingerprint_sections(writer: _SectionWriter, prefix: str,
+                                fingerprints: Dict[DomainName,
+                                                   FingerprintResult],
+                                pool: _PoolWriter) -> None:
+    ordered = sorted(fingerprints.items(), key=lambda item: str(item[0]))
+    hosts = array("q", [pool.intern_name(host) for host, _ in ordered])
+    banners = array("q", [_NO_BANNER if result.banner is None
+                          else pool.intern(result.banner)
+                          for _, result in ordered])
+    reachable = bytes(1 if result.reachable else 0 for _, result in ordered)
+    vuln_offsets = array("q", [0])
+    vuln_members = array("q")
+    for _, result in ordered:
+        vuln_members.extend(pool.intern(item)
+                            for item in result.vulnerabilities)
+        vuln_offsets.append(len(vuln_members))
+    writer.add(prefix + ".host", hosts)
+    writer.add(prefix + ".banner", banners)
+    writer.add(prefix + ".reach", reachable)
+    writer.add(prefix + ".vuln.off", vuln_offsets)
+    writer.add(prefix + ".vuln.mem", vuln_members)
+
+
+def _read_fingerprints(reader: _SectionReader, prefix: str, pool: _Pool
+                       ) -> Dict[DomainName, FingerprintResult]:
+    hosts = reader.q(prefix + ".host")
+    banners = reader.q(prefix + ".banner")
+    reachable = reader.bytes_view(prefix + ".reach")
+    offsets = reader.q(prefix + ".vuln.off")
+    members = reader.q(prefix + ".vuln.mem")
+    out: Dict[DomainName, FingerprintResult] = {}
+    for position in range(len(hosts)):
+        hostname = pool.name(hosts[position])
+        banner = None if banners[position] == _NO_BANNER else pool.text(
+            banners[position])
+        out[hostname] = FingerprintResult(
+            hostname=hostname, banner=banner,
+            version=BindVersion.parse(banner),
+            reachable=bool(reachable[position]),
+            vulnerabilities=[pool.text(member) for member in
+                             members[offsets[position]:
+                                     offsets[position + 1]]])
+    return out
+
+
+# -- results snapshot write path --------------------------------------------------------
+
+
+def save_results_snapshot(results: SurveyResults,
+                          path: PathLike) -> pathlib.Path:
+    """Write ``results`` as a REPRO-SNAP v1 binary snapshot."""
+    writer = _SectionWriter(path, KIND_RESULTS)
+    pool = _PoolWriter()
+    sets = _SetWriter(pool)
+    _write_record_sections(writer, results.records, pool, sets)
+    _write_aggregate_sections(writer, results, pool)
+    # The pool and set store go last: record/aggregate writing is what
+    # populates them.
+    sets.write(writer, "sets")
+    pool.write(writer, "strs")
+    return writer.close()
+
+
+# -- reader-side record access ----------------------------------------------------------
+
+
+class _RecordReader:
+    """Column access + on-demand record hydration for one container."""
+
+    def __init__(self, reader: _SectionReader,
+                 base: Optional["_RecordReader"] = None):
+        self.reader = reader
+        self.pool = _Pool(reader, "strs",
+                          base.pool if base is not None else None)
+        self.sets = _SetStore(reader, "sets", self.pool,
+                              base.sets if base is not None else None)
+        self._names = reader.q("rec.name")
+        self._tlds = reader.q("rec.tld")
+        self._categories = reader.q("rec.category")
+        self._classifications = reader.q("rec.classification")
+        self._flags = reader.bytes_view("rec.flags")
+        self._ints = {column: reader.q(f"rec.{column}")
+                      for column in _INT_COLUMNS}
+        self._safety = reader.d("rec.safety")
+        self._tcb_sets = reader.q("rec.tcbset")
+        self._cut_sets = reader.q("rec.cutset")
+        self.extras_dir: List[Dict[str, str]] = reader.json("ex.dir")
+        self._extras_index = {entry["column"]: position for position, entry
+                              in enumerate(self.extras_dir)}
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def name(self, row: int) -> DomainName:
+        return self.pool.name(self._names[row])
+
+    def name_text(self, row: int) -> str:
+        return self.pool.text(self._names[row])
+
+    def resolved(self, row: int) -> bool:
+        return bool(self._flags[row] & _FLAG_RESOLVED)
+
+    def tcb_frozen(self, row: int) -> frozenset:
+        return self.sets.frozen(self._tcb_sets[row])
+
+    def extra_present(self, column: str, row: int) -> bool:
+        """Whether the record at ``row`` carries the extras column."""
+        position = self._extras_index.get(column)
+        if position is None:
+            return False
+        return bool(self.reader.bytes_view(f"ex.{position}.pres")[row])
+
+    def extra_value(self, column: str, row: int):
+        """One extras cell (``None`` when the record lacks the column)."""
+        position = self._extras_index.get(column)
+        if position is None:
+            return None
+        return self._extra_cell(position, self.extras_dir[position]["kind"],
+                                row)
+
+    def _extra_cell(self, position: int, kind: str, row: int):
+        if not self.reader.bytes_view(f"ex.{position}.pres")[row]:
+            return None
+        if kind == "bool":
+            return bool(self.reader.bytes_view(f"ex.{position}.val")[row])
+        if kind == "int":
+            return self.reader.q(f"ex.{position}.val")[row]
+        if kind == "float":
+            return self.reader.d(f"ex.{position}.val")[row]
+        text = self.pool.text(self.reader.q(f"ex.{position}.val")[row])
+        return text if kind == "str" else json.loads(text)
+
+    def field_value(self, field: str, row: int):
+        """One built-in-or-extras field value (diff fast path cell access).
+
+        Extras win over the built-in attribute of the same name, matching
+        the hydrated path's ``record.extras``-first lookup.
+        """
+        if self.extra_present(field, row):
+            return self.extra_value(field, row)
+        if field in self._ints:
+            return self._ints[field][row]
+        if field == "classification":
+            return self.pool.text(self._classifications[row])
+        if field == "safety_percentage":
+            return self._safety[row]
+        return None
+
+    def extras_for(self, row: int) -> Dict[str, object]:
+        extras: Dict[str, object] = {}
+        for position, entry in enumerate(self.extras_dir):
+            value = self._extra_cell(position, entry["kind"], row)
+            if value is not None or \
+                    self.reader.bytes_view(f"ex.{position}.pres")[row]:
+                extras[entry["column"]] = value
+        return extras
+
+    def hydrate(self, row: int) -> NameRecord:
+        """Materialise one :class:`NameRecord` from the columns."""
+        flags = self._flags[row]
+        ints = self._ints
+        return NameRecord(
+            name=self.name(row),
+            tld=self.pool.text(self._tlds[row]),
+            category=self.pool.text(self._categories[row]),
+            is_popular=bool(flags & _FLAG_POPULAR),
+            resolved=bool(flags & _FLAG_RESOLVED),
+            tcb_size=ints["tcb_size"][row],
+            in_bailiwick=ints["in_bailiwick"][row],
+            vulnerable_in_tcb=ints["vulnerable_in_tcb"][row],
+            compromisable_in_tcb=ints["compromisable_in_tcb"][row],
+            safety_percentage=self._safety[row],
+            mincut_size=ints["mincut_size"][row],
+            mincut_safe=ints["mincut_safe"][row],
+            mincut_vulnerable=ints["mincut_vulnerable"][row],
+            classification=self.pool.text(self._classifications[row]),
+            tcb_servers=set(self.sets.frozen(self._tcb_sets[row])),
+            mincut_servers=set(self.sets.frozen(self._cut_sets[row])),
+            extras=self.extras_for(row))
+
+    def aggregates(self) -> Dict[str, object]:
+        """Materialise the aggregate maps (counts, sets, fingerprints)."""
+        reader, pool = self.reader, self.pool
+        hosts = reader.q("agg.counts.host")
+        counts = reader.q("agg.counts.n")
+        return {
+            "counts": {pool.name(hosts[i]): counts[i]
+                       for i in range(len(hosts))},
+            "vulnerable": {pool.name(i) for i in reader.q("agg.vuln")},
+            "compromisable": {pool.name(i) for i in reader.q("agg.comp")},
+            "popular": {pool.name(i) for i in reader.q("agg.pop")},
+            "fingerprints": _read_fingerprints(reader, "fp", pool),
+        }
+
+    def metadata(self) -> Dict[str, object]:
+        return self.reader.json("meta")
+
+
+# -- the lazy SurveyResults view --------------------------------------------------------
+
+
+class _RowSource:
+    """Row addressing for a lazy view: base columns plus epoch overlays.
+
+    Every row resolves to ``(record_reader, local_row)`` — the base file
+    for rows untouched since epoch 0, the newest delta file containing the
+    row otherwise.
+    """
+
+    def __init__(self, base: _RecordReader,
+                 overlays: Optional[Dict[int, Tuple[_RecordReader,
+                                                    int]]] = None,
+                 aggregates: Optional[Callable[[], Dict[str, object]]] = None,
+                 metadata: Optional[Callable[[], Dict[str, object]]] = None):
+        self.base = base
+        self.overlays = overlays or {}
+        self._aggregates = aggregates or base.aggregates
+        self._metadata = metadata or base.metadata
+
+    def __len__(self) -> int:
+        return len(self.base)
+
+    def locate(self, row: int) -> Tuple[_RecordReader, int]:
+        return self.overlays.get(row, (self.base, row))
+
+    def hydrate(self, row: int) -> NameRecord:
+        reader, local = self.locate(row)
+        return reader.hydrate(local)
+
+    def name(self, row: int) -> DomainName:
+        # Record names never change across epochs; read from the base so
+        # the name cache stays shared.
+        return self.base.name(row)
+
+    def name_text(self, row: int) -> str:
+        return self.base.name_text(row)
+
+    def field_value(self, field: str, row: int):
+        reader, local = self.locate(row)
+        return reader.field_value(field, local)
+
+    def extra_present(self, column: str, row: int) -> bool:
+        reader, local = self.locate(row)
+        return reader.extra_present(column, local)
+
+    def extra_value(self, column: str, row: int):
+        reader, local = self.locate(row)
+        return reader.extra_value(column, local)
+
+    def resolved(self, row: int) -> bool:
+        reader, local = self.locate(row)
+        return reader.resolved(local)
+
+    def tcb_frozen(self, row: int) -> frozenset:
+        reader, local = self.locate(row)
+        return reader.tcb_frozen(local)
+
+    def extras_columns(self) -> List[str]:
+        columns: Set[str] = {entry["column"]
+                             for entry in self.base.extras_dir}
+        for reader, _ in self.overlays.values():
+            columns.update(entry["column"] for entry in reader.extras_dir)
+        return sorted(columns)
+
+    def aggregates(self) -> Dict[str, object]:
+        return self._aggregates()
+
+    def metadata(self) -> Dict[str, object]:
+        return self._metadata()
+
+
+class _LazyRecords:
+    """A ``records`` sequence hydrating one :class:`NameRecord` per access.
+
+    Hydrated records are cached (one object per row, shared with
+    ``record_for``) and counted — :attr:`hydrated` is what the laziness
+    tests assert on.
+    """
+
+    __slots__ = ("_source", "_cache", "hydrated")
+
+    def __init__(self, source: _RowSource):
+        self._source = source
+        self._cache: Dict[int, NameRecord] = {}
+        self.hydrated = 0
+
+    def __len__(self) -> int:
+        return len(self._source)
+
+    def _get(self, row: int) -> NameRecord:
+        found = self._cache.get(row)
+        if found is None:
+            found = self._source.hydrate(row)
+            self._cache[row] = found
+            self.hydrated += 1
+        return found
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._get(row)
+                    for row in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("record index out of range")
+        return self._get(index)
+
+    def __iter__(self) -> Iterator[NameRecord]:
+        for row in range(len(self)):
+            yield self._get(row)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class _ColumnDiffView:
+    """The columnar diff protocol over one lazy snapshot.
+
+    :func:`repro.core.snapshot.diff_results` drives this instead of the
+    record index when both sides are lazy: ``names`` maps every surveyed
+    name to its row handle, and :meth:`value` answers per-field cell reads
+    straight from the columns — no :class:`NameRecord` is ever built.
+    """
+
+    def __init__(self, source: _RowSource):
+        self._source = source
+        self.names: Dict[DomainName, int] = {
+            source.name(row): row for row in range(len(source))}
+
+    def value(self, row: int, field: str):
+        return self._source.field_value(field, row)
+
+
+class LazySurveyResults(SurveyResults):
+    """A column-backed :class:`SurveyResults` over an open snapshot.
+
+    Construction is O(1): no record, aggregate map, or frozenset exists
+    until something asks for it.  ``records`` hydrates row by row (cached);
+    the aggregate maps materialise once on first touch; ``record_for``
+    goes through a name→row index built from the string pool without
+    hydrating any record.  Everything else — ``headline``, the figure
+    reducers, ``extras_summary`` — is inherited and works on the lazy
+    sequence unchanged.
+    """
+
+    def __init__(self, source: _RowSource):
+        # Deliberately no dataclass __init__: every parent field is served
+        # by a property below, off the columns.
+        self._source = source
+        self._lazy_records = _LazyRecords(source)
+        self._aggregates: Optional[Dict[str, object]] = None
+        self._metadata: Optional[Dict[str, object]] = None
+        self._row_index: Optional[Dict[str, int]] = None
+
+    # -- lazy field surface ---------------------------------------------------------
+
+    @property
+    def records(self) -> _LazyRecords:  # type: ignore[override]
+        return self._lazy_records
+
+    def _aggregate(self, key: str):
+        if self._aggregates is None:
+            self._aggregates = self._source.aggregates()
+        return self._aggregates[key]
+
+    @property
+    def server_names_controlled(self):  # type: ignore[override]
+        return self._aggregate("counts")
+
+    @property
+    def vulnerable_servers(self):  # type: ignore[override]
+        return self._aggregate("vulnerable")
+
+    @property
+    def compromisable_servers(self):  # type: ignore[override]
+        return self._aggregate("compromisable")
+
+    @property
+    def popular_names(self):  # type: ignore[override]
+        return self._aggregate("popular")
+
+    @property
+    def fingerprints(self):  # type: ignore[override]
+        return self._aggregate("fingerprints")
+
+    @property
+    def metadata(self):  # type: ignore[override]
+        if self._metadata is None:
+            self._metadata = self._source.metadata()
+        return self._metadata
+
+    # -- laziness probes ------------------------------------------------------------
+
+    @property
+    def hydrated_record_count(self) -> int:
+        """How many records have been materialised so far (test probe)."""
+        return self._lazy_records.hydrated
+
+    # -- overridden accessors (hydration-free) ---------------------------------------
+
+    def record_for(self, name: NameLike) -> Optional[NameRecord]:
+        """One record by name, hydrating only that row."""
+        if self._row_index is None:
+            source = self._source
+            self._row_index = {source.name_text(row): row
+                               for row in range(len(source))}
+        row = self._row_index.get(str(DomainName(name)))
+        return None if row is None else self._lazy_records[row]
+
+    def tcb_index_rows(self):
+        """(name, resolved, tcb_servers) rows without record hydration.
+
+        The :class:`~repro.core.delta.DirtyIndex` feed: the inverted
+        host→names index needs exactly these three columns, and the
+        frozensets come shared from the content-addressed set store.
+        """
+        source = self._source
+        for row in range(len(source)):
+            yield (source.name(row), source.resolved(row),
+                   source.tcb_frozen(row))
+
+    def extras_columns(self) -> List[str]:
+        return self._source.extras_columns()
+
+    def extra_values(self, column: str,
+                     resolved_only: bool = True) -> List[object]:
+        source = self._source
+        return [source.extra_value(column, row)
+                for row in range(len(source))
+                if (not resolved_only or source.resolved(row))
+                and source.extra_present(column, row)]
+
+    def column_diff_view(self) -> _ColumnDiffView:
+        """The diff protocol object ``diff_results`` fast-paths through."""
+        return _ColumnDiffView(self._source)
+
+    def verify(self) -> None:
+        """Checksum the backing file(s) payload (O(size), explicit)."""
+        self._source.base.reader.verify()
+        for patch in {reader for reader, _ in
+                      self._source.overlays.values()}:
+            patch.reader.verify()
+
+
+def open_results(path: PathLike) -> LazySurveyResults:
+    """Open a binary results snapshot as a lazy view; O(1) in snapshot size."""
+    return LazySurveyResults(_RowSource(_RecordReader(
+        _SectionReader(path, KIND_RESULTS))))
+
+
+# -- the delta-sharing timeline store ----------------------------------------------------
+
+
+def _base_ref_indexes(base: _RecordReader
+                      ) -> Tuple[Dict[str, int], Dict[Tuple[int, ...], int]]:
+    """Reference indexes a delta writer needs to share a base file's pool.
+
+    The set index is keyed in *delta* id space: a base set's members are
+    base pool ids, and a host already pooled by the base interns into a
+    delta as ``-(base_id + 1)`` — so re-keying the base memberships the
+    same way makes unchanged sets hit the index exactly.
+    """
+    pool = base.pool
+    text_index = {pool.text(index): index for index in range(len(pool))}
+    offsets, members = base.sets._offsets, base.sets._members
+    set_index = {
+        tuple(sorted(-member - 1
+                     for member in members[offsets[set_id]:
+                                           offsets[set_id + 1]])): set_id
+        for set_id in range(len(offsets) - 1)}
+    return text_index, set_index
+
+
+def _write_delta_snapshot(path: PathLike, results: SurveyResults,
+                          previous: SurveyResults,
+                          changed_rows: List[int],
+                          base: Optional[_RecordReader] = None
+                          ) -> pathlib.Path:
+    """Write one epoch as a column delta against ``previous``.
+
+    The file carries the changed rows' full record columns, the base-row
+    index mapping, and aggregate-map patches (set/delete entries) —
+    everything :meth:`EpochStore.load_epoch` needs to overlay it on the
+    base epoch.  Strings and sets the ``base`` file (epoch 0) already
+    stores are written as negative references into its pool instead of
+    being duplicated; only genuinely new material enters the local pool.
+    """
+    writer = _SectionWriter(path, KIND_DELTA)
+    if base is not None:
+        text_index, set_index = _base_ref_indexes(base)
+        pool = _PoolWriter(text_index)
+        sets = _SetWriter(pool, set_index)
+    else:
+        pool = _PoolWriter()
+        sets = _SetWriter(pool)
+    records = results.records
+    _write_record_sections(writer, [records[row] for row in changed_rows],
+                           pool, sets)
+    writer.add("rows", array("q", changed_rows))
+
+    counts, prev_counts = (results.server_names_controlled,
+                           previous.server_names_controlled)
+    upserts = sorted(
+        ((host, count) for host, count in counts.items()
+         if prev_counts.get(host) != count), key=lambda item: str(item[0]))
+    writer.add("aggd.counts.set.host",
+               array("q", [pool.intern_name(host) for host, _ in upserts]))
+    writer.add("aggd.counts.set.n",
+               array("q", [count for _, count in upserts]))
+    writer.add("aggd.counts.del", array("q", sorted(
+        pool.intern_name(host) for host in prev_counts
+        if host not in counts)))
+
+    for section, now, before in (
+            ("vuln", results.vulnerable_servers,
+             previous.vulnerable_servers),
+            ("comp", results.compromisable_servers,
+             previous.compromisable_servers),
+            ("pop", results.popular_names, previous.popular_names)):
+        writer.add(f"aggd.{section}.add", array("q", sorted(
+            pool.intern_name(host) for host in now - before)))
+        writer.add(f"aggd.{section}.del", array("q", sorted(
+            pool.intern_name(host) for host in before - now)))
+
+    fingerprints, prev_fingerprints = (results.fingerprints,
+                                       previous.fingerprints)
+    changed_fp = {host: result for host, result in fingerprints.items()
+                  if prev_fingerprints.get(host) != result}
+    _write_fingerprint_sections(writer, "fpd", changed_fp, pool)
+    writer.add("fpd.del", array("q", sorted(
+        pool.intern_name(host) for host in prev_fingerprints
+        if host not in fingerprints)))
+
+    writer.add("meta", json.dumps(results.metadata,
+                                  sort_keys=True).encode("utf-8"))
+    sets.write(writer, "sets")
+    pool.write(writer, "strs")
+    return writer.close()
+
+
+def _apply_aggregate_patch(aggregates: Dict[str, object],
+                           patch: _RecordReader) -> None:
+    """Fold one delta file's aggregate-map patches into ``aggregates``."""
+    reader, pool = patch.reader, patch.pool
+    counts: Dict[DomainName, int] = aggregates["counts"]
+    hosts = reader.q("aggd.counts.set.host")
+    values = reader.q("aggd.counts.set.n")
+    for position in range(len(hosts)):
+        counts[pool.name(hosts[position])] = values[position]
+    for host_id in reader.q("aggd.counts.del"):
+        counts.pop(pool.name(host_id), None)
+    for section, key in (("vuln", "vulnerable"), ("comp", "compromisable"),
+                         ("pop", "popular")):
+        members: Set[DomainName] = aggregates[key]
+        for host_id in reader.q(f"aggd.{section}.add"):
+            members.add(pool.name(host_id))
+        for host_id in reader.q(f"aggd.{section}.del"):
+            members.discard(pool.name(host_id))
+    fingerprints: Dict[DomainName, FingerprintResult] = \
+        aggregates["fingerprints"]
+    fingerprints.update(_read_fingerprints(reader, "fpd", pool))
+    for host_id in reader.q("fpd.del"):
+        fingerprints.pop(pool.name(host_id), None)
+
+
+class EpochStore:
+    """A directory of epochs: one full snapshot plus column deltas.
+
+    Epoch 0 is a complete REPRO-SNAP results file; every later epoch
+    stores only the rows whose records actually changed (callers pass the
+    delta engine's dirty set to bound the comparison) plus aggregate-map
+    patches — so a longitudinal run's storage scales with churn, not with
+    ``epochs × universe``.  :meth:`load_epoch` opens any epoch as a
+    :class:`LazySurveyResults` whose row source overlays the deltas on the
+    base columns; unchanged rows keep reading from epoch 0's mmap.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = pathlib.Path(root)
+
+    def epoch_path(self, epoch: int) -> pathlib.Path:
+        return self.root / f"epoch_{epoch:04d}.rsnap"
+
+    @property
+    def epochs(self) -> int:
+        """How many epochs the store holds (0 when empty)."""
+        count = 0
+        while self.epoch_path(count).exists():
+            count += 1
+        return count
+
+    def total_bytes(self) -> int:
+        """Bytes on disk across every epoch file."""
+        return sum(self.epoch_path(epoch).stat().st_size
+                   for epoch in range(self.epochs))
+
+    def append(self, results: SurveyResults,
+               previous: Optional[SurveyResults] = None,
+               dirty: Optional[Iterable[DomainName]] = None) -> pathlib.Path:
+        """Persist the next epoch; full for epoch 0, a delta afterwards.
+
+        ``previous`` must be the results the store's latest epoch holds
+        (the timeline loop always has them in hand).  ``dirty``, when
+        given, bounds the changed-row scan to the names the delta engine
+        re-surveyed — every other record is unchanged by the delta
+        contract, so it is never compared (or hydrated, for lazy views).
+        """
+        epoch = self.epochs
+        if epoch == 0:
+            self.root.mkdir(parents=True, exist_ok=True)
+            return save_results_snapshot(results, self.epoch_path(0))
+        if previous is None:
+            previous = self.load_epoch(epoch - 1)
+        records = results.records
+        if len(records) != len(previous.records):
+            raise ValueError(
+                f"epoch {epoch} surveys {len(records)} names, the store "
+                f"holds {len(previous.records)} — every epoch must survey "
+                f"the same directory")
+        dirty_set = None if dirty is None else \
+            {DomainName(name) for name in dirty}
+        changed_rows: List[int] = []
+        for row in range(len(records)):
+            record = records[row]
+            if dirty_set is not None and record.name not in dirty_set:
+                continue
+            if record != previous.record_for(record.name):
+                changed_rows.append(row)
+        base = _RecordReader(_SectionReader(self.epoch_path(0),
+                                            KIND_RESULTS))
+        return _write_delta_snapshot(self.epoch_path(epoch), results,
+                                     previous, changed_rows, base=base)
+
+    def load_epoch(self, epoch: int) -> LazySurveyResults:
+        """Open epoch ``epoch`` as a lazy view (deltas overlaid on base)."""
+        if not 0 <= epoch < self.epochs:
+            raise SnapshotFormatError(
+                f"{self.root}: epoch {epoch} not in store "
+                f"(holds {self.epochs})")
+        base = _RecordReader(_SectionReader(self.epoch_path(0),
+                                            KIND_RESULTS))
+        overlays: Dict[int, Tuple[_RecordReader, int]] = {}
+        patches: List[_RecordReader] = []
+        for step in range(1, epoch + 1):
+            patch = _RecordReader(_SectionReader(self.epoch_path(step),
+                                                 KIND_DELTA), base=base)
+            patches.append(patch)
+            rows = patch.reader.q("rows")
+            for local in range(len(rows)):
+                overlays[rows[local]] = (patch, local)
+
+        def aggregates() -> Dict[str, object]:
+            folded = base.aggregates()
+            for patch in patches:
+                _apply_aggregate_patch(folded, patch)
+            return folded
+
+        metadata = patches[-1].metadata if patches else base.metadata
+        return LazySurveyResults(_RowSource(base, overlays,
+                                            aggregates, metadata))
+
+
+# -- universe persistence ----------------------------------------------------------------
+
+
+def save_universe(universe: DependencyUniverse,
+                  path: PathLike) -> pathlib.Path:
+    """Write a :class:`DependencyUniverse` as a REPRO-SNAP universe file.
+
+    The :class:`NameTable` rides the string pool verbatim — table ids are
+    dense first-seen order, exactly how the pool assigns its ids — and the
+    adjacency goes out as the CSR snapshot, so a serving daemon can warm-
+    start from disk instead of re-crawling.
+    """
+    writer = _SectionWriter(path, KIND_UNIVERSE)
+    pool = _PoolWriter()
+    for name_id in range(len(universe.names)):
+        pool.intern_name(universe.names.name_of(name_id))
+    writer.add("uni.kinds", bytes(bytearray(universe.kinds)))
+    writer.add("uni.nameid", array("q", universe.name_ids))
+    offsets, targets = universe.csr()
+    writer.add("uni.csr.off", array("q", offsets))
+    writer.add("uni.csr.tgt", array("q", targets))
+    pool.write(writer, "strs")
+    return writer.close()
+
+
+def load_universe(path: PathLike) -> DependencyUniverse:
+    """Rebuild a :class:`DependencyUniverse` from :func:`save_universe`.
+
+    Node ids, NS slot assignments, and adjacency orders reproduce the
+    saved universe exactly: nodes are re-created in id order and edges in
+    CSR row order, which is the original insertion order.
+    """
+    reader = _SectionReader(path, KIND_UNIVERSE)
+    pool = _Pool(reader, "strs")
+    table = NameTable()
+    for name_id in range(len(pool)):
+        table.intern(pool.name(name_id))
+    universe = DependencyUniverse(table)
+    kinds = reader.bytes_view("uni.kinds")
+    name_ids = reader.q("uni.nameid")
+    for node_id in range(len(kinds)):
+        universe.ensure_id(kinds[node_id], table.name_of(name_ids[node_id]))
+    offsets = reader.q("uni.csr.off")
+    targets = reader.q("uni.csr.tgt")
+    for source in range(len(kinds)):
+        for position in range(offsets[source], offsets[source + 1]):
+            universe.add_edge_ids(source, targets[position])
+    return universe

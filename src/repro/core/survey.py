@@ -137,6 +137,18 @@ class SurveyResults:
             self._record_index = index
         return index.get(DomainName(name))
 
+    def tcb_index_rows(self):
+        """Yield ``(name, resolved, tcb_servers)`` per record.
+
+        The :class:`~repro.core.delta.DirtyIndex` feed: dirty-set
+        computation needs exactly these three columns, so exposing them as
+        a protocol lets column-backed lazy views
+        (:class:`~repro.core.snapstore.LazySurveyResults`) serve the index
+        without materialising a single :class:`NameRecord`.
+        """
+        for record in self.records:
+            yield record.name, record.resolved, record.tcb_servers
+
     # -- figure 2: TCB size distribution ----------------------------------------------
 
     def tcb_sizes(self, popular_only: bool = False) -> List[int]:

@@ -33,9 +33,11 @@ import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import EngineConfig, SurveyEngine
+from repro.core.export import _is_zlib_header
 from repro.core.passes import build_passes
 from repro.core.report import percentile, summary_stats
 from repro.core.snapshot import diff_results, results_to_dict
+from repro.core.snapstore import MAGIC, EpochStore, SnapshotFormatError
 from repro.core.survey import SurveyResults
 
 # The topology layer imports core.delegation at module load (the shared
@@ -190,8 +192,34 @@ def save_timeline(timeline: Timeline, path: PathLike) -> pathlib.Path:
 
 
 def load_timeline(path: PathLike) -> Timeline:
-    """Read (and validate) a timeline written by :func:`save_timeline`."""
-    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    """Read (and validate) a timeline written by :func:`save_timeline`.
+
+    Sniffs the leading bytes before parsing: a REPRO-SNAP results file or
+    a zlib-compressed document handed to ``timeline report`` by mistake
+    gets a precise :class:`SnapshotFormatError` instead of a raw
+    ``json.JSONDecodeError``.
+    """
+    import zlib
+
+    path = pathlib.Path(path)
+    raw = path.read_bytes()
+    if raw.startswith(MAGIC):
+        raise SnapshotFormatError(
+            f"{path}: this is a REPRO-SNAP survey snapshot, not a timeline "
+            f"JSON (use 'repro-dns report' for survey snapshots)")
+    if _is_zlib_header(raw[:2]):
+        try:
+            raw = zlib.decompress(raw)
+        except zlib.error as error:
+            raise SnapshotFormatError(
+                f"{path}: truncated or corrupt zlib stream: {error}"
+            ) from error
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise SnapshotFormatError(
+            f"{path}: not a timeline (expected JSON, got malformed input: "
+            f"{error})") from error
     timeline = Timeline.from_dict(payload)
     timeline.validate()
     return timeline
@@ -344,6 +372,7 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
                        popular_count: int = 500,
                        max_names: Optional[int] = None,
                        cold_check: bool = False,
+                       store: Union[EpochStore, PathLike, None] = None,
                        progress=None) -> Timeline:
     """Run ``epochs`` churn steps over ``internet`` and reduce each epoch.
 
@@ -354,6 +383,12 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
     engine itself and, under ``cold_check``, fresh cold engines whose
     dnssec fraction tracks the journal's deployment progress.
 
+    ``store``, when given (an :class:`~repro.core.snapstore.EpochStore` or
+    a directory path), persists every epoch's full results: epoch 0 as a
+    complete binary snapshot, later epochs as column deltas bounded by the
+    engine's dirty sets — so disk usage grows with churn, not with
+    ``epochs × universe``.
+
     ``progress``, when given, is called as ``progress(epoch, snapshot)``
     after each epoch is reduced.
     """
@@ -362,6 +397,11 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
     if epochs < 0:
         raise ValueError("epochs must be >= 0")
     pass_specs = _normalise_pass_specs(passes)
+    epoch_store = (store if isinstance(store, EpochStore) or store is None
+                   else EpochStore(store))
+    if epoch_store is not None and epoch_store.epochs:
+        raise ValueError(f"epoch store {epoch_store.root} is not empty "
+                         f"(holds {epoch_store.epochs} epochs)")
 
     def engine_config(specs: Sequence[str]) -> EngineConfig:
         return EngineConfig(backend=backend, workers=workers,
@@ -381,6 +421,8 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
         elapsed_s=baseline_elapsed,
         dnssec_fraction=model.dnssec_fraction)
     snapshots = [baseline]
+    if epoch_store is not None:
+        epoch_store.append(results)
     if progress is not None:
         progress(0, baseline)
 
@@ -405,6 +447,11 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
             snapshot.cold_identical = (
                 json.dumps(results_to_dict(outcome.results), sort_keys=True)
                 == json.dumps(results_to_dict(cold), sort_keys=True))
+        if epoch_store is not None:
+            # The dirty set bounds the changed-row scan: clean rows are
+            # unchanged by the delta contract and are never compared.
+            epoch_store.append(outcome.results, previous=results,
+                               dirty=outcome.dirty)
         results = outcome.results
         snapshots.append(snapshot)
         if progress is not None:
@@ -422,6 +469,8 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
             "churn_seed": model.seed,
             "rates": model.rates.to_dict(),
             "cold_check": cold_check,
+            "store": (str(epoch_store.root)
+                      if epoch_store is not None else None),
         },
         snapshots=snapshots)
     timeline.validate()

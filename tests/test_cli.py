@@ -326,3 +326,104 @@ def test_timeline_command_rejects_corrupt_timeline(tmp_path):
                                "snapshots": []}))
     with pytest.raises(ValueError, match="no snapshots"):
         main(["timeline", str(bad)])
+
+
+# -- snapshot formats ------------------------------------------------------------------
+
+def test_survey_binary_output_round_trips(tmp_path, capsys):
+    """--format binary writes a REPRO-SNAP file every reading subcommand
+    accepts by sniffing magic bytes, never the file extension."""
+    from repro.core.snapstore import MAGIC
+
+    snap = tmp_path / "snapshot.json"  # deliberately misleading extension
+    exit_code = main(["survey", "--max-names", "25", "--format", "binary",
+                      "--output", str(snap), *TINY])
+    assert exit_code == 0
+    assert snap.read_bytes().startswith(MAGIC)
+    capsys.readouterr()
+    assert main(["report", str(snap)]) == 0
+    assert "mean_tcb_size" in capsys.readouterr().out
+    assert main(["diff", str(snap), str(snap)]) == 0
+    assert "0 changed" in capsys.readouterr().out
+
+
+def test_survey_compressed_output_round_trips(tmp_path, capsys):
+    """--compress emits zlib the loader sniffs transparently; the binary
+    and compressed-JSON codecs describe byte-identical results."""
+    plain = tmp_path / "plain.json"
+    packed = tmp_path / "packed.json"
+    binary = tmp_path / "binary.rsnap"
+    main(["survey", "--max-names", "25", "--output", str(plain), *TINY])
+    main(["survey", "--max-names", "25", "--output", str(packed),
+          "--compress", *TINY])
+    main(["survey", "--max-names", "25", "--output", str(binary),
+          "--format", "binary", *TINY])
+    assert packed.stat().st_size < plain.stat().st_size
+    capsys.readouterr()
+    assert main(["diff", str(packed), str(binary)]) == 0
+    assert "0 changed" in capsys.readouterr().out
+
+
+def test_survey_rejects_compressed_binary(tmp_path, capsys):
+    exit_code = main(["survey", "--max-names", "15", "--format", "binary",
+                      "--compress", "--output", str(tmp_path / "s.rsnap"),
+                      *TINY])
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_rejects_corrupt_snapshot(tmp_path, capsys):
+    junk = tmp_path / "junk.json"
+    junk.write_text("this is not a snapshot of anything")
+    exit_code = main(["report", str(junk)])
+    assert exit_code == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "not a recognised snapshot" in err
+
+
+def test_report_rejects_truncated_binary(tmp_path, capsys):
+    snap = tmp_path / "snap.rsnap"
+    main(["survey", "--max-names", "15", "--format", "binary",
+          "--output", str(snap), *TINY])
+    snap.write_bytes(snap.read_bytes()[:40])
+    capsys.readouterr()
+    exit_code = main(["report", str(snap)])
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_resurvey_accepts_binary_previous(tmp_path, capsys):
+    """The incremental path works straight off an mmap'd binary previous
+    and can emit a binary successor."""
+    prev = tmp_path / "prev.rsnap"
+    nxt = tmp_path / "next.rsnap"
+    main(["survey", "--output", str(prev), "--format", "binary", *TINY])
+    capsys.readouterr()
+
+    from repro.core.snapshot import load_results
+    previous = load_results(prev)
+    victim = sorted(previous.fingerprints)[0]
+    mutation = f"set-software:host={victim};software=BIND 8.2.2"
+    exit_code = main(["resurvey", str(prev), "--mutate", mutation,
+                      "--output", str(nxt), "--format", "binary", *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "re-surveyed" in output and "patched from" in output
+    restored = load_results(nxt)
+    assert restored.metadata == load_results(prev).metadata
+
+
+def test_churn_store_flag_archives_epochs(tmp_path, capsys):
+    from repro.core.snapstore import EpochStore
+
+    store_dir = tmp_path / "epochs"
+    exit_code = main(["churn", "--epochs", "2", "--churn-seed", "4",
+                      "--rates", "transfer=1,upgrade=1",
+                      "--store", str(store_dir), *TINY])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "epoch store:" in output
+    store = EpochStore(store_dir)
+    assert store.epochs == 3
+    assert store.total_bytes() < 2 * store.epoch_path(0).stat().st_size
+    assert len(store.load_epoch(2).records) > 0

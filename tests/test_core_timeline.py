@@ -239,3 +239,60 @@ def test_runner_rejects_negative_epochs():
     world = _world(4242)
     with pytest.raises(ValueError, match="epochs"):
         run_churn_timeline(world, _model(world), epochs=-1)
+
+
+# -- the binary epoch store ------------------------------------------------------------
+
+def test_run_with_store_persists_every_epoch(tmp_path):
+    """store= archives epoch 0 full + one delta per churn epoch, and every
+    reconstructed epoch opens lazily with the epoch's own metadata."""
+    from repro.core.snapstore import EpochStore
+
+    world = _world(SEEDS[0])
+    store_dir = tmp_path / "epochs"
+    timeline = run_churn_timeline(world, _model(world), epochs=EPOCHS,
+                                  passes=PASSES, popular_count=15,
+                                  store=store_dir)
+    assert timeline.config["store"] == str(store_dir)
+    store = EpochStore(store_dir)
+    assert store.epochs == EPOCHS + 1
+    last = store.load_epoch(EPOCHS)
+    assert last.hydrated_record_count == 0
+    assert len(last.records) == timeline.snapshots[-1].total_names
+    resolved = sum(1 for record in last.records if record.resolved)
+    assert resolved == timeline.snapshots[-1].names_resolved
+
+
+def test_run_refuses_a_non_empty_store(tmp_path):
+    from repro.core.snapstore import EpochStore
+
+    world = _world(SEEDS[0])
+    store_dir = tmp_path / "epochs"
+    run_churn_timeline(world, _model(world), epochs=0, store=store_dir)
+    assert EpochStore(store_dir).epochs == 1
+    with pytest.raises(ValueError, match="not empty"):
+        run_churn_timeline(world, _model(world), epochs=0, store=store_dir)
+
+
+# -- input sniffing --------------------------------------------------------------------
+
+def test_load_timeline_rejects_binary_snapshots(tmp_path):
+    from repro.core.snapstore import MAGIC, SnapshotFormatError
+
+    wrong = tmp_path / "results.rsnap"
+    wrong.write_bytes(MAGIC + b"not a timeline")
+    with pytest.raises(SnapshotFormatError, match="not a timeline"):
+        load_timeline(wrong)
+
+
+def test_load_timeline_rejects_corrupt_zlib_and_json(tmp_path):
+    from repro.core.snapstore import SnapshotFormatError
+
+    bad_zlib = tmp_path / "bad.json.z"
+    bad_zlib.write_bytes(b"\x78\x9c" + b"\x00" * 8)
+    with pytest.raises(SnapshotFormatError, match="zlib"):
+        load_timeline(bad_zlib)
+    bad_json = tmp_path / "bad.json"
+    bad_json.write_text("{definitely not json")
+    with pytest.raises(SnapshotFormatError, match="malformed"):
+        load_timeline(bad_json)
