@@ -134,19 +134,28 @@ class BenchMetrics:
     perf smoke can diff a tiny run against main's committed tiny numbers
     while full-scale numbers ride along untouched.  The file is
     read-merge-written at session end: a session only overwrites the
-    benches it actually ran.  ``peak_rss_kb`` (ru_maxrss) is stamped on
-    every record so memory regressions are diffable alongside throughput.
+    benches it actually ran.  ``rss_growth_kb`` is stamped on every
+    record: how far this benchmark pushed the process RSS high-water
+    mark past where it stood when the benchmark started.  (A single
+    process-wide ``ru_maxrss`` would be identical for every bench in the
+    session — useless for attributing a memory regression.)
     """
 
     def __init__(self, path: pathlib.Path, config_label: str):
         self._path = path
         self._config = config_label
         self._entries: dict = {}
+        self._bench_start_rss: int = 0
+
+    def begin_bench(self) -> None:
+        """Stamp the RSS high-water mark before one benchmark runs."""
+        self._bench_start_rss = \
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
     def record(self, bench: str, **fields) -> None:
         """Record one benchmark's metrics (numbers only)."""
-        fields["peak_rss_kb"] = \
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        fields["rss_growth_kb"] = peak - self._bench_start_rss
         self._entries[bench] = fields
 
     def flush(self) -> None:
@@ -174,6 +183,13 @@ def bench_metrics():
     metrics = BenchMetrics(BENCH_RESULTS_PATH, BENCH_CONFIG_LABEL)
     yield metrics
     metrics.flush()
+
+
+@pytest.fixture(autouse=True)
+def _bench_rss_baseline(bench_metrics):
+    """Per-test RSS baseline so record() reports this bench's growth."""
+    bench_metrics.begin_bench()
+    yield
 
 
 def comparison_rows(measured: dict, keys) -> list:

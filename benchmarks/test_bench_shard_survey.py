@@ -1,0 +1,114 @@
+"""Socket-sharded survey scaling: worker counts, wall-clock, bytes on wire.
+
+The distributed backend's pitch is that a cold survey parallelises across
+worker *processes* (locally or on other hosts) while staying byte-identical
+to the serial engine.  This bench times one cold survey of the benchmark
+world on the serial backend and on socket fleets of 2 and 4 local workers —
+worker spawn and BUILD (world regeneration) are excluded, since a long-lived
+fleet pays them once — asserts the identity guarantee on every run, and
+records the scaling plus the coordinator's per-shard wire accounting into
+``BENCH_results.json`` under ``shard_survey``.
+
+Acceptance floor: with 4 workers the sharded cold survey must run at least
+``MIN_SPEEDUP`` (2x) faster than serial.  A floor on parallel scaling is
+only meaningful when the machine can actually run the workers in parallel,
+so it is asserted at full bench scale on hosts with >= 4 CPUs; smaller
+hosts and the tiny CI smoke still run everything and record the numbers —
+the identity assertions hold everywhere.
+"""
+
+import json
+import os
+import time
+
+from repro.core.engine import EngineConfig, SurveyEngine
+from repro.core.snapshot import results_to_dict
+from repro.distrib.coordinator import LocalWorkerFleet
+
+from conftest import BENCH_CONFIG
+
+#: Cold-survey speedup floor for the 4-worker fleet (full scale, >= 4 CPUs).
+MIN_SPEEDUP = 2.0
+
+#: Worker counts the scaling table sweeps.
+WORKER_COUNTS = (2, 4)
+
+
+def _strip_metadata(results):
+    payload = results_to_dict(results)
+    payload.pop("metadata")
+    return json.dumps(payload, sort_keys=True)
+
+
+def test_bench_shard_survey_scaling(bench_internet, figure_writer,
+                                    bench_metrics):
+    popular = BENCH_CONFIG.alexa_count
+
+    serial_engine = SurveyEngine(bench_internet, config=EngineConfig(
+        backend="serial", popular_count=popular))
+    started = time.perf_counter()
+    serial_results = serial_engine.run()
+    serial_elapsed = time.perf_counter() - started
+    serial_reference = _strip_metadata(serial_results)
+    names = len(serial_results.records)
+
+    timings = {}
+    wire = {}
+    for count in WORKER_COUNTS:
+        with LocalWorkerFleet(count) as fleet:
+            engine = SurveyEngine(bench_internet, config=EngineConfig(
+                backend="socket", popular_count=popular,
+                worker_addrs=tuple(fleet.addresses)))
+            try:
+                # Connect + BUILD now, outside the timed window: a
+                # long-lived fleet regenerates its world once, not per
+                # survey.
+                engine._ensure_coordinator()
+                started = time.perf_counter()
+                sharded = engine.run()
+                timings[count] = time.perf_counter() - started
+                wire[count] = engine._coordinator.wire_stats()
+            finally:
+                engine.close()
+        assert _strip_metadata(sharded) == serial_reference
+
+    speedups = {count: serial_elapsed / timings[count]
+                for count in WORKER_COUNTS}
+    stats = wire[max(WORKER_COUNTS)]
+    cpus = os.cpu_count() or 1
+
+    lines = [f"cpu cores                 {cpus}",
+             f"names surveyed            {names}",
+             f"serial                    {serial_elapsed:.3f}s "
+             f"({names / serial_elapsed:.0f} names/s)"]
+    for count in WORKER_COUNTS:
+        lines.append(f"socket x{count} workers        {timings[count]:.3f}s "
+                     f"({names / timings[count]:.0f} names/s, "
+                     f"{speedups[count]:.2f}x)")
+    lines.append(f"bytes on wire (x{max(WORKER_COUNTS)})    "
+                 f"{stats['bytes_sent']} sent, "
+                 f"{stats['bytes_received']} received")
+    for shard in stats["per_worker"]:
+        lines.append(f"  shard {shard['worker']:<18s} "
+                     f"{shard['sent']} sent, {shard['received']} received")
+    figure_writer.write("shard_survey",
+                        "Socket-sharded cold survey scaling", lines)
+
+    record = {"cpus": cpus, "names": names, "serial_s": serial_elapsed,
+              "names_per_s": names / timings[max(WORKER_COUNTS)],
+              "bytes_sent": stats["bytes_sent"],
+              "bytes_received": stats["bytes_received"]}
+    for count in WORKER_COUNTS:
+        record[f"socket_{count}_s"] = timings[count]
+        record[f"speedup_{count}"] = speedups[count]
+    for position, shard in enumerate(stats["per_worker"]):
+        record[f"shard{position}_bytes_sent"] = shard["sent"]
+        record[f"shard{position}_bytes_received"] = shard["received"]
+    bench_metrics.record("shard_survey", **record)
+
+    cpus = os.cpu_count() or 1
+    if not os.environ.get("REPRO_BENCH_TINY") and cpus >= 4:
+        top = max(WORKER_COUNTS)
+        assert speedups[top] >= MIN_SPEEDUP, (
+            f"socket x{top} only {speedups[top]:.2f}x faster than serial "
+            f"(floor {MIN_SPEEDUP}x)")

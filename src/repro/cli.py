@@ -53,6 +53,25 @@ Subcommands
     Render a timeline written by ``churn``: per-epoch drift (hijackable
     fraction, TCB size, availability, DNSSEC progress, churned names) plus
     the biggest movers of the final epoch.
+``worker``
+    Run a survey worker: a warm serial engine behind a TCP socket,
+    driven by a ``--backend socket`` coordinator.  ``--backend socket``
+    with ``--worker-addrs host:port,...`` (on ``survey``, ``resurvey``,
+    and ``churn``) shards the survey across running workers — possibly
+    on other machines — and merges byte-identically to the serial
+    backend; without addresses it spawns ``--workers`` local worker
+    processes itself::
+
+        repro-dns worker --listen 0.0.0.0:8053        # on each host
+        repro-dns survey --backend socket \\
+            --worker-addrs hostA:8053,hostB:8053 --output sharded.json
+``merge``
+    Union shard snapshot files written by ``survey --shard i/n`` into
+    one results snapshot, operating on the binary columns without
+    hydrating records::
+
+        repro-dns survey --shard 0/3 --output s0.rsnap   # + 1/3, 2/3
+        repro-dns merge s0.rsnap s1.rsnap s2.rsnap --output full.rsnap
 ``inspect``
     Build the delegation graph of a single name and print its TCB, bottleneck
     analysis, and (if any) attack path.
@@ -75,6 +94,7 @@ from repro.core.snapshot import (
     save_results,
 )
 from repro.core.survey import Survey, SurveyResults
+from repro.distrib import DistribError
 from repro.core.hijack import HijackAnalyzer
 from repro.core.delegation import DelegationGraphBuilder
 from repro.topology.generator import GeneratorConfig, InternetGenerator
@@ -111,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated analysis passes, e.g. "
                              "'availability,dnssec' or "
                              "'availability:up=0.95;samples=100'")
+    _add_worker_addr_argument(survey)
+    survey.add_argument("--shard", type=_shard_spec, default=None,
+                        metavar="I/N",
+                        help="survey only stripe I of N (0-based) on a "
+                             "serial engine and write a binary shard file "
+                             "to --output; N shard files covering every "
+                             "stripe merge with 'repro-dns merge' into a "
+                             "results snapshot byte-identical to one "
+                             "serial survey")
     survey.add_argument("--progress", action="store_true",
                         help="print survey progress to stderr")
 
@@ -156,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker/shard count for partitioned backends")
     resurvey.add_argument("--passes", type=str, default=None,
                           help="analysis passes, matching the previous run")
+    _add_worker_addr_argument(resurvey)
     resurvey.add_argument("--progress", action="store_true",
                           help="print re-survey progress to stderr")
 
@@ -198,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="analysis passes run every epoch, e.g. "
                             "'availability,dnssec:fraction=0.2' (a dnssec "
                             "pass seeds the adoption model's start state)")
+    _add_worker_addr_argument(churn)
+    churn.add_argument("--keyframe-every", type=_positive_int, default=None,
+                       metavar="K",
+                       help="with --store: write a complete snapshot every "
+                            "K epochs instead of a column delta, so "
+                            "load_epoch overlay chains never exceed K")
     churn.add_argument("--cold-check", action="store_true",
                        help="audit mode: run a cold full survey after every "
                             "epoch and record whether the incremental "
@@ -215,6 +251,28 @@ def build_parser() -> argparse.ArgumentParser:
                                "the final epoch (timelines record at most "
                                "10 per epoch)")
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="run a survey worker: a warm serial engine serving BUILD/"
+             "SURVEY frames from a socket coordinator (the socket "
+             "backend's remote end)")
+    worker.add_argument("--listen", type=str, default="127.0.0.1:0",
+                        metavar="HOST:PORT",
+                        help="address to listen on (port 0 picks a free "
+                             "port; the bound address is printed as "
+                             "'listening on HOST:PORT')")
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="union shard snapshot files (survey --shard outputs) into "
+             "one results snapshot, operating on the binary columns "
+             "without hydrating records")
+    merge.add_argument("shards", type=str, nargs="+",
+                       help="shard snapshot files covering every stripe "
+                            "exactly once")
+    merge.add_argument("--output", type=str, required=True,
+                       help="write the merged binary results snapshot here")
+
     inspect = subparsers.add_parser(
         "inspect", help="analyse a single name on a fresh synthetic Internet")
     _add_generator_arguments(inspect)
@@ -228,6 +286,44 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _shard_spec(text: str):
+    index_text, _, count_text = text.partition("/")
+    try:
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected I/N (e.g. 0/4), got {text!r}")
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 0 <= I < N, got {text!r}")
+    return index, count
+
+
+def _add_worker_addr_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--worker-addrs", type=str, default=None,
+                        metavar="HOST:PORT,...",
+                        help="socket backend: comma-separated addresses of "
+                             "running 'repro-dns worker' processes; "
+                             "omitted, --backend socket spawns --workers "
+                             "local worker processes itself")
+
+
+def _worker_fleet(args: argparse.Namespace):
+    """(worker_addrs, fleet) for a command; fleet is None unless spawned."""
+    addrs = tuple(item.strip() for item in (args.worker_addrs or "").split(",")
+                  if item.strip())
+    if args.backend != "socket":
+        if addrs:
+            raise DistribError(
+                "--worker-addrs only applies to --backend socket")
+        return (), None
+    if addrs:
+        return addrs, None
+    from repro.distrib.coordinator import LocalWorkerFleet
+    fleet = LocalWorkerFleet(args.workers)
+    return tuple(fleet.start()), fleet
 
 
 def _add_snapshot_output_arguments(parser: argparse.ArgumentParser) -> None:
@@ -338,13 +434,22 @@ class ProgressPrinter:
 
 
 def _command_survey(args: argparse.Namespace) -> int:
+    if args.shard is not None:
+        return _command_survey_shard(args)
     config = _config_from_args(args)
     internet = InternetGenerator(config).generate()
+    worker_addrs, fleet = _worker_fleet(args)
     survey = Survey(internet, include_bottleneck=not args.no_bottleneck,
                     backend=args.backend, workers=args.workers,
-                    passes=build_passes(args.passes))
+                    passes=build_passes(args.passes),
+                    worker_addrs=worker_addrs)
     progress = ProgressPrinter() if args.progress else None
-    results = survey.run(max_names=args.max_names, progress=progress)
+    try:
+        results = survey.run(max_names=args.max_names, progress=progress)
+    finally:
+        survey.close()
+        if fleet is not None:
+            fleet.stop()
     _print_headline(results)
     _print_tld_tables(results)
     _print_extras_summary(results)
@@ -359,6 +464,70 @@ def _command_survey(args: argparse.Namespace) -> int:
         if sidecar.exists():
             sidecar.unlink()
             print(f"stale mutation journal {sidecar} removed")
+    return 0
+
+
+def _command_survey_shard(args: argparse.Namespace) -> int:
+    """Survey one stripe of the directory into a binary shard file."""
+    from repro.core.engine import EngineConfig, SurveyAggregator, SurveyEngine
+    from repro.core.snapstore import pack_shard_result
+
+    if not args.output:
+        raise DistribError("--shard requires --output (the shard file)")
+    if args.backend != "serial":
+        raise DistribError("--shard runs on the serial engine (the socket "
+                           "backend shards online; merge offline shards "
+                           "with 'repro-dns merge')")
+    index, count = args.shard
+    config = _config_from_args(args)
+    internet = InternetGenerator(config).generate()
+    engine = SurveyEngine(internet, config=EngineConfig(
+        backend="serial", include_bottleneck=not args.no_bottleneck,
+        passes=build_passes(args.passes)))
+    entries = engine._select_entries(None, args.max_names)
+    indexed = list(enumerate(entries))[index::count]
+    popular = {entry.name for entry in
+               internet.directory.alexa_top(engine.config.popular_count)}
+    aggregator = SurveyAggregator(
+        total=len(indexed),
+        progress=ProgressPrinter() if args.progress else None)
+    engine._run_shard(engine._root, indexed, popular, aggregator)
+    rows_records = aggregator.indexed_records()
+    fingerprints, vulnerability_map, compromisable_map = \
+        aggregator.shard_maps()
+    path = pack_shard_result(
+        [row for row, _record in rows_records],
+        [record for _row, record in rows_records],
+        fingerprints, vulnerability_map, compromisable_map,
+        popular=popular,
+        meta={"shard": f"{index}/{count}",
+              "popular_count": engine.config.popular_count,
+              "include_bottleneck": engine.config.include_bottleneck,
+              "names_requested": len(entries),
+              "passes": [pass_.name for pass_ in engine.passes]},
+        path=args.output)
+    print(f"shard {index}/{count}: {len(indexed)} of {len(entries)} names "
+          f"surveyed, written to {path}")
+    return 0
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    from repro.distrib.wire import parse_address
+    from repro.distrib.worker import WorkerServer
+
+    host, port = parse_address(args.listen)
+    server = WorkerServer(host, port)
+    print(f"listening on {server.address}", flush=True)
+    server.serve_forever()
+    return 0
+
+
+def _command_merge(args: argparse.Namespace) -> int:
+    from repro.distrib.merge import merge_shard_snapshots
+
+    report = merge_shard_snapshots(args.shards, args.output)
+    print(f"merged {report.shards} shard file(s), {report.names} names, "
+          f"into {report.output} ({report.bytes_written} bytes)")
     return 0
 
 
@@ -432,11 +601,13 @@ def _command_resurvey(args: argparse.Namespace) -> int:
     previous = load_results(args.previous)
     config = _config_from_args(args)
     internet = InternetGenerator(config).generate()
+    worker_addrs, fleet = _worker_fleet(args)
     engine = SurveyEngine(
         internet,
         config=EngineConfig(backend=args.backend, workers=args.workers,
                             include_bottleneck=not args.no_bottleneck,
-                            passes=build_passes(args.passes)))
+                            passes=build_passes(args.passes),
+                            worker_addrs=worker_addrs))
 
     # Snapshots are byte-identical to cold surveys by design, so a snapshot
     # cannot reveal which mutations produced it.  A sidecar journal
@@ -459,12 +630,18 @@ def _command_resurvey(args: argparse.Namespace) -> int:
     # Replayed mutations rebuilt world state the previous snapshot already
     # reflects; only the new events determine what is dirty (DNSSEC
     # deployment adoption always sees the whole chain — see
-    # ChangeJournal.changes).
-    changes = journal.changes(since=prior_events)
-
+    # ChangeJournal.changes).  The journal itself goes to run_delta (with
+    # `since`) rather than a pre-folded ChangeSet: the socket backend
+    # ships journal events to its workers as mutation specs.
     progress = ProgressPrinter() if args.progress else None
-    outcome = engine.run_delta(previous, changes,
-                               max_names=args.max_names, progress=progress)
+    try:
+        outcome = engine.run_delta(previous, journal, since=prior_events,
+                                   max_names=args.max_names,
+                                   progress=progress)
+    finally:
+        engine.close()
+        if fleet is not None:
+            fleet.stop()
 
     stats = outcome.stats
     print(f"re-surveyed {stats.dirty_names}/{stats.total_names} names "
@@ -556,11 +733,18 @@ def _command_churn(args: argparse.Namespace) -> int:
               f"{snapshot.dirty_names}/{snapshot.total_names} re-surveyed "
               f"in {snapshot.delta_elapsed_s:.2f}s", file=sys.stderr)
 
-    timeline = run_churn_timeline(
-        internet, model, epochs=args.epochs, backend=args.backend,
-        workers=args.workers, include_bottleneck=not args.no_bottleneck,
-        passes=args.passes, max_names=args.max_names,
-        cold_check=args.cold_check, store=args.store, progress=progress)
+    worker_addrs, fleet = _worker_fleet(args)
+    try:
+        timeline = run_churn_timeline(
+            internet, model, epochs=args.epochs, backend=args.backend,
+            workers=args.workers, include_bottleneck=not args.no_bottleneck,
+            passes=args.passes, max_names=args.max_names,
+            cold_check=args.cold_check, store=args.store,
+            keyframe_every=args.keyframe_every, worker_addrs=worker_addrs,
+            progress=progress)
+    finally:
+        if fleet is not None:
+            fleet.stop()
     timeline.config["generator"] = {
         "seed": args.seed, "sld_count": args.sld_count,
         "directory_names": args.directory_names,
@@ -637,14 +821,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "resurvey": _command_resurvey,
         "churn": _command_churn,
         "timeline": _command_timeline,
+        "worker": _command_worker,
+        "merge": _command_merge,
         "inspect": _command_inspect,
     }
     handler = handlers[args.command]
     try:
         return handler(args)
-    except SnapshotFormatError as error:
-        # Corrupt, truncated, or wrong-format input: one clear line on
-        # stderr instead of a json.JSONDecodeError traceback.
+    except (SnapshotFormatError, DistribError) as error:
+        # Corrupt, truncated, or wrong-format input — or a distributed
+        # survey failure (dead worker, corrupt frame, timeout): one clear
+        # line on stderr instead of a traceback, never a hang or a
+        # partial result.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -89,7 +89,8 @@ from repro.vulns.fingerprint import Fingerprinter, FingerprintResult
 from repro.topology.webdirectory import DirectoryEntry
 
 #: Execution backends understood by the engine.
-BACKENDS: Tuple[str, ...] = ("serial", "thread", "sharded", "process")
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "sharded", "process",
+                             "socket")
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -107,6 +108,13 @@ class EngineConfig:
     #: Analysis passes: spec strings or AnalysisPass instances (resolved by
     #: the engine via :func:`repro.core.passes.build_passes`).
     passes: Sequence = ()
+    #: Socket backend: ``host:port`` of each `repro-dns worker` to drive.
+    worker_addrs: Tuple[str, ...] = ()
+    #: Socket backend: per-worker TCP connect timeout (seconds).
+    connect_timeout: float = 10.0
+    #: Socket backend: per-frame response timeout (seconds).  Bounds every
+    #: read, so a hung worker surfaces as a precise error, never a stall.
+    response_timeout: float = 600.0
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -119,6 +127,9 @@ class EngineConfig:
                 "the process backend requires the fork start method "
                 "(the synthetic Internet is shared by inheritance); "
                 "use thread or sharded on this platform")
+        if self.backend == "socket" and not self.worker_addrs:
+            raise ValueError("the socket backend needs worker_addrs "
+                             "(host:port of each repro-dns worker)")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.shard_count is not None and self.shard_count < 1:
@@ -126,6 +137,8 @@ class EngineConfig:
 
     def effective_shards(self) -> int:
         """How many shards a partitioned backend should use."""
+        if self.backend == "socket":
+            return len(self.worker_addrs)
         if self.shard_count is not None:
             return self.shard_count
         return max(self.workers, 1)
@@ -242,6 +255,20 @@ class SurveyAggregator:
         with self._lock:
             return dict(self._vulnerability_map)
 
+    def indexed_records(self) -> List[Tuple[int, NameRecord]]:
+        """(directory index, record) pairs in index order (a copy)."""
+        with self._lock:
+            return sorted(self._records.items())
+
+    def shard_maps(self) -> Tuple[Dict[DomainName, FingerprintResult],
+                                  Dict[DomainName, bool],
+                                  Dict[DomainName, bool]]:
+        """Copies of the merged fingerprint/vulnerability/compromisable maps."""
+        with self._lock:
+            return (dict(self._fingerprints),
+                    dict(self._vulnerability_map),
+                    dict(self._compromisable_map))
+
     def merge_context(self, context: WorkerContext) -> None:
         """Adopt a worker context's fingerprints and vulnerability maps."""
         self.merge_maps(context.fingerprinter.results(),
@@ -324,6 +351,33 @@ class SurveyEngine:
             pass_.prepare(internet)
         self._root = self._make_worker_context(
             internet.make_resolver(use_glue=self.config.use_glue))
+        # Socket backend state: the coordinator connects lazily (first
+        # dispatch) and the delta path parks each epoch's dirty set here
+        # for the work orders.
+        self._coordinator = None
+        self._dispatch_dirty: Set[DomainName] = set()
+
+    def _ensure_coordinator(self):
+        """Connect to (and BUILD) the socket workers on first use."""
+        if self._coordinator is None:
+            from repro.distrib.coordinator import ShardCoordinator
+            self._coordinator = ShardCoordinator(
+                self, self.config.worker_addrs,
+                connect_timeout=self.config.connect_timeout,
+                response_timeout=self.config.response_timeout)
+        return self._coordinator
+
+    def close(self) -> None:
+        """Release backend resources (shuts socket workers down politely)."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+
+    def __enter__(self) -> "SurveyEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _make_worker_context(self, resolver=None) -> WorkerContext:
         """A fresh worker context (shards clone the primary's resolver)."""
@@ -400,7 +454,12 @@ class SurveyEngine:
         between the cold and incremental paths.
         """
         backend = self.config.backend
-        if backend == "serial" or \
+        if backend == "socket":
+            # Even a single socket worker goes over the wire: the point
+            # of the backend is *where* the survey runs, not parallelism.
+            self._ensure_coordinator().run_shards(
+                indexed, popular, aggregator, dirty=self._dispatch_dirty)
+        elif backend == "serial" or \
                 (backend != "process" and self.config.effective_shards() == 1):
             self._run_shard(self._root, indexed, popular, aggregator)
         else:
@@ -421,7 +480,8 @@ class SurveyEngine:
             "include_bottleneck": self.config.include_bottleneck,
             "names_requested": requested,
             "backend": backend,
-            "workers": self.config.workers,
+            "workers": (len(self.config.worker_addrs)
+                        if backend == "socket" else self.config.workers),
             "shards": (1 if backend == "serial"
                        else self.config.effective_shards()),
             "passes": [pass_.name for pass_ in self.passes],
@@ -437,7 +497,8 @@ class SurveyEngine:
     def run_delta(self, previous: SurveyResults, journal,
                   names: Optional[Iterable[NameLike]] = None,
                   max_names: Optional[int] = None,
-                  progress: Optional[ProgressCallback] = None) -> DeltaOutcome:
+                  progress: Optional[ProgressCallback] = None,
+                  since: int = 0) -> DeltaOutcome:
         """Re-survey only what a journalled world change invalidated.
 
         ``previous`` is the last full (or delta) result set over this
@@ -461,8 +522,14 @@ class SurveyEngine:
         results metadata.
         """
         started = time.perf_counter()
-        changes = journal.changes() if hasattr(journal, "changes") else journal
+        changes = journal.changes(since=since) \
+            if hasattr(journal, "changes") else journal
         entries = self._select_entries(names, max_names)
+        if self.config.backend == "socket":
+            # Workers replay the journal as mutation specs; the
+            # coordinator needs the journal itself (sync_journal raises a
+            # precise error on a pre-folded ChangeSet).
+            self._ensure_coordinator().sync_journal(journal)
 
         # A journalled deployment extends the signed world; deployment-
         # tracking passes adopt it so their metadata matches a cold engine
@@ -506,7 +573,14 @@ class SurveyEngine:
             aggregator.add_record(position, record)
 
         if dirty_indexed:
-            self._dispatch(dirty_indexed, popular, aggregator)
+            # Work orders must carry the epoch's *complete* dirty set: a
+            # worker invalidates warm state for every dirty name, not just
+            # the ones striped onto it this epoch.
+            self._dispatch_dirty = dirty
+            try:
+                self._dispatch(dirty_indexed, popular, aggregator)
+            finally:
+                self._dispatch_dirty = set()
 
         # A cold run fingerprints exactly the TCB members of its records;
         # prune carried entries for hosts nothing depends on any more.

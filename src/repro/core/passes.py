@@ -103,6 +103,16 @@ class AnalysisPass:
         """Keys this pass contributes to the survey metadata."""
         return {}
 
+    def spec(self) -> str:
+        """This pass as a CLI spec string rebuilding an equal instance.
+
+        The distributed coordinator configures remote workers by shipping
+        spec strings through :func:`build_passes`; a pass without a
+        faithful spec encoding cannot ride the socket backend.
+        """
+        raise NotImplementedError(
+            f"pass {self.name!r} does not define a spec() encoding")
+
     def make_state(self, worker) -> object:
         """Create this pass's per-worker mutable state."""
         return None
@@ -221,6 +231,10 @@ class AvailabilityPass(AnalysisPass):
                 view, samples=self.samples, rng=rng)
         return values
 
+    def spec(self) -> str:
+        return (f"availability:up={self.up!r};samples={self.samples}"
+                f";spof={'true' if self.spof else 'false'}")
+
     @classmethod
     def from_options(cls, options: Dict[str, str]) -> "AvailabilityPass":
         known = {"up": float, "samples": int, "spof": _parse_bool}
@@ -307,6 +321,14 @@ class DNSSECImpactPass(AnalysisPass):
             "dnssec_detected": bool(hijackable and validation.is_secure),
         }
 
+    def spec(self) -> str:
+        if ";" in self.seed or self.seed != self.seed.strip():
+            raise ValueError(
+                f"dnssec seed {self.seed!r} cannot be spec-encoded")
+        return (f"dnssec:fraction={self.fraction!r}"
+                f";sign_tlds={'true' if self.sign_tlds else 'false'}"
+                f";seed={self.seed}")
+
     @classmethod
     def from_options(cls, options: Dict[str, str]) -> "DNSSECImpactPass":
         known = {"fraction": float, "sign_tlds": _parse_bool, "seed": str}
@@ -360,6 +382,10 @@ class ValueRankingPass(AnalysisPass):
         top_servers = [value.to_dict()
                        for value in analyzer.ranking()[:self.top]]
         return {"value_summary": summary, "value_top_servers": top_servers}
+
+    def spec(self) -> str:
+        return (f"value:top={self.top}"
+                f";high_leverage_fraction={self.high_leverage_fraction!r}")
 
     @classmethod
     def from_options(cls, options: Dict[str, str]) -> "ValueRankingPass":

@@ -50,6 +50,7 @@ rounding the JSON codec applies), across all four execution backends.
 
 from __future__ import annotations
 
+import io
 import json
 import mmap
 import pathlib
@@ -63,6 +64,7 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Set,
@@ -88,9 +90,12 @@ SNAPSTORE_VERSION = 1
 KIND_RESULTS = 1
 KIND_DELTA = 2
 KIND_UNIVERSE = 3
+KIND_SHARD = 4
+KIND_ORDER = 5
 
 _KIND_NAMES = {KIND_RESULTS: "results snapshot", KIND_DELTA: "epoch delta",
-               KIND_UNIVERSE: "universe"}
+               KIND_UNIVERSE: "universe", KIND_SHARD: "shard results",
+               KIND_ORDER: "shard work order"}
 
 #: Header struct after the magic: version, kind, flags, payload crc32,
 #: TOC offset, TOC length, header crc32.
@@ -121,13 +126,23 @@ class SnapshotFormatError(ValueError):
 
 
 class _SectionWriter:
-    """Streams named byte sections into the REPRO-SNAP container."""
+    """Streams named byte sections into the REPRO-SNAP container.
 
-    def __init__(self, path: PathLike, kind: int):
-        self.path = pathlib.Path(path)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
+    ``path=None`` targets an in-memory buffer instead of a file — the wire
+    protocol frames shard payloads with exactly this container, so workers
+    and the coordinator reuse the column codec byte-for-byte without
+    touching disk (:meth:`close_to_bytes`).
+    """
+
+    def __init__(self, path: Optional[PathLike], kind: int):
+        if path is None:
+            self.path: Optional[pathlib.Path] = None
+            self._handle = io.BytesIO()
+        else:
+            self.path = pathlib.Path(path)
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("wb")
         self._kind = kind
-        self._handle = self.path.open("wb")
         self._handle.write(b"\x00" * _HEADER_SIZE)
         self._sections: Dict[str, Tuple[int, int]] = {}
         self._offset = _HEADER_SIZE
@@ -156,8 +171,8 @@ class _SectionWriter:
         self.add(name, json.dumps(payload, sort_keys=True,
                                   separators=(",", ":")).encode("utf-8"))
 
-    def close(self) -> pathlib.Path:
-        """Write the TOC, patch the header, flush; returns the path."""
+    def _finalise(self) -> None:
+        """Write the TOC and patch the header in place."""
         toc = json.dumps(
             {"sections": {name: list(span)
                           for name, span in sorted(self._sections.items())}},
@@ -173,8 +188,21 @@ class _SectionWriter:
                               self._crc, toc_offset, len(toc), header_crc)
         self._handle.seek(0)
         self._handle.write(MAGIC + header)
+
+    def close(self) -> pathlib.Path:
+        """Write the TOC, patch the header, flush; returns the path."""
+        if self.path is None:
+            raise ValueError("in-memory container: use close_to_bytes()")
+        self._finalise()
         self._handle.close()
         return self.path
+
+    def close_to_bytes(self) -> bytes:
+        """Finalise an in-memory container and return its bytes."""
+        self._finalise()
+        data = self._handle.getvalue()
+        self._handle.close()
+        return data
 
 
 class _SectionReader:
@@ -185,55 +213,64 @@ class _SectionReader:
     section extent against the file size — so truncation fails loudly at
     open — but does *not* stream the payload: open cost is independent of
     snapshot size.  :meth:`verify` walks the payload crc32 on demand.
+
+    ``source`` may also be ``bytes``/``bytearray``/``memoryview`` — an
+    in-memory container such as a wire-frame payload — in which case
+    ``label`` names it in error messages in place of a path.
     """
 
-    def __init__(self, path: PathLike, expected_kind: Optional[int] = None):
-        self.path = pathlib.Path(path)
-        try:
-            self._handle = self.path.open("rb")
-        except OSError as error:
-            raise SnapshotFormatError(f"cannot open snapshot {self.path}: "
-                                      f"{error}") from error
-        head = self._handle.read(_HEADER_SIZE)
+    def __init__(self, source: Union[PathLike, bytes, bytearray, memoryview],
+                 expected_kind: Optional[int] = None,
+                 label: Optional[str] = None):
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            self.path = label or "<wire payload>"
+            self._handle = None
+            self._mmap = None
+            data = bytes(source)
+            size = len(data)
+            self._view = memoryview(data)
+            head = data[:_HEADER_SIZE]
+        else:
+            self.path = pathlib.Path(source)
+            try:
+                self._handle = self.path.open("rb")
+            except OSError as error:
+                raise SnapshotFormatError(
+                    f"cannot open snapshot {self.path}: {error}") from error
+            head = self._handle.read(_HEADER_SIZE)
         if len(head) < _HEADER_SIZE or not head.startswith(MAGIC):
-            self._handle.close()
-            raise SnapshotFormatError(
-                f"{self.path}: not a REPRO-SNAP snapshot (expected magic "
-                f"{MAGIC!r}, got {bytes(head[:len(MAGIC)])!r})")
+            self._fail(f"not a REPRO-SNAP snapshot (expected magic "
+                       f"{MAGIC!r}, got {bytes(head[:len(MAGIC)])!r})")
         (version, kind, flags, payload_crc, toc_offset, toc_length,
          header_crc) = _HEADER.unpack(head[len(MAGIC):])
         if zlib.crc32(head[:-4]) != header_crc:
-            self._handle.close()
-            raise SnapshotFormatError(
-                f"{self.path}: header checksum mismatch (corrupt or "
-                f"truncated header)")
+            self._fail("header checksum mismatch (corrupt or truncated "
+                       "header)")
         if version != SNAPSTORE_VERSION:
-            self._handle.close()
-            raise SnapshotFormatError(
-                f"{self.path}: unsupported REPRO-SNAP version {version} "
-                f"(this build reads version {SNAPSTORE_VERSION})")
+            self._fail(f"unsupported REPRO-SNAP version {version} "
+                       f"(this build reads version {SNAPSTORE_VERSION})")
         little = bool(flags & _FLAG_LITTLE_ENDIAN)
         if little != (sys.byteorder == "little"):
-            self._handle.close()
-            raise SnapshotFormatError(
-                f"{self.path}: snapshot byte order does not match this "
-                f"machine ({sys.byteorder}-endian)")
+            self._fail(f"snapshot byte order does not match this machine "
+                       f"({sys.byteorder}-endian)")
         if expected_kind is not None and kind != expected_kind:
-            self._handle.close()
-            raise SnapshotFormatError(
-                f"{self.path}: expected a {_KIND_NAMES[expected_kind]} "
-                f"file, got a {_KIND_NAMES.get(kind, f'kind-{kind}')} file")
+            self._fail(f"expected a {_KIND_NAMES[expected_kind]} file, "
+                       f"got a {_KIND_NAMES.get(kind, f'kind-{kind}')} file")
         self.kind = kind
         self._payload_crc = payload_crc
-        size = self.path.stat().st_size
-        if toc_offset + toc_length > size:
-            self._handle.close()
-            raise SnapshotFormatError(
-                f"{self.path}: truncated snapshot (TOC at "
-                f"{toc_offset}+{toc_length} exceeds file size {size})")
-        self._mmap = mmap.mmap(self._handle.fileno(), 0,
-                               access=mmap.ACCESS_READ)
-        self._view = memoryview(self._mmap)
+        if self._handle is not None:
+            size = self.path.stat().st_size
+            if toc_offset + toc_length > size:
+                self._fail(f"truncated snapshot (TOC at "
+                           f"{toc_offset}+{toc_length} exceeds file size "
+                           f"{size})")
+            self._mmap = mmap.mmap(self._handle.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+            self._view = memoryview(self._mmap)
+        elif toc_offset + toc_length > size:
+            self._fail(f"truncated snapshot (TOC at "
+                       f"{toc_offset}+{toc_length} exceeds payload size "
+                       f"{size})")
         self._toc_end = toc_offset + toc_length
         try:
             toc = json.loads(
@@ -248,6 +285,11 @@ class _SectionReader:
                 raise SnapshotFormatError(
                     f"{self.path}: truncated snapshot (section {name!r} at "
                     f"{offset}+{length} exceeds file size {size})")
+
+    def _fail(self, message: str) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        raise SnapshotFormatError(f"{self.path}: {message}")
 
     def has(self, name: str) -> bool:
         return name in self._sections
@@ -507,6 +549,13 @@ def _write_record_sections(writer: _SectionWriter,
     writer.add("rec.tcbset", tcb_sets)
     writer.add("rec.cutset", cut_sets)
 
+    _write_extras_sections(writer, count, extras_values, pool)
+
+
+def _write_extras_sections(writer: _SectionWriter, count: int,
+                           extras_values: Dict[str, Dict[int, object]],
+                           pool: _PoolWriter) -> None:
+    """Write the typed extras columns (shared by records write + merge)."""
     directory = []
     for position, column in enumerate(sorted(extras_values)):
         present = extras_values[column]
@@ -1014,6 +1063,97 @@ def open_results(path: PathLike) -> LazySurveyResults:
         _SectionReader(path, KIND_RESULTS))))
 
 
+# -- shard payloads ----------------------------------------------------------------------
+
+
+def _write_flag_map(writer: _SectionWriter, prefix: str,
+                    mapping: Dict[DomainName, bool],
+                    pool: _PoolWriter) -> None:
+    ordered = sorted(mapping.items(), key=lambda item: str(item[0]))
+    writer.add(prefix + ".host",
+               array("q", [pool.intern_name(host) for host, _ in ordered]))
+    writer.add(prefix + ".flag",
+               bytes(1 if value else 0 for _, value in ordered))
+
+
+def _read_flag_map(reader: _SectionReader, prefix: str,
+                   pool: _Pool) -> Dict[DomainName, bool]:
+    hosts = reader.q(prefix + ".host")
+    flags = reader.bytes_view(prefix + ".flag")
+    return {pool.name(hosts[position]): bool(flags[position])
+            for position in range(len(hosts))}
+
+
+class ShardPayload(NamedTuple):
+    """One shard's decoded survey output (the coordinator's fold input)."""
+
+    rows: List[int]
+    records: List[NameRecord]
+    fingerprints: Dict[DomainName, FingerprintResult]
+    vulnerability_map: Dict[DomainName, bool]
+    compromisable_map: Dict[DomainName, bool]
+    popular: Set[DomainName]
+    meta: Dict[str, object]
+
+
+def pack_shard_result(rows: Sequence[int], records: Sequence[NameRecord],
+                      fingerprints: Dict[DomainName, FingerprintResult],
+                      vulnerability_map: Dict[DomainName, bool],
+                      compromisable_map: Dict[DomainName, bool],
+                      popular: Iterable[DomainName] = (),
+                      meta: Optional[Dict[str, object]] = None,
+                      path: Optional[PathLike] = None):
+    """Encode one shard's survey output as a REPRO-SNAP shard container.
+
+    ``rows`` holds the *global* directory index of each record, exactly as
+    epoch deltas do, so a merge can place every column slice without
+    hydrating a record.  With ``path=None`` the container is returned as
+    bytes (the worker's wire payload); with a path it lands on disk (the
+    ``repro-dns survey --shard i/n`` output that ``repro-dns merge``
+    unions).
+    """
+    if len(rows) != len(records):
+        raise ValueError(f"{len(rows)} rows for {len(records)} records")
+    writer = _SectionWriter(path, KIND_SHARD)
+    pool = _PoolWriter()
+    sets = _SetWriter(pool)
+    _write_record_sections(writer, list(records), pool, sets)
+    writer.add("rows", array("q", rows))
+    _write_fingerprint_sections(writer, "fp", fingerprints, pool)
+    _write_flag_map(writer, "vm", vulnerability_map, pool)
+    _write_flag_map(writer, "cm", compromisable_map, pool)
+    # The full popular set (not just this shard's slice): a shard file
+    # must let `repro-dns merge` reconstruct popular_names exactly even
+    # when a truncated survey leaves popular names unsurveyed.
+    writer.add("pop", array("q", sorted(
+        pool.intern_name(name) for name in popular)))
+    writer.add("meta", json.dumps(meta or {},
+                                  sort_keys=True).encode("utf-8"))
+    sets.write(writer, "sets")
+    pool.write(writer, "strs")
+    return writer.close() if path is not None else writer.close_to_bytes()
+
+
+def unpack_shard_result(source: Union[PathLike, bytes, bytearray, memoryview],
+                        label: Optional[str] = None) -> ShardPayload:
+    """Decode a shard container (bytes or file) into hydrated parts."""
+    reader = _SectionReader(source, KIND_SHARD, label=label)
+    rec = _RecordReader(reader)
+    rows = list(reader.q("rows"))
+    if len(rows) != len(rec):
+        raise SnapshotFormatError(
+            f"{reader.path}: shard row index covers {len(rows)} rows for "
+            f"{len(rec)} records")
+    return ShardPayload(
+        rows=rows,
+        records=[rec.hydrate(row) for row in range(len(rec))],
+        fingerprints=_read_fingerprints(reader, "fp", rec.pool),
+        vulnerability_map=_read_flag_map(reader, "vm", rec.pool),
+        compromisable_map=_read_flag_map(reader, "cm", rec.pool),
+        popular={rec.pool.name(name_id) for name_id in reader.q("pop")},
+        meta=reader.json("meta"))
+
+
 # -- the delta-sharing timeline store ----------------------------------------------------
 
 
@@ -1130,7 +1270,7 @@ def _apply_aggregate_patch(aggregates: Dict[str, object],
 
 
 class EpochStore:
-    """A directory of epochs: one full snapshot plus column deltas.
+    """A directory of epochs: keyframe snapshots plus column deltas.
 
     Epoch 0 is a complete REPRO-SNAP results file; every later epoch
     stores only the rows whose records actually changed (callers pass the
@@ -1138,11 +1278,31 @@ class EpochStore:
     patches — so a longitudinal run's storage scales with churn, not with
     ``epochs × universe``.  :meth:`load_epoch` opens any epoch as a
     :class:`LazySurveyResults` whose row source overlays the deltas on the
-    base columns; unchanged rows keep reading from epoch 0's mmap.
+    nearest keyframe's columns; unchanged rows keep reading from that
+    keyframe's mmap.
+
+    ``keyframe_every=K`` writes a *full* snapshot every K epochs instead
+    of a delta, so a 1000-epoch store never builds overlay chains longer
+    than K.  Readers never need the writer's cadence: which epochs are
+    keyframes is sniffed from the file kinds, so any mixing of cadences
+    across appends reads correctly.
     """
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike,
+                 keyframe_every: Optional[int] = None):
         self.root = pathlib.Path(root)
+        if keyframe_every is not None and keyframe_every < 1:
+            raise ValueError(
+                f"keyframe_every must be >= 1, got {keyframe_every}")
+        self.keyframe_every = keyframe_every
+
+    def _keyframe_for(self, epoch: int) -> int:
+        """The newest keyframe epoch at or below ``epoch`` (sniffed)."""
+        for step in range(epoch, -1, -1):
+            if sniff_kind(self.epoch_path(step)) == KIND_RESULTS:
+                return step
+        raise SnapshotFormatError(
+            f"{self.root}: no keyframe at or below epoch {epoch}")
 
     def epoch_path(self, epoch: int) -> pathlib.Path:
         return self.root / f"epoch_{epoch:04d}.rsnap"
@@ -1172,9 +1332,10 @@ class EpochStore:
         contract, so it is never compared (or hydrated, for lazy views).
         """
         epoch = self.epochs
-        if epoch == 0:
+        if epoch == 0 or (self.keyframe_every is not None
+                          and epoch % self.keyframe_every == 0):
             self.root.mkdir(parents=True, exist_ok=True)
-            return save_results_snapshot(results, self.epoch_path(0))
+            return save_results_snapshot(results, self.epoch_path(epoch))
         if previous is None:
             previous = self.load_epoch(epoch - 1)
         records = results.records
@@ -1192,8 +1353,8 @@ class EpochStore:
                 continue
             if record != previous.record_for(record.name):
                 changed_rows.append(row)
-        base = _RecordReader(_SectionReader(self.epoch_path(0),
-                                            KIND_RESULTS))
+        base = _RecordReader(_SectionReader(
+            self.epoch_path(self._keyframe_for(epoch - 1)), KIND_RESULTS))
         return _write_delta_snapshot(self.epoch_path(epoch), results,
                                      previous, changed_rows, base=base)
 
@@ -1203,11 +1364,12 @@ class EpochStore:
             raise SnapshotFormatError(
                 f"{self.root}: epoch {epoch} not in store "
                 f"(holds {self.epochs})")
-        base = _RecordReader(_SectionReader(self.epoch_path(0),
+        keyframe = self._keyframe_for(epoch)
+        base = _RecordReader(_SectionReader(self.epoch_path(keyframe),
                                             KIND_RESULTS))
         overlays: Dict[int, Tuple[_RecordReader, int]] = {}
         patches: List[_RecordReader] = []
-        for step in range(1, epoch + 1):
+        for step in range(keyframe + 1, epoch + 1):
             patch = _RecordReader(_SectionReader(self.epoch_path(step),
                                                  KIND_DELTA), base=base)
             patches.append(patch)

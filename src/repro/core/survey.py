@@ -356,7 +356,8 @@ class Survey:
     def __init__(self, internet, vulnerability_db: Optional[VulnerabilityDatabase] = None,
                  popular_count: int = 500, include_bottleneck: bool = True,
                  use_glue: bool = True, backend: str = "serial",
-                 workers: int = 1, passes: Sequence = ()):
+                 workers: int = 1, passes: Sequence = (),
+                 worker_addrs: Sequence[str] = ()):
         from repro.core.engine import EngineConfig, SurveyEngine
         self.internet = internet
         self.popular_count = popular_count
@@ -366,8 +367,13 @@ class Survey:
             EngineConfig(backend=backend, workers=workers,
                          popular_count=popular_count,
                          include_bottleneck=include_bottleneck,
-                         use_glue=use_glue, passes=tuple(passes)))
+                         use_glue=use_glue, passes=tuple(passes),
+                         worker_addrs=tuple(worker_addrs)))
         self.database = self.engine.database
+
+    def close(self) -> None:
+        """Release engine resources (socket-backend worker connections)."""
+        self.engine.close()
 
     # -- engine pass-throughs (kept for backwards compatibility) --------------------
 

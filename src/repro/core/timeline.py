@@ -373,6 +373,8 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
                        max_names: Optional[int] = None,
                        cold_check: bool = False,
                        store: Union[EpochStore, PathLike, None] = None,
+                       keyframe_every: Optional[int] = None,
+                       worker_addrs: Sequence[str] = (),
                        progress=None) -> Timeline:
     """Run ``epochs`` churn steps over ``internet`` and reduce each epoch.
 
@@ -389,6 +391,17 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
     engine's dirty sets — so disk usage grows with churn, not with
     ``epochs × universe``.
 
+    ``keyframe_every=K`` makes the store write a complete snapshot every
+    K epochs (instead of a delta), bounding ``load_epoch`` overlay chains.
+
+    ``worker_addrs`` (with ``backend="socket"``) runs every epoch's
+    re-survey over a pool of `repro-dns worker` processes; the workers
+    stay warm across epochs, each receiving only the shard of dirty
+    names striped onto it plus the epoch's mutation specs.  The cold
+    audit (``cold_check``) always runs serially: it exists to check the
+    warm distributed state against an independent reference, and the
+    busy workers cannot serve a second coordinator mid-epoch.
+
     ``progress``, when given, is called as ``progress(epoch, snapshot)``
     after each epoch is reduced.
     """
@@ -398,18 +411,39 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
         raise ValueError("epochs must be >= 0")
     pass_specs = _normalise_pass_specs(passes)
     epoch_store = (store if isinstance(store, EpochStore) or store is None
-                   else EpochStore(store))
+                   else EpochStore(store, keyframe_every=keyframe_every))
     if epoch_store is not None and epoch_store.epochs:
         raise ValueError(f"epoch store {epoch_store.root} is not empty "
                          f"(holds {epoch_store.epochs} epochs)")
 
-    def engine_config(specs: Sequence[str]) -> EngineConfig:
-        return EngineConfig(backend=backend, workers=workers,
+    def engine_config(specs: Sequence[str],
+                      run_backend: Optional[str] = None) -> EngineConfig:
+        run_backend = run_backend or backend
+        return EngineConfig(backend=run_backend, workers=workers,
                             include_bottleneck=include_bottleneck,
                             popular_count=popular_count,
-                            passes=build_passes(list(specs)))
+                            passes=build_passes(list(specs)),
+                            worker_addrs=(tuple(worker_addrs)
+                                          if run_backend == "socket"
+                                          else ()))
 
     engine = SurveyEngine(internet, config=engine_config(pass_specs))
+
+    try:
+        return _run_epoch_loop(internet, model, epochs, engine,
+                               engine_config, pass_specs, backend, workers,
+                               include_bottleneck, popular_count, max_names,
+                               cold_check, epoch_store, keyframe_every,
+                               worker_addrs, progress)
+    finally:
+        engine.close()
+
+
+def _run_epoch_loop(internet, model, epochs, engine, engine_config,
+                    pass_specs, backend, workers, include_bottleneck,
+                    popular_count, max_names, cold_check, epoch_store,
+                    keyframe_every, worker_addrs, progress) -> Timeline:
+    from repro.topology.changes import ChangeJournal
 
     started = time.perf_counter()
     results = engine.run(max_names=max_names)
@@ -438,8 +472,12 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
         if cold_check:
             cold_specs = _with_dnssec_fraction(pass_specs,
                                                model.dnssec_fraction)
-            cold_engine = SurveyEngine(internet,
-                                       config=engine_config(cold_specs))
+            # The audit reference is always serial: an independent cold
+            # engine must not contend for (or rebuild) the busy workers.
+            cold_engine = SurveyEngine(
+                internet, config=engine_config(
+                    cold_specs,
+                    run_backend="serial" if backend == "socket" else None))
             cold_started = time.perf_counter()
             cold = cold_engine.run(max_names=max_names)
             snapshot.cold_elapsed_s = round(
@@ -471,6 +509,8 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
             "cold_check": cold_check,
             "store": (str(epoch_store.root)
                       if epoch_store is not None else None),
+            "keyframe_every": keyframe_every,
+            "worker_addrs": list(worker_addrs),
         },
         snapshots=snapshots)
     timeline.validate()

@@ -1,0 +1,19 @@
+"""Distributed survey: socket coordinator, workers, and shard merging.
+
+The subsystem that lets several processes (or hosts — the protocol only
+sees sockets) survey one directory:
+
+* :mod:`repro.distrib.wire` — length-prefixed frames whose bulk payloads
+  are REPRO-SNAP column containers.
+* :mod:`repro.distrib.worker` — ``repro-dns worker --listen``: a warm
+  serial engine behind a socket.
+* :mod:`repro.distrib.coordinator` — shard striping, work-order
+  shipping, and the byte-identical shard-order fold; plus
+  :class:`LocalWorkerFleet` for CI-friendly local multi-host simulation.
+* :mod:`repro.distrib.merge` — ``repro-dns merge``: union shard snapshot
+  files off the binary columns, no hydration.
+"""
+
+from repro.distrib.wire import DistribError, WireError
+
+__all__ = ["DistribError", "WireError"]

@@ -1,0 +1,349 @@
+"""The shard coordinator: drives N socket workers and folds their columns.
+
+:class:`ShardCoordinator` owns one TCP connection per worker.  On
+creation it ships a BUILD frame describing the world (the seeded
+``GeneratorConfig``) and the engine options, so each worker regenerates
+the identical synthetic Internet and holds a warm serial engine.  Each
+:meth:`run_shards` call stripes the indexed entries exactly like
+``SurveyEngine._run_partitioned`` (``indexed[offset::shard_count]``),
+ships one ``KIND_ORDER`` frame per shard in parallel, then folds the
+returned ``KIND_SHARD`` columns **in shard order** — the same fold
+``_consume_process_pool`` performs — so the merged
+:class:`~repro.core.survey.SurveyResults` is byte-identical to the
+serial backend's.
+
+Delta runs compose through :meth:`sync_journal`: the coordinator keeps
+the full mutation-spec history (one spec per journal event, via
+``ChangeEvent.to_spec()``) and every work order carries it; workers
+apply only the tail they have not seen.  The epoch's complete dirty-name
+set rides along so every worker invalidates its warm state for *all*
+dirty names, not just the ones striped onto it this epoch.
+
+Any worker failure — connect refusal, timeout, truncated or corrupt
+frame, an ERROR frame carrying the worker's exception — aborts the whole
+run promptly: the coordinator closes every connection (unblocking any
+thread still waiting on a slower worker) and raises a
+:class:`~repro.distrib.wire.DistribError` naming the worker and cause.
+No partial results are ever folded into the caller's aggregator state on
+the failure path before the raise completes the fold loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import socket
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.snapstore import (ShardPayload, SnapshotFormatError,
+                                  unpack_shard_result)
+from repro.distrib.wire import (FRAME_BUILD, FRAME_ERROR, FRAME_HEADER_SIZE,
+                                FRAME_NAMES, FRAME_OK, FRAME_RESULT,
+                                FRAME_SHUTDOWN, FRAME_SURVEY, DistribError,
+                                WireError, decode_error, pack_work_order,
+                                parse_address, recv_frame, send_frame)
+
+
+class ShardCoordinator:
+    """Connect to workers, build their worlds, and run sharded surveys."""
+
+    def __init__(self, engine, worker_addrs: Sequence[str],
+                 connect_timeout: float = 10.0,
+                 response_timeout: float = 600.0):
+        if not worker_addrs:
+            raise DistribError("socket backend needs at least one worker "
+                               "address (host:port)")
+        generator_config = getattr(engine.internet, "config", None)
+        if generator_config is None:
+            raise DistribError(
+                "socket backend needs a generator-built internet: workers "
+                "reproduce the world from internet.config, which this "
+                "internet does not carry")
+        self._engine = engine
+        self._labels = [str(address) for address in worker_addrs]
+        self._response_timeout = response_timeout
+        self._sockets: List[Optional[socket.socket]] = \
+            [None] * len(self._labels)
+        self.bytes_sent = [0] * len(self._labels)
+        self.bytes_received = [0] * len(self._labels)
+        #: Full mutation-spec history; every work order carries it all.
+        self._specs: List[str] = []
+        #: (journal, events-consumed) pairs, keyed by journal identity.
+        self._journals: List[Tuple[object, int]] = []
+        self._closed = False
+
+        for position, label in enumerate(self._labels):
+            host, port = parse_address(label)
+            try:
+                connection = socket.create_connection(
+                    (host, port), timeout=connect_timeout)
+            except OSError as error:
+                self._abort()
+                raise DistribError(
+                    f"cannot connect to worker {label}: {error}") from error
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sockets[position] = connection
+
+        build = json.dumps({
+            "generator": dataclasses.asdict(generator_config),
+            "engine": {
+                "popular_count": engine.config.popular_count,
+                "include_bottleneck": engine.config.include_bottleneck,
+                "use_glue": engine.config.use_glue,
+                "passes": self._pass_specs(engine),
+            },
+        }, sort_keys=True).encode("utf-8")
+        self._broadcast(FRAME_BUILD, [build] * len(self._labels), FRAME_OK)
+
+    @staticmethod
+    def _pass_specs(engine) -> List[str]:
+        """Spec strings reconstructing this engine's passes on a worker."""
+        specs = []
+        for pass_ in engine.passes:
+            try:
+                specs.append(pass_.spec())
+            except NotImplementedError as error:
+                raise DistribError(
+                    f"pass {pass_.name!r} cannot run on the socket backend: "
+                    f"{error}") from error
+        return specs
+
+    # -- request plumbing ----------------------------------------------------------------
+
+    def _request(self, position: int, frame_type: int, payload: bytes,
+                 expect: int) -> bytes:
+        """One frame exchange with worker ``position`` (thread-safe per worker)."""
+        connection = self._sockets[position]
+        label = self._labels[position]
+        if connection is None:
+            raise DistribError(f"worker {label}: connection already closed")
+        self.bytes_sent[position] += send_frame(connection, frame_type,
+                                                payload)
+        reply_type, reply = recv_frame(connection,
+                                       timeout=self._response_timeout,
+                                       peer=f"worker {label}")
+        self.bytes_received[position] += FRAME_HEADER_SIZE + len(reply)
+        if reply_type == FRAME_ERROR:
+            raise DistribError(
+                f"worker {label} failed: {decode_error(reply, label)}")
+        if reply_type != expect:
+            raise WireError(
+                f"worker {label}: expected {FRAME_NAMES[expect]} frame, "
+                f"got {FRAME_NAMES[reply_type]}")
+        return reply
+
+    def _broadcast(self, frame_type: int, payloads: Sequence[bytes],
+                   expect: int) -> List[bytes]:
+        """Send one frame to every worker in parallel; abort-all on error."""
+        replies: List[Optional[bytes]] = [None] * len(payloads)
+        first_error: Optional[BaseException] = None
+        with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
+            futures = {
+                pool.submit(self._request, position, frame_type,
+                            payloads[position], expect): position
+                for position in range(len(payloads))}
+            for future in as_completed(futures):
+                try:
+                    replies[futures[future]] = future.result()
+                except BaseException as error:
+                    if first_error is None:
+                        first_error = error
+                        # Closing every socket unblocks threads still
+                        # waiting on slower workers.
+                        self._abort()
+        if first_error is not None:
+            if isinstance(first_error, DistribError):
+                raise first_error
+            raise DistribError(f"worker exchange failed: "
+                               f"{first_error}") from first_error
+        return [reply for reply in replies if reply is not None]
+
+    # -- delta composition ---------------------------------------------------------------
+
+    def sync_journal(self, journal) -> None:
+        """Extend the spec history with a journal's unseen events."""
+        events = getattr(journal, "events", None)
+        if events is None:
+            raise DistribError(
+                "the socket backend needs the ChangeJournal itself (its "
+                "events become wire specs); a pre-folded ChangeSet cannot "
+                "be shipped to workers")
+        for position, (seen, consumed) in enumerate(self._journals):
+            if seen is journal:
+                fresh = events[consumed:]
+                self._journals[position] = (journal, len(events))
+                break
+        else:
+            fresh = list(events)
+            self._journals.append((journal, len(events)))
+        self._specs.extend(event.to_spec() for event in fresh)
+
+    # -- the sharded survey --------------------------------------------------------------
+
+    def run_shards(self, indexed, popular, aggregator,
+                   dirty: Sequence = ()) -> None:
+        """Survey ``indexed`` entries across the workers and fold results.
+
+        Mirrors ``_run_partitioned`` striping and the process backend's
+        shard-order fold exactly, so results are byte-identical to the
+        serial engine over the same (possibly delta-invalidated) world.
+        """
+        if self._closed:
+            raise DistribError("coordinator already closed")
+        shard_count = min(len(self._labels), max(len(indexed), 1))
+        shards = [indexed[offset::shard_count]
+                  for offset in range(shard_count)]
+        dirty_names = sorted(str(name) for name in dirty)
+        orders = []
+        for shard in shards:
+            orders.append(pack_work_order(
+                [index for index, _entry in shard],
+                [str(entry.name) for _index, entry in shard],
+                [entry.name in popular for _index, entry in shard],
+                self._specs, dirty_names))
+        payloads = self._broadcast(FRAME_SURVEY, orders, FRAME_RESULT)
+
+        engine = self._engine
+        for position, payload in enumerate(payloads):
+            label = self._labels[position]
+            try:
+                shard: ShardPayload = unpack_shard_result(
+                    payload, label=f"worker {label} result")
+            except SnapshotFormatError as error:
+                self._abort()
+                raise DistribError(
+                    f"worker {label} returned an undecodable shard: "
+                    f"{error}") from error
+            for index, record in zip(shard.rows, shard.records):
+                aggregator.add_record(index, record)
+            aggregator.merge_maps(shard.fingerprints,
+                                  shard.vulnerability_map,
+                                  shard.compromisable_map)
+            engine._root.fingerprinter.adopt(shard.fingerprints)
+            engine._root.vulnerability_map.update(shard.vulnerability_map)
+            engine._root.compromisable_map.update(shard.compromisable_map)
+
+    # -- wire accounting / lifecycle -----------------------------------------------------
+
+    def wire_stats(self) -> Dict[str, object]:
+        """Bytes on the wire, total and per worker (for benchmarks)."""
+        return {
+            "workers": len(self._labels),
+            "bytes_sent": sum(self.bytes_sent),
+            "bytes_received": sum(self.bytes_received),
+            "per_worker": [
+                {"worker": label, "sent": sent, "received": received}
+                for label, sent, received in zip(
+                    self._labels, self.bytes_sent, self.bytes_received)],
+        }
+
+    def _abort(self) -> None:
+        """Hard-close every connection (failure path)."""
+        self._closed = True
+        for position, connection in enumerate(self._sockets):
+            if connection is not None:
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+                self._sockets[position] = None
+
+    def close(self) -> None:
+        """Politely shut workers down, then close the connections."""
+        if self._closed:
+            return
+        self._closed = True
+        for position, connection in enumerate(self._sockets):
+            if connection is None:
+                continue
+            try:
+                send_frame(connection, FRAME_SHUTDOWN)
+                recv_frame(connection, timeout=2.0,
+                           peer=f"worker {self._labels[position]}")
+            except (WireError, OSError):
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
+            self._sockets[position] = None
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LocalWorkerFleet:
+    """Spawn N ``repro-dns worker`` subprocesses on loopback ports.
+
+    The CLI's ``--backend socket --workers N`` convenience (and the tests
+    and benchmarks) use this to simulate multi-host locally: each worker
+    is a separate OS process with its own interpreter, world copy, and
+    socket — exactly what a remote host would run, minus the network.
+    """
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise DistribError("worker fleet needs at least one worker")
+        self.count = count
+        self.addresses: List[str] = []
+        self._processes: List[subprocess.Popen] = []
+
+    def start(self) -> List[str]:
+        import repro
+        source_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        environment = dict(os.environ)
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = source_root + (
+            os.pathsep + existing if existing else "")
+        for _ in range(self.count):
+            self._processes.append(subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "worker",
+                 "--listen", "127.0.0.1:0"],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                env=environment))
+        for process in self._processes:
+            line = process.stdout.readline().decode("utf-8",
+                                                    "replace").strip()
+            prefix = "listening on "
+            if not line.startswith(prefix):
+                stderr = b""
+                if process.poll() is not None and process.stderr:
+                    stderr = process.stderr.read() or b""
+                self.stop()
+                detail = stderr.decode("utf-8", "replace").strip()
+                raise DistribError(
+                    f"worker process failed to start "
+                    f"(got {line!r}){': ' + detail if detail else ''}")
+            self.addresses.append(line[len(prefix):])
+        return list(self.addresses)
+
+    def stop(self) -> None:
+        for process in self._processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self._processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+            for stream in (process.stdout, process.stderr):
+                if stream is not None:
+                    stream.close()
+        self._processes = []
+        self.addresses = []
+
+    def __enter__(self) -> "LocalWorkerFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

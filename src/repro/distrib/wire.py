@@ -1,0 +1,190 @@
+"""Length-prefixed TCP framing for the distributed survey.
+
+Every message between the coordinator and a worker is one *frame*: a
+fixed 20-byte header (magic, protocol version, frame type, payload CRC32,
+payload length) followed by the payload bytes.  Control payloads (BUILD,
+ERROR) are JSON; bulk payloads (SURVEY work orders, RESULT shard columns)
+are REPRO-SNAP containers from :mod:`repro.core.snapstore`, so the wire
+reuses the exact column codec the snapshot files use — a worker's RESULT
+payload is byte-for-byte a ``KIND_SHARD`` container.
+
+Failure surfaces are precise by design: a truncated stream names the
+frame part and byte counts it died in, a checksum mismatch or bad magic
+names the peer, and timeouts say what was being waited for.  All of them
+raise :class:`WireError` (a :class:`DistribError`), which the CLI maps to
+exit 2.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.snapstore import (KIND_ORDER, _Pool, _PoolWriter,
+                                  _SectionReader, _SectionWriter)
+
+
+class DistribError(RuntimeError):
+    """A distributed-survey failure (connection, protocol, or worker)."""
+
+
+class WireError(DistribError):
+    """A malformed, truncated, or timed-out frame on the wire."""
+
+
+WIRE_MAGIC = b"RDWP"
+WIRE_VERSION = 1
+
+#: magic, version, frame type, reserved, payload crc32, payload length
+_FRAME_HEADER = struct.Struct("<4sBBHIQ")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+FRAME_BUILD = 1     # coordinator -> worker: JSON world + engine config
+FRAME_SURVEY = 2    # coordinator -> worker: KIND_ORDER work order
+FRAME_RESULT = 3    # worker -> coordinator: KIND_SHARD columns
+FRAME_OK = 4        # worker -> coordinator: ack with no payload
+FRAME_ERROR = 5     # worker -> coordinator: JSON {"error": message}
+FRAME_SHUTDOWN = 6  # coordinator -> worker: exit after acking
+
+FRAME_NAMES = {FRAME_BUILD: "BUILD", FRAME_SURVEY: "SURVEY",
+               FRAME_RESULT: "RESULT", FRAME_OK: "OK",
+               FRAME_ERROR: "ERROR", FRAME_SHUTDOWN: "SHUTDOWN"}
+
+#: Sanity bound on a header's claimed payload length: a corrupt length
+#: field should fail loudly, not allocate garbage or stall the reader.
+MAX_FRAME_PAYLOAD = 1 << 32
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``host:port`` (raises :class:`DistribError` on bad input)."""
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise DistribError(
+            f"invalid worker address {address!r}: expected host:port")
+    return host, int(port_text)
+
+
+def send_frame(sock: socket.socket, frame_type: int,
+               payload: bytes = b"") -> int:
+    """Send one frame; returns the total bytes put on the wire."""
+    payload = bytes(payload)
+    header = _FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, frame_type, 0,
+                                zlib.crc32(payload), len(payload))
+    try:
+        sock.sendall(header + payload)
+    except OSError as error:
+        raise WireError(f"connection lost while sending "
+                        f"{FRAME_NAMES.get(frame_type, frame_type)} frame: "
+                        f"{error}") from error
+    return len(header) + len(payload)
+
+
+def _recv_exact(sock: socket.socket, count: int, peer: str,
+                what: str) -> bytes:
+    buffer = bytearray()
+    while len(buffer) < count:
+        try:
+            chunk = sock.recv(count - len(buffer))
+        except socket.timeout as error:
+            raise WireError(
+                f"{peer}: timed out waiting for {what} "
+                f"({len(buffer)}/{count} bytes received)") from error
+        except OSError as error:
+            raise WireError(
+                f"{peer}: connection error while reading {what}: "
+                f"{error}") from error
+        if not chunk:
+            raise WireError(
+                f"{peer}: connection closed mid-{what} "
+                f"({len(buffer)}/{count} bytes received)")
+        buffer.extend(chunk)
+    return bytes(buffer)
+
+
+def recv_frame(sock: socket.socket, timeout: Optional[float] = None,
+               peer: str = "peer") -> Tuple[int, bytes]:
+    """Receive one complete frame, validating magic, version, and CRC.
+
+    ``timeout`` (when given) is installed on the socket and bounds every
+    individual read; EOF, truncation, and corruption each raise a
+    :class:`WireError` naming the peer and the frame part that failed.
+    """
+    if timeout is not None:
+        sock.settimeout(timeout)
+    head = _recv_exact(sock, FRAME_HEADER_SIZE, peer, "frame header")
+    magic, version, frame_type, _reserved, crc, length = \
+        _FRAME_HEADER.unpack(head)
+    if magic != WIRE_MAGIC:
+        raise WireError(f"{peer}: bad frame magic {magic!r} "
+                        f"(corrupt or non-protocol stream)")
+    if version != WIRE_VERSION:
+        raise WireError(f"{peer}: unsupported protocol version {version} "
+                        f"(this side speaks {WIRE_VERSION})")
+    if frame_type not in FRAME_NAMES:
+        raise WireError(f"{peer}: unknown frame type {frame_type}")
+    if length > MAX_FRAME_PAYLOAD:
+        raise WireError(f"{peer}: implausible {FRAME_NAMES[frame_type]} "
+                        f"payload length {length} (corrupt header)")
+    payload = (_recv_exact(sock, length, peer,
+                           f"{FRAME_NAMES[frame_type]} payload")
+               if length else b"")
+    if zlib.crc32(payload) != crc:
+        raise WireError(f"{peer}: {FRAME_NAMES[frame_type]} payload "
+                        f"checksum mismatch (corrupt frame)")
+    return frame_type, payload
+
+
+def error_payload(message: str) -> bytes:
+    return json.dumps({"error": message}).encode("utf-8")
+
+
+def decode_error(payload: bytes, peer: str) -> str:
+    try:
+        return str(json.loads(payload.decode("utf-8"))["error"])
+    except (ValueError, KeyError, UnicodeDecodeError):
+        return f"unreadable ERROR payload ({len(payload)} bytes)"
+
+
+# -- work orders -------------------------------------------------------------------------
+#
+# A SURVEY payload is a KIND_ORDER REPRO-SNAP container: the shard's
+# global record indices, name texts (pooled), popular flags, the full
+# mutation-spec history (workers apply only the tail they have not seen),
+# and the epoch's complete dirty-name set (every worker must invalidate
+# *all* dirty names — a name surveyed by another worker this epoch may be
+# striped onto this one next epoch, and its cached dependency row must
+# not survive the change that dirtied it).
+
+
+def pack_work_order(indices: Sequence[int], names: Sequence[str],
+                    popular_flags: Sequence[bool], specs: Sequence[str],
+                    dirty_names: Sequence[str]) -> bytes:
+    writer = _SectionWriter(None, KIND_ORDER)
+    pool = _PoolWriter()
+    writer.add("order.idx", array("q", indices))
+    writer.add("order.name", array("q", [pool.intern(name)
+                                         for name in names]))
+    writer.add("order.pop", bytes(1 if flag else 0
+                                  for flag in popular_flags))
+    writer.add("order.dirty", array("q", [pool.intern(name)
+                                          for name in dirty_names]))
+    writer.add_json("specs", list(specs))
+    pool.write(writer, "strs")
+    return writer.close_to_bytes()
+
+
+def unpack_work_order(payload: bytes, label: str = "<work order>"
+                      ) -> Tuple[List[int], List[str], List[bool],
+                                 List[str], List[str]]:
+    reader = _SectionReader(payload, KIND_ORDER, label=label)
+    pool = _Pool(reader, "strs")
+    indices = list(reader.q("order.idx"))
+    names = [pool.text(name_id) for name_id in reader.q("order.name")]
+    popular_flags = [bool(flag) for flag in reader.bytes_view("order.pop")]
+    dirty = [pool.text(name_id) for name_id in reader.q("order.dirty")]
+    specs = [str(spec) for spec in reader.json("specs")]
+    return indices, names, popular_flags, specs, dirty

@@ -1,0 +1,188 @@
+"""The survey worker: one warm serial engine behind a TCP socket.
+
+``repro-dns worker --listen host:port`` runs a :class:`WorkerServer`.  A
+coordinator connects and drives it with frames (:mod:`repro.distrib.wire`):
+
+* **BUILD** — a JSON description of the world (the ``GeneratorConfig``)
+  and the engine options (popular count, glue, pass spec strings).  The
+  worker regenerates the synthetic Internet locally — world generation is
+  seeded and deterministic, so shipping the config *is* shipping the
+  world — and builds a serial :class:`~repro.core.engine.SurveyEngine`
+  plus a :class:`~repro.topology.changes.ChangeJournal` it will replay
+  mutation specs into.
+* **SURVEY** — a ``KIND_ORDER`` work order: the shard's directory
+  indices + names + popular flags, the full mutation-spec history, and
+  the epoch's global dirty-name set.  The worker applies only the spec
+  tail it has not seen (keeping its warm universe exactly as stale as a
+  serial delta engine's), invalidates like
+  :meth:`SurveyEngine._invalidate_for_changes`, surveys its names, and
+  replies with a **RESULT** frame whose payload is a ``KIND_SHARD``
+  column container (records by global index, fingerprints, verdict maps).
+* **SHUTDOWN** — ack and exit.
+
+Handler failures are reported to the coordinator as **ERROR** frames
+(with the exception text); wire-level failures drop the connection and
+the worker goes back to accepting, so a crashed coordinator never
+strands a worker.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Optional
+
+from repro.core.engine import EngineConfig, SurveyEngine
+from repro.core.snapstore import pack_shard_result
+from repro.dns.name import DomainName
+from repro.distrib.wire import (FRAME_BUILD, FRAME_ERROR, FRAME_NAMES,
+                                FRAME_OK, FRAME_RESULT, FRAME_SHUTDOWN,
+                                FRAME_SURVEY, DistribError, WireError,
+                                error_payload, recv_frame, send_frame,
+                                unpack_work_order)
+from repro.topology.changes import ChangeJournal, apply_mutation_spec
+from repro.topology.generator import GeneratorConfig, InternetGenerator
+from repro.topology.webdirectory import DirectoryEntry
+
+
+def _engine_from_build(payload: bytes) -> SurveyEngine:
+    """Regenerate the world and engine a BUILD frame describes."""
+    try:
+        build = json.loads(payload.decode("utf-8"))
+        generator = build["generator"]
+        engine_options = build["engine"]
+    except (ValueError, KeyError, UnicodeDecodeError) as error:
+        raise DistribError(f"malformed BUILD payload: {error}") from error
+    # JSON round-trips dataclass tuples as lists; the generator only
+    # iterates them, but normalise so reconstructed configs compare equal.
+    config = GeneratorConfig(**{
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in generator.items()})
+    internet = InternetGenerator(config).generate()
+    return SurveyEngine(internet, config=EngineConfig(
+        backend="serial",
+        popular_count=int(engine_options["popular_count"]),
+        include_bottleneck=bool(engine_options["include_bottleneck"]),
+        use_glue=bool(engine_options["use_glue"]),
+        passes=list(engine_options.get("passes", ()))))
+
+
+class WorkerServer:
+    """Serve one coordinator at a time until a SHUTDOWN frame arrives."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(1)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._engine: Optional[SurveyEngine] = None
+        self._journal: Optional[ChangeJournal] = None
+        self._applied_specs = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept coordinators until one sends SHUTDOWN."""
+        try:
+            while True:
+                connection, _peer = self._listener.accept()
+                try:
+                    if not self._serve_connection(connection):
+                        return
+                finally:
+                    connection.close()
+        finally:
+            self._listener.close()
+
+    def _serve_connection(self, connection: socket.socket) -> bool:
+        """Handle frames on one connection; False means shut down."""
+        while True:
+            try:
+                frame_type, payload = recv_frame(connection,
+                                                 peer="coordinator")
+            except WireError:
+                # Coordinator gone or stream corrupt: drop the connection
+                # and await a fresh coordinator (warm state is kept).
+                return True
+            if frame_type == FRAME_SHUTDOWN:
+                try:
+                    send_frame(connection, FRAME_OK)
+                except WireError:
+                    pass
+                return False
+            try:
+                if frame_type == FRAME_BUILD:
+                    self._handle_build(payload)
+                    reply_type, reply = FRAME_OK, b""
+                elif frame_type == FRAME_SURVEY:
+                    reply_type, reply = FRAME_RESULT, \
+                        self._handle_survey(payload)
+                else:
+                    raise DistribError(
+                        f"unexpected {FRAME_NAMES[frame_type]} frame "
+                        f"(worker accepts BUILD/SURVEY/SHUTDOWN)")
+            except Exception as error:  # surfaced to the coordinator
+                try:
+                    send_frame(connection, FRAME_ERROR, error_payload(
+                        f"{type(error).__name__}: {error}"))
+                except WireError:
+                    return True
+                continue
+            try:
+                send_frame(connection, reply_type, reply)
+            except WireError:
+                return True
+
+    def _handle_build(self, payload: bytes) -> None:
+        self._engine = _engine_from_build(payload)
+        self._journal = ChangeJournal(self._engine.internet)
+        self._applied_specs = 0
+
+    def _handle_survey(self, payload: bytes) -> bytes:
+        engine, journal = self._engine, self._journal
+        if engine is None or journal is None:
+            raise DistribError("SURVEY before BUILD: worker has no engine")
+        indices, names, popular_flags, specs, dirty_names = \
+            unpack_work_order(payload, label="work order")
+
+        if len(specs) < self._applied_specs:
+            raise DistribError(
+                f"work order carries {len(specs)} mutation specs but "
+                f"{self._applied_specs} were already applied "
+                f"(coordinator restarted without a new BUILD?)")
+        tail = specs[self._applied_specs:]
+        if tail:
+            events_before = len(journal)
+            for spec in tail:
+                apply_mutation_spec(journal, spec)
+            self._applied_specs = len(specs)
+            changes = journal.changes(since=events_before)
+            # Mirror run_delta: deployment-tracking passes adopt the
+            # journalled DNSSEC extension before any invalidation.
+            for deployment in changes.dnssec_deployments:
+                for pass_ in engine.passes:
+                    adopt = getattr(pass_, "adopt_deployment", None)
+                    if adopt is not None:
+                        adopt(deployment)
+            engine._invalidate_for_changes(
+                changes, {DomainName(name) for name in dirty_names})
+
+        directory = engine.internet.directory
+        context = engine._root
+        records = []
+        for name, is_popular in zip(names, popular_flags):
+            entry = directory.entry(name)
+            if entry is None:
+                entry = DirectoryEntry(name=DomainName(name),
+                                       tld=DomainName(name).tld or "",
+                                       category="adhoc", popularity=1.0)
+            records.append(engine._survey_entry(context, entry, is_popular))
+        return pack_shard_result(
+            indices, records, context.fingerprinter.results(),
+            dict(context.vulnerability_map),
+            dict(context.compromisable_map),
+            meta={"worker": self.address, "names": len(indices),
+                  "specs_applied": self._applied_specs})

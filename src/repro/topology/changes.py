@@ -78,6 +78,57 @@ class ChangeEvent:
             ",".join(str(h) for h in sorted(self.touched_hosts))
         return f"{self.kind}({subject})"
 
+    def to_spec(self) -> str:
+        """This event as a replayable CLI mutation spec.
+
+        The distributed coordinator ships world mutations to its workers
+        as spec strings; replaying a journal's events in order through
+        :func:`apply_mutation_spec` on an identically-generated world
+        reproduces the same world state *and* the same event sequence
+        (a replayed ``remove-server`` finds its zones already
+        re-delegated by the preceding ``set-ns`` events and journals only
+        itself, exactly mirroring the original event log).
+        """
+        def safe(value: str) -> str:
+            if ";" in value or value != value.strip():
+                raise ValueError(
+                    f"cannot encode {value!r} in a mutation spec")
+            return value
+
+        details = self.details
+        if self.kind in ("zone-ns", "zone-created"):
+            hosts = "+".join(safe(h) for h in details["nameservers"])
+            return f"set-ns:zone={self.zone};ns={hosts}"
+        if self.kind == "server-add":
+            parts = [f"add-server:host={self.hosts_after[0]}"]
+            if details.get("software") is not None:
+                parts.append(f"software={safe(details['software'])}")
+            region = details.get("region")
+            if region is not None and region != "us":
+                parts.append(f"region={safe(region)}")
+            if details.get("organization") is not None:
+                parts.append(f"org={safe(details['organization'])}")
+            return ";".join(parts)
+        if self.kind == "server-remove":
+            return f"remove-server:host={self.hosts_before[0]}"
+        if self.kind == "software":
+            host = details.get("host") or \
+                next(iter(sorted(self.touched_hosts)))
+            spec = f"set-software:host={host}"
+            after = details.get("after")
+            return spec if after is None else \
+                f"{spec};software={safe(after)}"
+        if self.kind == "region":
+            host = details.get("host") or \
+                next(iter(sorted(self.touched_hosts)))
+            return f"move-region:host={host};region={safe(details['after'])}"
+        if self.kind == "dnssec":
+            sign_tlds = "true" if details.get("sign_tlds", True) else "false"
+            seed = safe(str(details.get("seed", "repro-dnssec")))
+            return (f"dnssec:fraction={details['fraction']!r}"
+                    f";sign_tlds={sign_tlds};seed={seed}")
+        raise ValueError(f"event kind {self.kind!r} has no spec encoding")
+
 
 @dataclasses.dataclass
 class ChangeSet:
@@ -304,7 +355,9 @@ class ChangeJournal:
         event = ChangeEvent(kind="server-add", hosts_after=(hostname,),
                             touched_hosts=frozenset((hostname,)),
                             details={"address": address,
-                                     "software": software})
+                                     "software": software,
+                                     "region": region,
+                                     "organization": organization})
         self.events.append(event)
         return event
 
@@ -353,7 +406,8 @@ class ChangeJournal:
         server.software = software
         event = ChangeEvent(kind="software",
                             touched_hosts=frozenset((hostname,)),
-                            details={"before": before, "after": software})
+                            details={"host": str(hostname),
+                                     "before": before, "after": software})
         self.events.append(event)
         return event
 
@@ -368,7 +422,8 @@ class ChangeJournal:
         server.region = region
         event = ChangeEvent(kind="region",
                             touched_hosts=frozenset((hostname,)),
-                            details={"before": before, "after": region})
+                            details={"host": str(hostname),
+                                     "before": before, "after": region})
         self.events.append(event)
         return event
 
@@ -400,6 +455,8 @@ class ChangeJournal:
             kind="dnssec",
             details={"deployment": deployment,
                      "fraction": fraction,
+                     "sign_tlds": always_sign_tlds,
+                     "seed": seed,
                      "newly_signed": newly_signed})
         self.events.append(event)
         return event

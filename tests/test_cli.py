@@ -427,3 +427,74 @@ def test_churn_store_flag_archives_epochs(tmp_path, capsys):
     assert store.epochs == 3
     assert store.total_bytes() < 2 * store.epoch_path(0).stat().st_size
     assert len(store.load_epoch(2).records) > 0
+
+# -- the distributed survey surface -------------------------------------------------------
+
+
+def test_parser_worker_and_merge_defaults():
+    parser = build_parser()
+    worker_args = parser.parse_args(["worker"])
+    assert worker_args.command == "worker"
+    assert worker_args.listen == "127.0.0.1:0"
+    merge_args = parser.parse_args(["merge", "a.rsnap", "b.rsnap",
+                                    "--output", "out.rsnap"])
+    assert merge_args.shards == ["a.rsnap", "b.rsnap"]
+    with pytest.raises(SystemExit):  # --output is required
+        parser.parse_args(["merge", "a.rsnap"])
+
+
+def test_parser_shard_spec():
+    parser = build_parser()
+    args = parser.parse_args(["survey", "--shard", "2/5"])
+    assert args.shard == (2, 5)
+    for bad in ("5/5", "-1/3", "1of3", "2/"):
+        with pytest.raises(SystemExit):
+            parser.parse_args(["survey", "--shard", bad])
+
+
+def test_survey_shard_requires_output(capsys):
+    exit_code = main(["survey", "--shard", "0/2", *TINY])
+    assert exit_code == 2
+    assert "requires --output" in capsys.readouterr().err
+
+
+def test_worker_addrs_rejected_off_socket_backend(capsys):
+    exit_code = main(["survey", "--worker-addrs", "127.0.0.1:9999",
+                      "--max-names", "5", *TINY])
+    assert exit_code == 2
+    assert "only applies to --backend socket" in capsys.readouterr().err
+
+
+def test_survey_socket_backend_spawns_local_fleet(tmp_path, capsys):
+    """``--backend socket`` without addresses spawns ``--workers`` local
+    worker processes and the result matches a serial run of the world."""
+    serial_path = tmp_path / "serial.json"
+    socket_path = tmp_path / "socket.json"
+    main(["survey", "--max-names", "30", "--output", str(serial_path),
+          *TINY])
+    exit_code = main(["survey", "--max-names", "30", "--backend", "socket",
+                      "--workers", "2", "--output", str(socket_path),
+                      *TINY])
+    assert exit_code == 0
+    capsys.readouterr()
+    assert main(["diff", str(serial_path), str(socket_path)]) == 0
+    assert " 0 changed" in capsys.readouterr().out
+
+
+def test_churn_keyframe_every_flag(tmp_path, capsys):
+    from repro.core.snapstore import (EpochStore, KIND_DELTA, KIND_RESULTS,
+                                      sniff_kind)
+
+    store_dir = tmp_path / "epochs"
+    exit_code = main(["churn", "--epochs", "4", "--churn-seed", "4",
+                      "--rates", "transfer=1,upgrade=1",
+                      "--store", str(store_dir), "--keyframe-every", "2",
+                      *TINY])
+    assert exit_code == 0
+    assert "epoch store:" in capsys.readouterr().out
+    store = EpochStore(store_dir)
+    assert store.epochs == 5
+    kinds = [sniff_kind(store.epoch_path(epoch)) for epoch in range(5)]
+    assert kinds == [KIND_RESULTS, KIND_DELTA, KIND_RESULTS, KIND_DELTA,
+                     KIND_RESULTS]
+    assert len(store.load_epoch(4).records) > 0

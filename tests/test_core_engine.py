@@ -19,6 +19,8 @@ from repro.core.engine import BACKENDS, EngineConfig, SurveyEngine
 from repro.core.mincut import BottleneckAnalyzer
 from repro.core.snapshot import load_results, results_to_dict, save_results
 from repro.core.survey import Survey
+from repro.distrib.coordinator import LocalWorkerFleet
+from repro.topology.generator import InternetGenerator
 
 
 # -- closure index unit behaviour --------------------------------------------------------
@@ -154,13 +156,22 @@ def _strip_metadata(results):
 
 
 def test_backends_produce_identical_results(small_internet):
+    # A private same-config world: the socket workers regenerate the world
+    # from its GeneratorConfig, so the in-process copy they are compared
+    # against must be pristine, not mutated by earlier tests.
+    internet = InternetGenerator(small_internet.config).generate()
     outputs = {}
-    for backend in BACKENDS:
-        survey = Survey(small_internet, popular_count=20, backend=backend,
-                        workers=3)
-        outputs[backend] = survey.run(max_names=90)
+    with LocalWorkerFleet(2) as fleet:
+        for backend in BACKENDS:
+            addrs = fleet.addresses if backend == "socket" else ()
+            survey = Survey(internet, popular_count=20, backend=backend,
+                            workers=3, worker_addrs=addrs)
+            try:
+                outputs[backend] = survey.run(max_names=90)
+            finally:
+                survey.close()
     serial = outputs["serial"]
-    for backend in ("thread", "sharded", "process"):
+    for backend in BACKENDS[1:]:
         assert outputs[backend].headline() == serial.headline()
         assert _strip_metadata(outputs[backend]) == _strip_metadata(serial)
         assert outputs[backend].metadata["backend"] == backend
@@ -169,22 +180,27 @@ def test_backends_produce_identical_results(small_internet):
 def test_backends_produce_identical_pass_columns(small_internet):
     """Determinism matrix with analysis passes: same seed => byte-identical
     SurveyResults (availability / Monte-Carlo / DNSSEC columns included) on
-    all four backends."""
+    every backend."""
     # A private same-config world: the DNSSEC pass signs zones in place and
-    # must not mutate the session-scoped small_internet other tests observe.
-    from repro.topology.generator import InternetGenerator
+    # must not mutate the session-scoped small_internet other tests observe
+    # (and the socket workers regenerate from the config regardless).
     internet = InternetGenerator(small_internet.config).generate()
     outputs = {}
-    for backend in BACKENDS:
-        survey = Survey(internet, popular_count=20, backend=backend,
-                        workers=3,
-                        passes=("availability:samples=25", "dnssec"))
-        outputs[backend] = survey.run(max_names=80)
+    with LocalWorkerFleet(2) as fleet:
+        for backend in BACKENDS:
+            addrs = fleet.addresses if backend == "socket" else ()
+            survey = Survey(internet, popular_count=20, backend=backend,
+                            workers=3, worker_addrs=addrs,
+                            passes=("availability:samples=25", "dnssec"))
+            try:
+                outputs[backend] = survey.run(max_names=80)
+            finally:
+                survey.close()
     serial = outputs["serial"]
     assert serial.extras_columns() == [
         "availability", "availability_mc", "availability_spof",
         "dnssec_detected", "dnssec_status"]
-    for backend in ("thread", "sharded", "process"):
+    for backend in BACKENDS[1:]:
         assert _strip_metadata(outputs[backend]) == _strip_metadata(serial)
         assert outputs[backend].metadata["passes"] == \
             ["availability", "dnssec"]

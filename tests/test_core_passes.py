@@ -223,18 +223,29 @@ def test_value_pass_finalize_matches_post_hoc_analyzer(small_internet):
 
 def test_value_pass_finalize_identical_across_backends(small_internet):
     from repro.core.engine import BACKENDS
+    from repro.distrib.coordinator import LocalWorkerFleet
+    from repro.topology.generator import InternetGenerator
+
+    # Private same-config world: socket workers regenerate it from the
+    # GeneratorConfig, so the in-process copy must be pristine.
+    internet = InternetGenerator(small_internet.config).generate()
     metadata = {}
-    for backend in BACKENDS:
-        engine = SurveyEngine(
-            small_internet,
-            config=EngineConfig(popular_count=10, backend=backend, workers=3,
-                                passes=("value",)))
-        results = engine.run(max_names=60)
-        metadata[backend] = (results.metadata["value_summary"],
-                             results.metadata["value_top_servers"])
-    assert metadata["thread"] == metadata["serial"]
-    assert metadata["sharded"] == metadata["serial"]
-    assert metadata["process"] == metadata["serial"]
+    with LocalWorkerFleet(2) as fleet:
+        for backend in BACKENDS:
+            addrs = fleet.addresses if backend == "socket" else ()
+            engine = SurveyEngine(
+                internet,
+                config=EngineConfig(popular_count=10, backend=backend,
+                                    workers=3, passes=("value",),
+                                    worker_addrs=tuple(addrs)))
+            try:
+                results = engine.run(max_names=60)
+            finally:
+                engine.close()
+            metadata[backend] = (results.metadata["value_summary"],
+                                 results.metadata["value_top_servers"])
+    for backend in BACKENDS[1:]:
+        assert metadata[backend] == metadata["serial"], backend
 
 
 def test_value_pass_snapshot_round_trip(small_internet, tmp_path):

@@ -362,3 +362,61 @@ def test_universe_round_trips_through_binary(tmp_path):
     assert list(restored_targets) == list(targets)
     # NS slot assignment reproduces too (the bitmask layout closures use).
     assert restored.slot_count() == universe.slot_count()
+
+def test_epoch_store_periodic_keyframes(tmp_path):
+    """``keyframe_every=K`` bounds every overlay chain at K files: full
+    snapshots land on each multiple of K, deltas between them, and each
+    reconstructed epoch stays byte-identical to what was archived."""
+    world = _store_world(4242)
+    model = ChurnModel(world, RATES, seed=9)
+    engine = SurveyEngine(world, config=EngineConfig())
+    results = engine.run()
+    store = EpochStore(tmp_path / "epochs", keyframe_every=3)
+    store.append(results)
+    expected = [_snapshot_bytes(results)]
+    for _ in range(7):
+        journal = ChangeJournal(world)
+        model.advance(journal)
+        outcome = engine.run_delta(results, journal)
+        store.append(outcome.results, previous=results,
+                     dirty=outcome.dirty)
+        results = outcome.results
+        expected.append(_snapshot_bytes(results))
+
+    assert store.epochs == 8
+    kinds = [sniff_kind(store.epoch_path(epoch)) for epoch in range(8)]
+    assert kinds == [KIND_RESULTS, KIND_DELTA, KIND_DELTA, KIND_RESULTS,
+                     KIND_DELTA, KIND_DELTA, KIND_RESULTS, KIND_DELTA]
+    for epoch in range(8):
+        assert _snapshot_bytes(store.load_epoch(epoch)) == expected[epoch]
+
+
+def test_epoch_store_reads_any_keyframe_cadence(tmp_path):
+    """Readers sniff keyframes from the file kinds, so a store written
+    with one cadence opens fine through a handle configured with another
+    (or none at all)."""
+    world = _store_world(1977)
+    model = ChurnModel(world, RATES, seed=3)
+    engine = SurveyEngine(world, config=EngineConfig())
+    results = engine.run()
+    writer = EpochStore(tmp_path / "epochs", keyframe_every=2)
+    writer.append(results)
+    history = [_snapshot_bytes(results)]
+    for _ in range(3):
+        journal = ChangeJournal(world)
+        model.advance(journal)
+        outcome = engine.run_delta(results, journal)
+        writer.append(outcome.results, previous=results,
+                      dirty=outcome.dirty)
+        results = outcome.results
+        history.append(_snapshot_bytes(results))
+
+    plain_reader = EpochStore(tmp_path / "epochs")
+    for epoch in range(4):
+        assert _snapshot_bytes(plain_reader.load_epoch(epoch)) == \
+            history[epoch]
+
+
+def test_epoch_store_rejects_bad_keyframe_cadence(tmp_path):
+    with pytest.raises(ValueError, match="keyframe_every"):
+        EpochStore(tmp_path / "epochs", keyframe_every=0)

@@ -259,3 +259,39 @@ def test_changes_fold_created_zone_has_no_footprint(world, journal):
     changes = journal.changes()
     assert changes.created_zones == (department,)
     assert department not in changes.zone_footprints
+
+def test_event_to_spec_replays_identically():
+    """``ChangeEvent.to_spec()`` replayed through ``apply_mutation_spec``
+    on an identically-generated world reproduces the same event log and
+    the same folded footprint — the contract the distributed coordinator
+    leans on when it ships a journal to its workers as spec strings."""
+    # Private worlds: the module-scoped fixture has been mutated by the
+    # tests above, so a config-regenerated twin would not match it.
+    config = GeneratorConfig(seed=777, sld_count=60,
+                             directory_name_count=90, university_count=12,
+                             hosting_provider_count=6, isp_count=4,
+                             alexa_count=15)
+    original_world = InternetGenerator(config).generate()
+    twin = InternetGenerator(config).generate()
+    source, replayed = ChangeJournal(original_world), ChangeJournal(twin)
+
+    univ = original_world.organizations.by_name("univ4")
+    hostname = univ.nameservers[0]
+    source.set_server_software(hostname, "BIND 8.2.2")
+    source.move_server_region(hostname, "eu")
+    source.add_server("ns9.webhost2.com", software="BIND 9.2.3",
+                      region="ap", organization="webhost2")
+    source.remove_server(
+        _provider(original_world, 3).nameservers[0])
+
+    for event in source.events:
+        replay_event = apply_mutation_spec(replayed, event.to_spec())
+        assert replay_event.kind == event.kind
+        assert replay_event.to_spec() == event.to_spec()
+
+    original, mirrored = source.changes(), replayed.changes()
+    assert mirrored.touched_hosts == original.touched_hosts
+    assert mirrored.refingerprint_hosts == original.refingerprint_hosts
+    assert mirrored.edited_zones == original.edited_zones
+    assert twin.servers[hostname].software == "BIND 8.2.2"
+    assert twin.servers[hostname].region == "eu"
