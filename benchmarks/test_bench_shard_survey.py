@@ -112,3 +112,63 @@ def test_bench_shard_survey_scaling(bench_internet, figure_writer,
         assert speedups[top] >= MIN_SPEEDUP, (
             f"socket x{top} only {speedups[top]:.2f}x faster than serial "
             f"(floor {MIN_SPEEDUP}x)")
+
+
+def test_bench_chaos_recovery(bench_internet, figure_writer, bench_metrics):
+    """Cost of recovering from a mid-survey fault, vs the same clean run.
+
+    Worker 1's first RESULT frame is truncated by a deterministic fault
+    plan (its sends are OK(BUILD)=1, OK(PING)=2, RESULT=3), forcing the
+    coordinator through one retry and a full reconnect-and-rebuild —
+    including world regeneration, the dominant recovery cost a long-lived
+    fleet would pay for a real crashed worker.  The recovered survey must
+    stay byte-identical to the clean sharded run, and the FaultReport
+    counters land in ``BENCH_results.json`` under ``chaos_recovery``.
+    """
+    popular = BENCH_CONFIG.alexa_count
+    workers = 3
+    runs = {}
+    for label, plans in (("clean", None),
+                         ("faulted", {1: "truncate:send:3"})):
+        with LocalWorkerFleet(workers, fault_plans=plans) as fleet:
+            engine = SurveyEngine(bench_internet, config=EngineConfig(
+                backend="socket", popular_count=popular,
+                worker_addrs=tuple(fleet.addresses),
+                retries=2, retry_backoff=0.05))
+            try:
+                engine._ensure_coordinator()
+                started = time.perf_counter()
+                results = engine.run()
+                elapsed = time.perf_counter() - started
+                report = engine._coordinator.fault_report.to_dict()
+            finally:
+                engine.close()
+        runs[label] = {"elapsed": elapsed, "report": report,
+                       "reference": _strip_metadata(results)}
+
+    assert runs["faulted"]["reference"] == runs["clean"]["reference"]
+    assert runs["clean"]["report"]["retries"] == 0
+    report = runs["faulted"]["report"]
+    assert report["retries"] >= 1 and report["rebuilds"] >= 1
+    assert not report["dead_workers"]
+
+    clean_s = runs["clean"]["elapsed"]
+    faulted_s = runs["faulted"]["elapsed"]
+    overhead = faulted_s / clean_s if clean_s else float("inf")
+    lines = [f"workers                   {workers}",
+             f"clean sharded survey      {clean_s:.3f}s",
+             f"faulted + recovered       {faulted_s:.3f}s "
+             f"({overhead:.2f}x clean)",
+             f"retries                   {report['retries']}",
+             f"rebuilds                  {report['rebuilds']}",
+             f"shard reassignments       {report['reassignments']}",
+             f"recovery wall-clock       {report['recovery_seconds']}s"]
+    figure_writer.write("chaos_recovery",
+                        "Fault recovery overhead (truncated RESULT)", lines)
+    bench_metrics.record(
+        "chaos_recovery", workers=workers, clean_s=clean_s,
+        faulted_s=faulted_s, recovery_overhead=overhead,
+        retries=report["retries"], rebuilds=report["rebuilds"],
+        reassignments=report["reassignments"],
+        dead_workers=len(report["dead_workers"]),
+        recovery_seconds=report["recovery_seconds"])

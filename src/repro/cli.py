@@ -80,8 +80,9 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.engine import BACKENDS
 from repro.core.passes import build_passes
@@ -261,6 +262,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="address to listen on (port 0 picks a free "
                              "port; the bound address is printed as "
                              "'listening on HOST:PORT')")
+    worker.add_argument("--auth-token", type=str, default=None,
+                        help="require a valid HMAC HELLO handshake under "
+                             "this shared secret before serving any frame "
+                             "(defaults to $REPRO_AUTH_TOKEN; unset "
+                             "disables auth)")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="drop a coordinator connection after this "
+                             "long without a frame (the worker goes back "
+                             "to accepting; warm state is kept)")
+    worker.add_argument("--fault-plan", type=str, default=None,
+                        metavar="SPEC",
+                        help="chaos testing: arm this worker with a "
+                             "deterministic fault plan, e.g. "
+                             "'seed=7,kill:recv:2' (defaults to "
+                             "$REPRO_FAULT_PLAN)")
 
     merge = subparsers.add_parser(
         "merge",
@@ -308,22 +325,99 @@ def _add_worker_addr_argument(parser: argparse.ArgumentParser) -> None:
                              "running 'repro-dns worker' processes; "
                              "omitted, --backend socket spawns --workers "
                              "local worker processes itself")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="socket backend: per-incident retry budget "
+                             "before a worker is declared dead and its "
+                             "shard reassigned to a survivor (0, the "
+                             "default, aborts the run on any failure)")
+    parser.add_argument("--min-workers", type=_positive_int, default=1,
+                        help="socket backend: abort once fewer than this "
+                             "many workers survive (with --retries > 0)")
+    parser.add_argument("--auth-token", type=str, default=None,
+                        help="socket backend: shared secret for the HELLO "
+                             "auth handshake (defaults to "
+                             "$REPRO_AUTH_TOKEN; spawned local workers "
+                             "inherit it automatically)")
+    parser.add_argument("--fault-plan", action="append", default=[],
+                        metavar="I=SPEC",
+                        help="chaos testing (spawned local fleet only): arm "
+                             "worker I with a deterministic fault plan, "
+                             "e.g. '1=seed=7,kill:recv:2' (repeatable)")
+
+
+def _auth_token(args: argparse.Namespace) -> Optional[str]:
+    """The shared auth token: explicit flag, else $REPRO_AUTH_TOKEN."""
+    from repro.distrib.wire import ENV_AUTH_TOKEN
+    if getattr(args, "auth_token", None):
+        return args.auth_token
+    return os.environ.get(ENV_AUTH_TOKEN) or None
+
+
+def _fault_plans(args: argparse.Namespace) -> Dict[int, str]:
+    """Parse repeated ``--fault-plan I=SPEC`` into {worker index: spec}."""
+    from repro.distrib.faults import FaultPlan
+    plans: Dict[int, str] = {}
+    for item in getattr(args, "fault_plan", []) or []:
+        index_text, separator, spec = str(item).partition("=")
+        if not separator or not index_text.isdigit():
+            raise DistribError(
+                f"invalid --fault-plan {item!r}: expected I=SPEC "
+                f"(e.g. '1=seed=7,kill:recv:2')")
+        FaultPlan.parse(spec)  # validate eagerly, fail before spawning
+        plans[int(index_text)] = spec
+    return plans
 
 
 def _worker_fleet(args: argparse.Namespace):
     """(worker_addrs, fleet) for a command; fleet is None unless spawned."""
     addrs = tuple(item.strip() for item in (args.worker_addrs or "").split(",")
                   if item.strip())
+    plans = _fault_plans(args)
     if args.backend != "socket":
         if addrs:
             raise DistribError(
                 "--worker-addrs only applies to --backend socket")
+        if plans:
+            raise DistribError(
+                "--fault-plan only applies to --backend socket")
         return (), None
+    min_workers = getattr(args, "min_workers", 1) or 1
+    if min_workers > (len(addrs) or args.workers):
+        # Fail before any worker process spawns, with the CLI's one-line
+        # error contract rather than EngineConfig.validate's ValueError.
+        raise DistribError(
+            f"--min-workers {min_workers} exceeds the "
+            f"{len(addrs) or args.workers} configured workers")
     if addrs:
+        if plans:
+            raise DistribError(
+                "--fault-plan arms spawned local workers; with "
+                "--worker-addrs, start each remote worker with its own "
+                "--fault-plan instead")
         return addrs, None
     from repro.distrib.coordinator import LocalWorkerFleet
-    fleet = LocalWorkerFleet(args.workers)
+    bad = [index for index in plans if index >= args.workers]
+    if bad:
+        raise DistribError(
+            f"--fault-plan worker index {bad[0]} out of range "
+            f"(spawning {args.workers} workers)")
+    fleet = LocalWorkerFleet(args.workers, auth_token=_auth_token(args),
+                             fault_plans=plans)
     return tuple(fleet.start()), fleet
+
+
+def _print_fault_report(metadata: Dict[str, object]) -> None:
+    """One summary line when the recovery machinery had to act."""
+    report = metadata.get("fault_report")
+    if not isinstance(report, dict):
+        return
+    dead = report.get("dead_workers") or []
+    print(f"fault recovery: {report.get('retries', 0)} retries, "
+          f"{report.get('rebuilds', 0)} rebuilds, "
+          f"{report.get('reassignments', 0)} shard reassignments, "
+          f"{len(dead)} dead worker(s)"
+          f"{' (' + ', '.join(dead) + ')' if dead else ''} in "
+          f"{report.get('recovery_seconds', 0)}s")
 
 
 def _add_snapshot_output_arguments(parser: argparse.ArgumentParser) -> None:
@@ -442,7 +536,9 @@ def _command_survey(args: argparse.Namespace) -> int:
     survey = Survey(internet, include_bottleneck=not args.no_bottleneck,
                     backend=args.backend, workers=args.workers,
                     passes=build_passes(args.passes),
-                    worker_addrs=worker_addrs)
+                    worker_addrs=worker_addrs, retries=args.retries,
+                    min_workers=args.min_workers,
+                    auth_token=_auth_token(args))
     progress = ProgressPrinter() if args.progress else None
     try:
         results = survey.run(max_names=args.max_names, progress=progress)
@@ -450,6 +546,7 @@ def _command_survey(args: argparse.Namespace) -> int:
         survey.close()
         if fleet is not None:
             fleet.stop()
+    _print_fault_report(results.metadata)
     _print_headline(results)
     _print_tld_tables(results)
     _print_extras_summary(results)
@@ -512,11 +609,18 @@ def _command_survey_shard(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
-    from repro.distrib.wire import parse_address
+    from repro.distrib.faults import (FaultInjector, FaultPlan,
+                                      activate_from_env)
+    from repro.distrib.wire import install_fault_injector, parse_address
     from repro.distrib.worker import WorkerServer
 
+    if args.fault_plan:
+        install_fault_injector(FaultInjector(FaultPlan.parse(args.fault_plan)))
+    else:
+        activate_from_env()
     host, port = parse_address(args.listen)
-    server = WorkerServer(host, port)
+    server = WorkerServer(host, port, auth_token=_auth_token(args),
+                          idle_timeout=args.idle_timeout)
     print(f"listening on {server.address}", flush=True)
     server.serve_forever()
     return 0
@@ -607,7 +711,10 @@ def _command_resurvey(args: argparse.Namespace) -> int:
         config=EngineConfig(backend=args.backend, workers=args.workers,
                             include_bottleneck=not args.no_bottleneck,
                             passes=build_passes(args.passes),
-                            worker_addrs=worker_addrs))
+                            worker_addrs=worker_addrs,
+                            retries=args.retries,
+                            min_workers=args.min_workers,
+                            auth_token=_auth_token(args)))
 
     # Snapshots are byte-identical to cold surveys by design, so a snapshot
     # cannot reveal which mutations produced it.  A sidecar journal
@@ -644,6 +751,7 @@ def _command_resurvey(args: argparse.Namespace) -> int:
             fleet.stop()
 
     stats = outcome.stats
+    _print_fault_report(outcome.results.metadata)
     print(f"re-surveyed {stats.dirty_names}/{stats.total_names} names "
           f"({stats.dirty_fraction:.1%} dirty, {stats.patched_names} "
           f"patched from {args.previous}) in {stats.elapsed_s:.2f}s")
@@ -734,6 +842,11 @@ def _command_churn(args: argparse.Namespace) -> int:
               f"in {snapshot.delta_elapsed_s:.2f}s", file=sys.stderr)
 
     worker_addrs, fleet = _worker_fleet(args)
+    socket_options = None
+    if args.backend == "socket":
+        socket_options = {"retries": args.retries,
+                          "min_workers": args.min_workers,
+                          "auth_token": _auth_token(args)}
     try:
         timeline = run_churn_timeline(
             internet, model, epochs=args.epochs, backend=args.backend,
@@ -741,7 +854,7 @@ def _command_churn(args: argparse.Namespace) -> int:
             passes=args.passes, max_names=args.max_names,
             cold_check=args.cold_check, store=args.store,
             keyframe_every=args.keyframe_every, worker_addrs=worker_addrs,
-            progress=progress)
+            socket_options=socket_options, progress=progress)
     finally:
         if fleet is not None:
             fleet.stop()

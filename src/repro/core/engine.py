@@ -115,6 +115,21 @@ class EngineConfig:
     #: Socket backend: per-frame response timeout (seconds).  Bounds every
     #: read, so a hung worker surfaces as a precise error, never a stall.
     response_timeout: float = 600.0
+    #: Socket backend: separate timeout for BUILD exchanges (world
+    #: regeneration is slow); None means use ``response_timeout``.
+    build_timeout: Optional[float] = None
+    #: Socket backend: per-incident retry budget.  0 (the default) keeps
+    #: the strict abort-on-any-failure behaviour; >0 enables
+    #: reconnect-and-rebuild recovery and shard reassignment.
+    retries: int = 0
+    #: Socket backend: base backoff (seconds) between retries; doubles
+    #: per attempt with seed-deterministic jitter.
+    retry_backoff: float = 0.25
+    #: Socket backend: abort once fewer than this many workers survive.
+    min_workers: int = 1
+    #: Socket backend: shared secret for the HELLO auth handshake (None
+    #: disables auth; falls back to $REPRO_AUTH_TOKEN in the CLI layer).
+    auth_token: Optional[str] = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` on inconsistent settings."""
@@ -134,6 +149,17 @@ class EngineConfig:
             raise ValueError("workers must be >= 1")
         if self.shard_count is not None and self.shard_count < 1:
             raise ValueError("shard_count must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.backend == "socket" and self.worker_addrs and \
+                self.min_workers > len(self.worker_addrs):
+            raise ValueError(
+                f"min_workers ({self.min_workers}) exceeds the "
+                f"{len(self.worker_addrs)} configured workers")
 
     def effective_shards(self) -> int:
         """How many shards a partitioned backend should use."""
@@ -360,11 +386,21 @@ class SurveyEngine:
     def _ensure_coordinator(self):
         """Connect to (and BUILD) the socket workers on first use."""
         if self._coordinator is None:
-            from repro.distrib.coordinator import ShardCoordinator
+            from repro.distrib.coordinator import (RetryPolicy,
+                                                   ShardCoordinator)
+            generator_config = getattr(self.internet, "config", None)
+            policy = RetryPolicy(
+                retries=self.config.retries,
+                backoff_base=self.config.retry_backoff,
+                seed=int(getattr(generator_config, "seed", 0) or 0))
             self._coordinator = ShardCoordinator(
                 self, self.config.worker_addrs,
                 connect_timeout=self.config.connect_timeout,
-                response_timeout=self.config.response_timeout)
+                response_timeout=self.config.response_timeout,
+                build_timeout=self.config.build_timeout,
+                retry_policy=policy,
+                min_workers=self.config.min_workers,
+                auth_token=self.config.auth_token)
         return self._coordinator
 
     def close(self) -> None:
@@ -490,6 +526,12 @@ class SurveyEngine:
             metadata.update(pass_.metadata())
         for pass_ in self.passes:
             metadata.update(pass_.finalize(aggregator))
+        if backend == "socket" and self._coordinator is not None and \
+                self._coordinator.fault_report.any():
+            # Only on faulted runs: clean runs keep metadata byte-stable
+            # across backends and epochs.
+            metadata["fault_report"] = \
+                self._coordinator.fault_report.to_dict()
         return metadata
 
     # -- incremental re-survey ------------------------------------------------------------

@@ -357,7 +357,8 @@ class Survey:
                  popular_count: int = 500, include_bottleneck: bool = True,
                  use_glue: bool = True, backend: str = "serial",
                  workers: int = 1, passes: Sequence = (),
-                 worker_addrs: Sequence[str] = ()):
+                 worker_addrs: Sequence[str] = (), retries: int = 0,
+                 min_workers: int = 1, auth_token: Optional[str] = None):
         from repro.core.engine import EngineConfig, SurveyEngine
         self.internet = internet
         self.popular_count = popular_count
@@ -368,7 +369,9 @@ class Survey:
                          popular_count=popular_count,
                          include_bottleneck=include_bottleneck,
                          use_glue=use_glue, passes=tuple(passes),
-                         worker_addrs=tuple(worker_addrs)))
+                         worker_addrs=tuple(worker_addrs),
+                         retries=retries, min_workers=min_workers,
+                         auth_token=auth_token))
         self.database = self.engine.database
 
     def close(self) -> None:

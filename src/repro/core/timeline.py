@@ -375,6 +375,7 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
                        store: Union[EpochStore, PathLike, None] = None,
                        keyframe_every: Optional[int] = None,
                        worker_addrs: Sequence[str] = (),
+                       socket_options: Optional[Dict[str, object]] = None,
                        progress=None) -> Timeline:
     """Run ``epochs`` churn steps over ``internet`` and reduce each epoch.
 
@@ -401,6 +402,10 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
     audit (``cold_check``) always runs serially: it exists to check the
     warm distributed state against an independent reference, and the
     busy workers cannot serve a second coordinator mid-epoch.
+    ``socket_options`` passes extra :class:`EngineConfig` fields (e.g.
+    ``retries``, ``min_workers``, ``auth_token``, ``response_timeout``)
+    through to the socket backend only — the serial cold audit never
+    sees them.
 
     ``progress``, when given, is called as ``progress(epoch, snapshot)``
     after each epoch is reduced.
@@ -419,13 +424,15 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
     def engine_config(specs: Sequence[str],
                       run_backend: Optional[str] = None) -> EngineConfig:
         run_backend = run_backend or backend
+        extra = dict(socket_options or {}) if run_backend == "socket" else {}
         return EngineConfig(backend=run_backend, workers=workers,
                             include_bottleneck=include_bottleneck,
                             popular_count=popular_count,
                             passes=build_passes(list(specs)),
                             worker_addrs=(tuple(worker_addrs)
                                           if run_backend == "socket"
-                                          else ()))
+                                          else ()),
+                            **extra)
 
     engine = SurveyEngine(internet, config=engine_config(pass_specs))
 

@@ -12,8 +12,21 @@ sees sockets) survey one directory:
   :class:`LocalWorkerFleet` for CI-friendly local multi-host simulation.
 * :mod:`repro.distrib.merge` — ``repro-dns merge``: union shard snapshot
   files off the binary columns, no hydration.
+* :mod:`repro.distrib.faults` — deterministic fault injection
+  (:class:`FaultPlan`) for chaos-testing the recovery machinery.
+
+Fault tolerance lives in the coordinator: :class:`RetryPolicy` governs
+reconnect-and-rebuild retries with deterministic backoff,
+:class:`FaultReport` tallies what recovery did, and
+:class:`WorkerLostError` marks a worker that exhausted its budget (its
+shard is reassigned to a survivor, preserving byte-identical folds).
 """
 
 from repro.distrib.wire import DistribError, WireError
 
-__all__ = ["DistribError", "WireError"]
+from repro.distrib.coordinator import (FaultReport, RetryPolicy,
+                                       WorkerLostError)
+from repro.distrib.faults import FaultPlan
+
+__all__ = ["DistribError", "WireError", "FaultReport", "RetryPolicy",
+           "WorkerLostError", "FaultPlan"]

@@ -13,20 +13,35 @@ frame part and byte counts it died in, a checksum mismatch or bad magic
 names the peer, and timeouts say what was being waited for.  All of them
 raise :class:`WireError` (a :class:`DistribError`), which the CLI maps to
 exit 2.
+
+Two robustness facilities live at this layer:
+
+* **Auth** — a shared-secret handshake: the coordinator's first frame on
+  an authenticated connection is HELLO, carrying a nonce and an HMAC of
+  it under the shared token (:func:`hello_payload`); the worker verifies
+  with :func:`verify_hello` and rejects mismatches with a precise ERROR.
+  The token never crosses the wire.
+* **Fault injection** — :func:`install_fault_injector` threads a
+  :class:`repro.distrib.faults.FaultInjector` into :func:`send_frame` /
+  :func:`recv_frame`, so chaos tests can kill/delay/truncate/corrupt
+  real frames at scripted points.  With no injector installed (the
+  default) the hot path pays one ``is None`` check.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import os
 import socket
 import struct
 import zlib
 from array import array
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.snapstore import (KIND_ORDER, _Pool, _PoolWriter,
                                   _SectionReader, _SectionWriter)
-
 
 class DistribError(RuntimeError):
     """A distributed-survey failure (connection, protocol, or worker)."""
@@ -47,16 +62,43 @@ FRAME_BUILD = 1     # coordinator -> worker: JSON world + engine config
 FRAME_SURVEY = 2    # coordinator -> worker: KIND_ORDER work order
 FRAME_RESULT = 3    # worker -> coordinator: KIND_SHARD columns
 FRAME_OK = 4        # worker -> coordinator: ack with no payload
-FRAME_ERROR = 5     # worker -> coordinator: JSON {"error": message}
+FRAME_ERROR = 5     # worker -> coordinator: JSON {"error", "retryable"}
 FRAME_SHUTDOWN = 6  # coordinator -> worker: exit after acking
+FRAME_PING = 7      # coordinator -> worker: liveness heartbeat; reply OK
+FRAME_HELLO = 8     # coordinator -> worker: HMAC auth handshake; reply OK
 
 FRAME_NAMES = {FRAME_BUILD: "BUILD", FRAME_SURVEY: "SURVEY",
                FRAME_RESULT: "RESULT", FRAME_OK: "OK",
-               FRAME_ERROR: "ERROR", FRAME_SHUTDOWN: "SHUTDOWN"}
+               FRAME_ERROR: "ERROR", FRAME_SHUTDOWN: "SHUTDOWN",
+               FRAME_PING: "PING", FRAME_HELLO: "HELLO"}
 
 #: Sanity bound on a header's claimed payload length: a corrupt length
 #: field should fail loudly, not allocate garbage or stall the reader.
 MAX_FRAME_PAYLOAD = 1 << 32
+
+#: Environment variable both ends read their shared auth token from when
+#: no ``--auth-token`` / ``auth_token=`` is given explicitly.
+ENV_AUTH_TOKEN = "REPRO_AUTH_TOKEN"
+
+#: The process-wide fault injector (None outside chaos tests).  See
+#: :mod:`repro.distrib.faults`.
+_FAULT_INJECTOR = None
+
+
+def install_fault_injector(injector):
+    """Install (or, with None, clear) the process fault injector.
+
+    Returns the previously installed injector so tests can restore it.
+    """
+    global _FAULT_INJECTOR
+    previous = _FAULT_INJECTOR
+    _FAULT_INJECTOR = injector
+    return previous
+
+
+def fault_injector():
+    """The currently installed fault injector, or None."""
+    return _FAULT_INJECTOR
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -74,8 +116,13 @@ def send_frame(sock: socket.socket, frame_type: int,
     payload = bytes(payload)
     header = _FRAME_HEADER.pack(WIRE_MAGIC, WIRE_VERSION, frame_type, 0,
                                 zlib.crc32(payload), len(payload))
+    data = header + payload
+    if _FAULT_INJECTOR is not None:
+        # May delay, corrupt the bytes (post-CRC), truncate-and-raise,
+        # or kill the process, per the installed plan.
+        data = _FAULT_INJECTOR.filter_send(sock, frame_type, data)
     try:
-        sock.sendall(header + payload)
+        sock.sendall(data)
     except OSError as error:
         raise WireError(f"connection lost while sending "
                         f"{FRAME_NAMES.get(frame_type, frame_type)} frame: "
@@ -135,18 +182,73 @@ def recv_frame(sock: socket.socket, timeout: Optional[float] = None,
     if zlib.crc32(payload) != crc:
         raise WireError(f"{peer}: {FRAME_NAMES[frame_type]} payload "
                         f"checksum mismatch (corrupt frame)")
+    if _FAULT_INJECTOR is not None:
+        _FAULT_INJECTOR.frame_received(sock, frame_type)
     return frame_type, payload
 
 
-def error_payload(message: str) -> bytes:
-    return json.dumps({"error": message}).encode("utf-8")
+class ErrorInfo(NamedTuple):
+    """A decoded worker ERROR frame."""
+
+    message: str
+    #: True when the worker judged the failure transient (an I/O or
+    #: poisoned-state error a reconnect-and-rebuild can cure); False for
+    #: deterministic failures retrying would only repeat.
+    retryable: bool
 
 
-def decode_error(payload: bytes, peer: str) -> str:
+def error_payload(message: str, retryable: bool = False) -> bytes:
+    return json.dumps({"error": message,
+                       "retryable": bool(retryable)}).encode("utf-8")
+
+
+def decode_error(payload: bytes, peer: str) -> ErrorInfo:
     try:
-        return str(json.loads(payload.decode("utf-8"))["error"])
+        document = json.loads(payload.decode("utf-8"))
+        return ErrorInfo(str(document["error"]),
+                         bool(document.get("retryable", False)))
     except (ValueError, KeyError, UnicodeDecodeError):
-        return f"unreadable ERROR payload ({len(payload)} bytes)"
+        return ErrorInfo(
+            f"unreadable ERROR payload ({len(payload)} bytes)", False)
+
+
+# -- auth handshake ----------------------------------------------------------------------
+#
+# A HELLO payload proves knowledge of the shared token without sending
+# it: {"nonce": <hex>, "mac": HMAC-SHA256(token, context || nonce)}.
+# This gates accidental cross-talk and unauthenticated peers on an open
+# port; it is not transport encryption (for hostile networks, tunnel the
+# worker port over TLS/ssh).
+
+_HELLO_CONTEXT = b"RDWP-HELLO-v1:"
+
+
+def hello_mac(token: str, nonce: str) -> str:
+    return hmac.new(token.encode("utf-8"),
+                    _HELLO_CONTEXT + nonce.encode("ascii"),
+                    hashlib.sha256).hexdigest()
+
+
+def hello_payload(token: str, nonce: Optional[str] = None) -> bytes:
+    """A HELLO frame payload proving knowledge of ``token``."""
+    if nonce is None:
+        nonce = os.urandom(16).hex()
+    return json.dumps({"nonce": nonce,
+                       "mac": hello_mac(token, nonce)}).encode("utf-8")
+
+
+def verify_hello(payload: bytes, token: str, peer: str) -> None:
+    """Validate a HELLO payload against the shared token (or raise)."""
+    try:
+        document = json.loads(payload.decode("utf-8"))
+        nonce = str(document["nonce"])
+        mac = str(document["mac"])
+        nonce.encode("ascii")
+    except (ValueError, KeyError, UnicodeDecodeError, UnicodeEncodeError):
+        raise WireError(f"{peer}: malformed HELLO payload")
+    if not hmac.compare_digest(hello_mac(token, nonce), mac):
+        raise WireError(f"{peer}: HELLO authentication failed "
+                        f"(auth token mismatch)")
 
 
 # -- work orders -------------------------------------------------------------------------

@@ -18,12 +18,23 @@ coordinator connects and drives it with frames (:mod:`repro.distrib.wire`):
   :meth:`SurveyEngine._invalidate_for_changes`, surveys its names, and
   replies with a **RESULT** frame whose payload is a ``KIND_SHARD``
   column container (records by global index, fingerprints, verdict maps).
+* **PING** — liveness heartbeat, acked with OK (no payload, no state).
+* **HELLO** — shared-secret auth handshake.  A worker started with an
+  auth token (``--auth-token`` / ``REPRO_AUTH_TOKEN``) rejects every
+  frame until a HELLO carrying a valid HMAC arrives on the connection;
+  a worker without a token rejects HELLO with a precise ERROR so a
+  token mismatch is never silent in either direction.
 * **SHUTDOWN** — ack and exit.
 
 Handler failures are reported to the coordinator as **ERROR** frames
-(with the exception text); wire-level failures drop the connection and
-the worker goes back to accepting, so a crashed coordinator never
-strands a worker.
+(exception text plus a ``retryable`` flag); wire-level failures and idle
+timeouts drop the connection and the worker goes back to accepting, so a
+crashed coordinator never strands a worker.  Errors are isolated per
+request — one bad order never kills the process — with one deliberate
+exception: a failure while *replaying mutation specs* leaves the warm
+world half-mutated, so the worker discards its engine and reports a
+retryable ERROR, forcing the coordinator down the rebuild path instead
+of surveying a corrupt world.
 """
 
 from __future__ import annotations
@@ -35,11 +46,12 @@ from typing import Dict, List, Optional
 from repro.core.engine import EngineConfig, SurveyEngine
 from repro.core.snapstore import pack_shard_result
 from repro.dns.name import DomainName
-from repro.distrib.wire import (FRAME_BUILD, FRAME_ERROR, FRAME_NAMES,
-                                FRAME_OK, FRAME_RESULT, FRAME_SHUTDOWN,
-                                FRAME_SURVEY, DistribError, WireError,
-                                error_payload, recv_frame, send_frame,
-                                unpack_work_order)
+from repro.distrib.wire import (FRAME_BUILD, FRAME_ERROR, FRAME_HELLO,
+                                FRAME_NAMES, FRAME_OK, FRAME_PING,
+                                FRAME_RESULT, FRAME_SHUTDOWN, FRAME_SURVEY,
+                                DistribError, WireError, error_payload,
+                                fault_injector, recv_frame, send_frame,
+                                unpack_work_order, verify_hello)
 from repro.topology.changes import ChangeJournal, apply_mutation_spec
 from repro.topology.generator import GeneratorConfig, InternetGenerator
 from repro.topology.webdirectory import DirectoryEntry
@@ -67,15 +79,23 @@ def _engine_from_build(payload: bytes) -> SurveyEngine:
         passes=list(engine_options.get("passes", ()))))
 
 
+class WorkerStateError(DistribError):
+    """The worker's warm state is unusable; a re-BUILD will cure it."""
+
+
 class WorkerServer:
     """Serve one coordinator at a time until a SHUTDOWN frame arrives."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 auth_token: Optional[str] = None,
+                 idle_timeout: Optional[float] = None):
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(1)
         self.host, self.port = self._listener.getsockname()[:2]
+        self._auth_token = auth_token
+        self._idle_timeout = idle_timeout
         self._engine: Optional[SurveyEngine] = None
         self._journal: Optional[ChangeJournal] = None
         self._applied_specs = 0
@@ -89,6 +109,10 @@ class WorkerServer:
         try:
             while True:
                 connection, _peer = self._listener.accept()
+                injector = fault_injector()
+                if injector is not None and injector.refuse_accept():
+                    connection.close()
+                    continue
                 try:
                     if not self._serve_connection(connection):
                         return
@@ -97,15 +121,56 @@ class WorkerServer:
         finally:
             self._listener.close()
 
+    def _reply_error(self, connection: socket.socket, message: str,
+                     retryable: bool = False) -> bool:
+        """Send an ERROR frame; False means the connection is gone."""
+        try:
+            send_frame(connection, FRAME_ERROR,
+                       error_payload(message, retryable=retryable))
+            return True
+        except WireError:
+            return False
+
     def _serve_connection(self, connection: socket.socket) -> bool:
         """Handle frames on one connection; False means shut down."""
+        authenticated = self._auth_token is None
         while True:
             try:
-                frame_type, payload = recv_frame(connection,
-                                                 peer="coordinator")
+                frame_type, payload = recv_frame(
+                    connection, timeout=self._idle_timeout,
+                    peer="coordinator")
             except WireError:
-                # Coordinator gone or stream corrupt: drop the connection
-                # and await a fresh coordinator (warm state is kept).
+                # Coordinator gone, stream corrupt, or idle past the
+                # timeout: drop the connection and await a fresh
+                # coordinator (warm state is kept).
+                return True
+            if frame_type == FRAME_HELLO:
+                if self._auth_token is None:
+                    self._reply_error(
+                        connection,
+                        "worker has no auth token configured; restart it "
+                        "with --auth-token (or REPRO_AUTH_TOKEN) matching "
+                        "the coordinator's")
+                    return True
+                try:
+                    verify_hello(payload, self._auth_token, "coordinator")
+                except WireError as error:
+                    self._reply_error(connection, str(error))
+                    return True
+                authenticated = True
+                try:
+                    send_frame(connection, FRAME_OK)
+                except WireError:
+                    return True
+                continue
+            if not authenticated:
+                # Auth gates everything, SHUTDOWN included: an open port
+                # must not let an unauthenticated peer stop the worker.
+                self._reply_error(
+                    connection,
+                    f"authentication required: this worker was started "
+                    f"with an auth token but received "
+                    f"{FRAME_NAMES[frame_type]} before HELLO")
                 return True
             if frame_type == FRAME_SHUTDOWN:
                 try:
@@ -113,6 +178,12 @@ class WorkerServer:
                 except WireError:
                     pass
                 return False
+            if frame_type == FRAME_PING:
+                try:
+                    send_frame(connection, FRAME_OK)
+                except WireError:
+                    return True
+                continue
             try:
                 if frame_type == FRAME_BUILD:
                     self._handle_build(payload)
@@ -123,12 +194,18 @@ class WorkerServer:
                 else:
                     raise DistribError(
                         f"unexpected {FRAME_NAMES[frame_type]} frame "
-                        f"(worker accepts BUILD/SURVEY/SHUTDOWN)")
+                        f"(worker accepts HELLO/PING/BUILD/SURVEY/"
+                        f"SHUTDOWN)")
             except Exception as error:  # surfaced to the coordinator
-                try:
-                    send_frame(connection, FRAME_ERROR, error_payload(
-                        f"{type(error).__name__}: {error}"))
-                except WireError:
+                # Per-request isolation: report and keep serving.  A
+                # poisoned-state or I/O failure is marked retryable —
+                # reconnect-and-rebuild cures it; a deterministic
+                # failure (bad order, bad build) is not.
+                retryable = isinstance(error, (WorkerStateError, OSError,
+                                               MemoryError))
+                if not self._reply_error(
+                        connection, f"{type(error).__name__}: {error}",
+                        retryable=retryable):
                     return True
                 continue
             try:
@@ -155,20 +232,32 @@ class WorkerServer:
                 f"(coordinator restarted without a new BUILD?)")
         tail = specs[self._applied_specs:]
         if tail:
-            events_before = len(journal)
-            for spec in tail:
-                apply_mutation_spec(journal, spec)
-            self._applied_specs = len(specs)
-            changes = journal.changes(since=events_before)
-            # Mirror run_delta: deployment-tracking passes adopt the
-            # journalled DNSSEC extension before any invalidation.
-            for deployment in changes.dnssec_deployments:
-                for pass_ in engine.passes:
-                    adopt = getattr(pass_, "adopt_deployment", None)
-                    if adopt is not None:
-                        adopt(deployment)
-            engine._invalidate_for_changes(
-                changes, {DomainName(name) for name in dirty_names})
+            try:
+                events_before = len(journal)
+                for spec in tail:
+                    apply_mutation_spec(journal, spec)
+                self._applied_specs = len(specs)
+                changes = journal.changes(since=events_before)
+                # Mirror run_delta: deployment-tracking passes adopt the
+                # journalled DNSSEC extension before any invalidation.
+                for deployment in changes.dnssec_deployments:
+                    for pass_ in engine.passes:
+                        adopt = getattr(pass_, "adopt_deployment", None)
+                        if adopt is not None:
+                            adopt(deployment)
+                engine._invalidate_for_changes(
+                    changes, {DomainName(name) for name in dirty_names})
+            except Exception as error:
+                # A failure mid-replay leaves the warm world half-mutated.
+                # Surveying it would produce silently wrong records, so
+                # discard the engine and force the rebuild path.
+                self._engine = None
+                self._journal = None
+                self._applied_specs = 0
+                raise WorkerStateError(
+                    f"mutation replay failed ({type(error).__name__}: "
+                    f"{error}); worker state discarded, re-BUILD "
+                    f"required") from error
 
         directory = engine.internet.directory
         context = engine._root
