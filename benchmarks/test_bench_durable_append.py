@@ -1,0 +1,114 @@
+"""Durable epoch append: what does the crash-safe commit protocol cost?
+
+Every ``EpochStore.append`` now rides the atomic commit protocol —
+same-directory temp, flush + fsync of the temp file, ``os.replace``,
+fsync of the directory — so a crash at any instant leaves either the old
+store or the new one, never a torn epoch.  The two fsyncs are the only
+part of that protocol with a real price; everything else is a rename.
+
+This bench churns a fixed sequence of epochs once, then replays the
+identical append workload into fresh stores with durability **on**
+(default) and **off** (``no_fsync()``, what ``churn --no-fsync`` and the
+test suite use).  Acceptance: full durability must cost less than
+``MAX_FSYNC_OVERHEAD``x the throwaway mode — if an fsync regression
+sneaks into the hot path (per-record instead of per-commit, say) this
+gate catches it.
+
+Metrics land in ``BENCH_results.json`` under ``durable_epoch_append``.
+"""
+
+import time
+
+from repro.core.atomic import no_fsync, set_fsync
+from repro.core.engine import EngineConfig, SurveyEngine
+from repro.core.snapstore import EpochStore
+from repro.topology.changes import ChangeJournal
+from repro.topology.churn import ChurnModel, ChurnRates
+from repro.topology.generator import InternetGenerator
+
+from conftest import BENCH_CONFIG
+
+#: Ceiling on durable / no-fsync append wall-clock.  The protocol pays
+#: two fsyncs per epoch commit regardless of epoch size, so at bench
+#: scale the serialisation work dominates and the gap stays small.
+MAX_FSYNC_OVERHEAD = 2.0
+
+EPOCHS = 6
+
+REPEATS = 3
+
+CHURN_RATES = ChurnRates(transfer=2.0, death=1.0, upgrade=3.0,
+                         downgrade=1.0, region=2.0)
+
+
+def _churned_epochs():
+    """One fixed epoch sequence both timed runs replay identically."""
+    internet = InternetGenerator(BENCH_CONFIG).generate()
+    engine = SurveyEngine(
+        internet,
+        config=EngineConfig(popular_count=BENCH_CONFIG.alexa_count))
+    results = engine.run()
+    model = ChurnModel(internet, CHURN_RATES, seed=BENCH_CONFIG.seed)
+    epochs = [(results, None, None)]
+    for _ in range(EPOCHS):
+        journal = ChangeJournal(internet)
+        model.advance(journal)
+        outcome = engine.run_delta(results, journal)
+        epochs.append((outcome.results, results, outcome.dirty))
+        results = outcome.results
+    return epochs
+
+
+def _append_all(store_root, epochs):
+    store = EpochStore(store_root)
+    start = time.perf_counter()
+    for results, previous, dirty in epochs:
+        store.append(results, previous=previous, dirty=dirty)
+    return time.perf_counter() - start, store.total_bytes()
+
+
+def test_bench_durable_append(figure_writer, bench_metrics, tmp_path):
+    epochs = _churned_epochs()
+
+    durable_timings, fast_timings = [], []
+    store_bytes = 0
+    for attempt in range(REPEATS):
+        previous = set_fsync(True)
+        try:
+            elapsed, store_bytes = _append_all(
+                tmp_path / f"durable_{attempt}", epochs)
+        finally:
+            set_fsync(previous)
+        durable_timings.append(elapsed)
+        with no_fsync():
+            elapsed, _ = _append_all(tmp_path / f"fast_{attempt}", epochs)
+        fast_timings.append(elapsed)
+
+    durable_s = sorted(durable_timings)[REPEATS // 2]
+    fast_s = sorted(fast_timings)[REPEATS // 2]
+    overhead = durable_s / fast_s
+    appends = len(epochs)
+
+    figure_writer.write(
+        "durable_epoch_append",
+        "Durable epoch append: fsync'd atomic commits vs. throwaway mode",
+        [f"epochs appended per run   {appends} "
+         f"(1 keyframe + {EPOCHS} deltas)",
+         f"store size                {store_bytes} bytes",
+         f"durable (fsync on)        {durable_s:.3f}s "
+         f"({durable_s / appends * 1000:.1f}ms/append)",
+         f"no-fsync                  {fast_s:.3f}s "
+         f"({fast_s / appends * 1000:.1f}ms/append)",
+         f"durability overhead       {overhead:.2f}x "
+         f"(ceiling {MAX_FSYNC_OVERHEAD:.1f}x)"])
+    bench_metrics.record(
+        "durable_epoch_append", appends=appends,
+        store_bytes=store_bytes,
+        durable_s=round(durable_s, 4),
+        no_fsync_s=round(fast_s, 4),
+        durable_append_ms=round(durable_s / appends * 1000, 3),
+        fsync_overhead=round(overhead, 3))
+
+    assert overhead < MAX_FSYNC_OVERHEAD, (
+        f"durable appends cost {overhead:.2f}x the no-fsync path "
+        f"(ceiling {MAX_FSYNC_OVERHEAD:.1f}x)")

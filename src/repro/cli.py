@@ -241,6 +241,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "snapshot is byte-identical (slow)")
     churn.add_argument("--progress", action="store_true",
                        help="print per-epoch progress to stderr")
+    churn.add_argument("--resume", action="store_true",
+                       help="resume an interrupted run from --store: replay "
+                            "the committed epochs deterministically (no "
+                            "re-survey), then continue live from the first "
+                            "missing epoch; the finished timeline matches "
+                            "an uninterrupted run")
+    churn.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync in every snapshot commit (atomic "
+                            "temp+rename is kept); for tests and benchmarks "
+                            "where power-loss durability is irrelevant")
 
     timeline = subparsers.add_parser(
         "timeline",
@@ -251,6 +261,28 @@ def build_parser() -> argparse.ArgumentParser:
                           help="number of most-changed names to list for "
                                "the final epoch (timelines record at most "
                                "10 per epoch)")
+    timeline.add_argument("--fingerprint", action="store_true",
+                          help="print only the canonical content "
+                               "fingerprint (sha256 over the timeline "
+                               "modulo wall-clock timings and per-run "
+                               "paths/ports) and exit; two runs of the "
+                               "same simulation — interrupted+resumed or "
+                               "not, any backend — print the same value")
+
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="check an epoch store directory (churn --store) or a single "
+             "snapshot file for corruption; --salvage quarantines a "
+             "store's bad tail so 'churn --resume' can continue from the "
+             "valid prefix")
+    fsck.add_argument("path", type=str,
+                      help="epoch store directory or snapshot file "
+                           "(REPRO-SNAP or JSON)")
+    fsck.add_argument("--salvage", action="store_true",
+                      help="repair a salvageable store: move corrupt or "
+                           "orphaned epoch files into <store>/quarantine/ "
+                           "and delete uncommitted temp debris (refused "
+                           "when epoch 0 itself is bad)")
 
     worker = subparsers.add_parser(
         "worker",
@@ -278,6 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "deterministic fault plan, e.g. "
                              "'seed=7,kill:recv:2' (defaults to "
                              "$REPRO_FAULT_PLAN)")
+    worker.add_argument("--parent-pid", type=int, default=None,
+                        metavar="PID",
+                        help="orphan watchdog: exit when PID stops being "
+                             "this process's parent (spawned local fleets "
+                             "set it so a crashed coordinator never leaks "
+                             "listener processes)")
 
     merge = subparsers.add_parser(
         "merge",
@@ -608,6 +646,27 @@ def _command_survey_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_parent(parent_pid: int) -> None:
+    """Exit when ``parent_pid`` stops being our parent (orphan watchdog).
+
+    A coordinator that dies mid-commit (crash, SIGKILL, crash-matrix
+    fault injection) cannot stop the workers it spawned; without this a
+    killed ``churn --backend socket`` run leaks listener processes.
+    Reparenting (to init or a subreaper) is the death signal: poll ppid
+    once a second and exit cleanly when it changes.
+    """
+    import threading
+    import time as time_module
+
+    def watch() -> None:
+        while os.getppid() == parent_pid:
+            time_module.sleep(1.0)
+        os._exit(0)
+
+    threading.Thread(target=watch, name="parent-watchdog",
+                     daemon=True).start()
+
+
 def _command_worker(args: argparse.Namespace) -> int:
     from repro.distrib.faults import (FaultInjector, FaultPlan,
                                       activate_from_env)
@@ -618,6 +677,8 @@ def _command_worker(args: argparse.Namespace) -> int:
         install_fault_injector(FaultInjector(FaultPlan.parse(args.fault_plan)))
     else:
         activate_from_env()
+    if args.parent_pid:
+        _watch_parent(args.parent_pid)
     host, port = parse_address(args.listen)
     server = WorkerServer(host, port, auth_token=_auth_token(args),
                           idle_timeout=args.idle_timeout)
@@ -696,9 +757,87 @@ def _sidecar_journal_path(snapshot_path: str):
     return pathlib.Path(str(snapshot_path) + ".journal")
 
 
-def _command_resurvey(args: argparse.Namespace) -> int:
-    import json as json_module
+def _snapshot_sha256(path) -> str:
+    import hashlib
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
+
+def _load_sidecar(sidecar, snapshot_path) -> List[str]:
+    """Mutation specs from a journal sidecar (v1 bare list or v2 dict).
+
+    A v2 sidecar binds itself to its snapshot by content hash: the
+    sidecar commits *before* the snapshot publishes (see
+    :func:`_commit_snapshot_with_sidecar`), so a crash between the two
+    surfaces here as a hash mismatch — a precise error — instead of a
+    silently stale journal replay that would corrupt every later
+    resurvey in the chain.
+    """
+    import json as json_module
+    payload = json_module.loads(sidecar.read_text(encoding="utf-8"))
+    if isinstance(payload, list):  # v1: bare spec list, no binding hash
+        return [str(spec) for spec in payload]
+    if not isinstance(payload, dict) or "specs" not in payload:
+        raise SnapshotFormatError(
+            f"{sidecar}: unrecognised journal sidecar (expected a spec "
+            f"list or a v2 {{specs, snapshot_sha256}} document)")
+    expected = payload.get("snapshot_sha256")
+    if expected:
+        actual = _snapshot_sha256(snapshot_path)
+        if actual != expected:
+            raise SnapshotFormatError(
+                f"{sidecar}: sidecar does not match {snapshot_path} "
+                f"(snapshot sha256 {actual[:12]}..., sidecar recorded "
+                f"{expected[:12]}...): the snapshot commit it describes "
+                f"never completed — re-run the resurvey that produced "
+                f"it, or delete the sidecar to treat the snapshot as "
+                f"unmutated")
+    return [str(spec) for spec in payload["specs"]]
+
+
+def _commit_snapshot_with_sidecar(results: SurveyResults, output,
+                                  specs: List[str],
+                                  args: argparse.Namespace):
+    """Publish a resurvey snapshot and its journal sidecar crash-consistently.
+
+    Order matters: the snapshot is staged under a temp name, the sidecar
+    — recording the staged snapshot's sha256 — commits first, and only
+    then does the snapshot publish over the old one.  A crash at any
+    point leaves either the old pair intact or a sidecar whose hash
+    exposes the unpublished snapshot (:func:`_load_sidecar` rejects the
+    pair); never a published snapshot with a journal missing its
+    mutations.
+    """
+    import json as json_module
+    from repro.core.atomic import atomic_write_text, publish_file
+
+    if args.compress and args.format == "binary":
+        raise SnapshotFormatError(
+            "--compress applies to --format json only (binary snapshots "
+            "are already compact)")
+    output.parent.mkdir(parents=True, exist_ok=True)
+    staged = output.parent / f".{output.name}.staged.{os.getpid()}"
+    try:
+        save_results(results, staged, format=args.format,
+                     compress=args.compress)
+        payload = {"format": 2, "specs": list(specs),
+                   "snapshot_sha256": _snapshot_sha256(staged)}
+        atomic_write_text(_sidecar_journal_path(output),
+                          json_module.dumps(payload, indent=1) + "\n")
+        publish_file(staged, output)
+    except BaseException:
+        try:
+            staged.unlink()
+        except OSError:
+            pass
+        raise
+    return output
+
+
+def _command_resurvey(args: argparse.Namespace) -> int:
     from repro.core.engine import EngineConfig, SurveyEngine
     from repro.topology.changes import ChangeJournal, apply_mutation_spec
 
@@ -725,7 +864,7 @@ def _command_resurvey(args: argparse.Namespace) -> int:
     replayed: List[str] = []
     sidecar = _sidecar_journal_path(args.previous)
     if sidecar.exists():
-        replayed = json_module.loads(sidecar.read_text(encoding="utf-8"))
+        replayed = _load_sidecar(sidecar, args.previous)
         for spec in replayed:
             apply_mutation_spec(journal, spec)
         print(f"replayed {len(replayed)} prior mutation(s) from {sidecar}")
@@ -759,13 +898,13 @@ def _command_resurvey(args: argparse.Namespace) -> int:
     _print_extras_summary(outcome.results)
     _print_value_summary(outcome.results)
     if args.output:
-        path = _write_snapshot(outcome.results, args)
+        import pathlib
+        specs = replayed + [str(spec) for spec in args.mutate]
+        path = _commit_snapshot_with_sidecar(
+            outcome.results, pathlib.Path(args.output), specs, args)
         print(f"\nsnapshot written to {path}")
-        journal_path = _sidecar_journal_path(args.output)
-        journal_path.write_text(
-            json_module.dumps(replayed + list(args.mutate), indent=1) + "\n",
-            encoding="utf-8")
-        print(f"mutation journal written to {journal_path}")
+        print(f"mutation journal written to "
+              f"{_sidecar_journal_path(args.output)}")
     return 0
 
 
@@ -805,6 +944,11 @@ def print_timeline(timeline, movers: int = 5) -> None:
           f"rates {config.get('rates')}")
     print()
     print(format_table(_timeline_rows(timeline), headers=_TIMELINE_HEADERS))
+    if timeline.interrupted_at is not None:
+        print(f"\nINTERRUPTED at epoch {timeline.interrupted_at}/"
+              f"{config.get('epochs')}: the run stopped on request; the "
+              f"epochs above are complete and committed, the rest were "
+              f"never started (resume with 'repro-dns churn --resume')")
     last = timeline.snapshots[-1]
     if last.cold_identical is not None:
         audited = [s for s in timeline.snapshots
@@ -820,9 +964,19 @@ def print_timeline(timeline, movers: int = 5) -> None:
 
 
 def _command_churn(args: argparse.Namespace) -> int:
+    import signal as signal_module
+
+    from repro.core import atomic
     from repro.core.timeline import (dnssec_spec_options, run_churn_timeline,
                                      save_timeline)
     from repro.topology.churn import ChurnModel, ChurnRates
+
+    if args.resume and not args.store:
+        print("error: --resume requires --store (the epoch store holds the "
+              "committed epochs to resume from)", file=sys.stderr)
+        return 2
+    if args.no_fsync:
+        atomic.set_fsync(False)
 
     rates = ChurnRates.parse(args.rates)
     config = _config_from_args(args)
@@ -841,6 +995,32 @@ def _command_churn(args: argparse.Namespace) -> int:
               f"{snapshot.dirty_names}/{snapshot.total_names} re-surveyed "
               f"in {snapshot.delta_elapsed_s:.2f}s", file=sys.stderr)
 
+    # SIGTERM/SIGINT ask the epoch loop to stop at the next epoch
+    # boundary: the current epoch's store append and the timeline JSON
+    # still commit, the timeline carries ``interrupted_at_epoch``, and
+    # the exit code is 3 so wrappers can tell "stopped cleanly, resume
+    # me" from success (0) and corruption (2).  A second signal aborts
+    # hard the default way.
+    stop_requested = {"flag": False}
+
+    def _request_stop(signum, frame):
+        if stop_requested["flag"]:
+            signal_module.signal(signum, signal_module.SIG_DFL)
+            os.kill(os.getpid(), signum)
+            return
+        stop_requested["flag"] = True
+        print(f"{signal_module.Signals(signum).name} received: committing "
+              f"the current epoch, then stopping (repeat to abort hard)",
+              file=sys.stderr)
+
+    previous_handlers = {}
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        try:
+            previous_handlers[signum] = signal_module.signal(
+                signum, _request_stop)
+        except (ValueError, OSError):  # e.g. not on the main thread
+            pass
+
     worker_addrs, fleet = _worker_fleet(args)
     socket_options = None
     if args.backend == "socket":
@@ -848,16 +1028,27 @@ def _command_churn(args: argparse.Namespace) -> int:
                           "min_workers": args.min_workers,
                           "auth_token": _auth_token(args)}
     try:
-        timeline = run_churn_timeline(
-            internet, model, epochs=args.epochs, backend=args.backend,
-            workers=args.workers, include_bottleneck=not args.no_bottleneck,
-            passes=args.passes, max_names=args.max_names,
-            cold_check=args.cold_check, store=args.store,
-            keyframe_every=args.keyframe_every, worker_addrs=worker_addrs,
-            socket_options=socket_options, progress=progress)
+        try:
+            timeline = run_churn_timeline(
+                internet, model, epochs=args.epochs, backend=args.backend,
+                workers=args.workers,
+                include_bottleneck=not args.no_bottleneck,
+                passes=args.passes, max_names=args.max_names,
+                cold_check=args.cold_check, store=args.store,
+                keyframe_every=args.keyframe_every, worker_addrs=worker_addrs,
+                socket_options=socket_options, progress=progress,
+                resume=args.resume,
+                should_stop=lambda: stop_requested["flag"])
+        except ValueError as error:
+            # Resume misuse (nothing to resume, mismatched run arguments,
+            # bad --rates): one clear line, not a traceback.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     finally:
         if fleet is not None:
             fleet.stop()
+        for signum, handler in previous_handlers.items():
+            signal_module.signal(signum, handler)
     timeline.config["generator"] = {
         "seed": args.seed, "sld_count": args.sld_count,
         "directory_names": args.directory_names,
@@ -872,6 +1063,18 @@ def _command_churn(args: argparse.Namespace) -> int:
     if args.output:
         path = save_timeline(timeline, args.output)
         print(f"\ntimeline written to {path}")
+    if timeline.interrupted_at is not None:
+        if args.store:
+            hint = (f"every committed epoch is durable — finish with: "
+                    f"repro-dns churn --resume --store {args.store} "
+                    f"(same remaining arguments)")
+        else:
+            hint = ("no --store was given, so a rerun must start from "
+                    "epoch 0")
+        print(f"\nstopped on request after epoch "
+              f"{timeline.interrupted_at}/{args.epochs}; {hint}",
+              file=sys.stderr)
+        return 3
     if args.cold_check and not all(
             snapshot.cold_identical for snapshot in timeline.snapshots[1:]):
         print("\ncold audit FAILED: at least one incremental epoch diverged "
@@ -881,10 +1084,89 @@ def _command_churn(args: argparse.Namespace) -> int:
 
 
 def _command_timeline(args: argparse.Namespace) -> int:
-    from repro.core.timeline import load_timeline
+    from repro.core.timeline import load_timeline, timeline_fingerprint
 
     timeline = load_timeline(args.timeline)
+    if args.fingerprint:
+        print(timeline_fingerprint(timeline))
+        return 0
     print_timeline(timeline, movers=args.movers)
+    return 0
+
+
+def _command_fsck(args: argparse.Namespace) -> int:
+    """Integrity-check a store or snapshot; exit 0/1/2, --salvage repairs.
+
+    Exit codes: 0 clean (or salvaged), 1 salvageable but --salvage not
+    given, 2 corrupt base / unrecognised / missing path.
+    """
+    import pathlib
+    path = pathlib.Path(args.path)
+    if path.is_dir():
+        return _fsck_store(path, salvage=args.salvage)
+    if path.is_file():
+        return _fsck_snapshot(path, salvage=args.salvage)
+    print(f"error: {path}: no such file or directory", file=sys.stderr)
+    return 2
+
+
+def _fsck_store(path, salvage: bool) -> int:
+    from repro.core.snapstore import EpochStore
+
+    store = EpochStore(path)
+    report = store.verify()
+    epochs = (f"epochs 0..{report.valid_epochs - 1}"
+              if report.valid_epochs else "no epochs")
+    print(f"{path}: {report.classification} — {report.valid_epochs} valid "
+          f"({epochs}), {len(report.problems)} problem(s), "
+          f"{len(report.debris)} uncommitted temp file(s)")
+    for problem in report.problems:
+        print(f"  problem: {problem}")
+    for debris in report.debris:
+        print(f"  debris: {debris.name} (interrupted commit, never "
+              f"visible to readers)")
+    if report.classification == "clean":
+        return 0
+    if report.classification == "corrupt-base":
+        print(f"error: {path}: epoch 0 is missing or corrupt — nothing to "
+              f"salvage; remove the store to start over", file=sys.stderr)
+        return 2
+    if not salvage:
+        print(f"salvageable: rerun with --salvage to quarantine the bad "
+              f"tail and keep epochs 0..{report.valid_epochs - 1}")
+        return 1
+    _, moved = store.salvage()
+    for item in moved:
+        action = "removed" if item.parent == store.root else "quarantined"
+        print(f"  {action}: {item.name}")
+    after = store.verify()
+    print(f"{path}: salvaged — {after.valid_epochs} valid epoch(s) kept, "
+          f"{len(moved)} file(s) moved or removed")
+    return 0 if after.ok else 2
+
+
+def _fsck_snapshot(path, salvage: bool) -> int:
+    import zlib
+
+    from repro.core.snapstore import verify_snapshot_file, sniff_kind
+
+    if salvage:
+        print("error: --salvage applies to epoch store directories; a "
+              "single corrupt snapshot has no valid prefix to keep",
+              file=sys.stderr)
+        return 2
+    try:
+        if sniff_kind(path) is not None:
+            verify_snapshot_file(path)
+        else:
+            load_results(path)  # JSON (possibly zlib): full parse
+    except SnapshotFormatError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, zlib.error, OSError) as error:
+        print(f"error: {path}: corrupt snapshot: {error}", file=sys.stderr)
+        return 2
+    print(f"{path}: clean")
     return 0
 
 
@@ -934,10 +1216,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "resurvey": _command_resurvey,
         "churn": _command_churn,
         "timeline": _command_timeline,
+        "fsck": _command_fsck,
         "worker": _command_worker,
         "merge": _command_merge,
         "inspect": _command_inspect,
     }
+    # $REPRO_FAULT_PLAN arms *this* process too (io crash points in the
+    # atomic-commit protocol, wire faults on the coordinator side) — the
+    # crash-matrix tests kill a churn run mid-commit this way.  Spawned
+    # local workers never inherit it (the fleet strips the variable), and
+    # without the variable this is a no-op.
+    from repro.distrib.faults import activate_from_env
+    activate_from_env()
     handler = handlers[args.command]
     try:
         return handler(args)

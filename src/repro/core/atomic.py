@@ -1,0 +1,257 @@
+"""Atomic, durable file commits for every persistence path.
+
+Everything the survey persists — binary snapshots, delta epochs,
+universe saves, timeline JSON, journal sidecars — goes through one
+commit protocol so a reader can never observe a torn file:
+
+1. open a temp file *in the destination directory* (same filesystem,
+   so the final rename is atomic);
+2. stream the payload, flush, ``fsync`` the temp file;
+3. ``os.replace`` the temp over the destination (atomic on POSIX);
+4. ``fsync`` the destination directory so the rename itself is durable.
+
+A crash at any point leaves either the old file intact or the new file
+complete — the only debris is a temp file (``.<name>.tmp.<pid>``),
+which :meth:`repro.core.snapstore.EpochStore.verify` reports and
+``salvage`` removes.
+
+Two escape hatches:
+
+* ``fsync`` can be disabled (``REPRO_NO_FSYNC=1``, :func:`set_fsync`,
+  or the ``churn --no-fsync`` flag) for tests and benchmarks where
+  durability-across-power-loss is irrelevant; atomicity (temp +
+  rename) is kept regardless.
+* the commit steps fire ``write`` / ``fsync`` / ``replace`` events
+  into an installed fault injector (see :mod:`repro.distrib.faults`),
+  which is how the crash-matrix tests kill the process at every point
+  of the protocol and prove recovery.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+#: Set to any value but ``""``/``"0"`` to skip fsync calls process-wide.
+ENV_NO_FSYNC = "REPRO_NO_FSYNC"
+
+#: Infix marking a not-yet-committed temp file (crash debris when seen
+#: at rest).  Temp names are ``.<final-name><TEMP_INFIX><pid>``.
+TEMP_INFIX = ".tmp."
+
+#: Process-wide override for :func:`fsync_enabled` (None = consult env).
+_FSYNC_OVERRIDE: Optional[bool] = None
+
+#: The installed io fault injector (None outside crash tests).  Must
+#: expose ``io_event(point) -> Optional[FaultAction]``; installed
+#: alongside the wire injector by
+#: :func:`repro.distrib.wire.install_fault_injector`.
+_IO_INJECTOR = None
+
+
+def install_io_injector(injector):
+    """Install (or, with None, clear) the io fault injector.
+
+    Returns the previously installed injector so tests can restore it.
+    """
+    global _IO_INJECTOR
+    previous = _IO_INJECTOR
+    _IO_INJECTOR = injector
+    return previous
+
+
+def io_injector():
+    """The currently installed io fault injector, or None."""
+    return _IO_INJECTOR
+
+
+def _io_event(point: str):
+    if _IO_INJECTOR is not None:
+        return _IO_INJECTOR.io_event(point)
+    return None
+
+
+def fsync_enabled() -> bool:
+    """Whether commits fsync (override beats ``REPRO_NO_FSYNC``)."""
+    if _FSYNC_OVERRIDE is not None:
+        return _FSYNC_OVERRIDE
+    return os.environ.get(ENV_NO_FSYNC, "") in ("", "0")
+
+
+def set_fsync(enabled: Optional[bool]) -> Optional[bool]:
+    """Set the process-wide fsync override; returns the previous one."""
+    global _FSYNC_OVERRIDE
+    previous = _FSYNC_OVERRIDE
+    _FSYNC_OVERRIDE = None if enabled is None else bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def no_fsync() -> Iterator[None]:
+    """Temporarily disable fsync (benchmarks, bulk test fixtures)."""
+    previous = set_fsync(False)
+    try:
+        yield
+    finally:
+        set_fsync(previous)
+
+
+def is_temp_path(path: Union[str, Path]) -> bool:
+    """True if ``path`` names uncommitted temp debris from this module."""
+    name = Path(path).name
+    return name.startswith(".") and TEMP_INFIX in name
+
+
+def temp_debris(directory: Union[str, Path]):
+    """The uncommitted temp files lying in ``directory`` (sorted)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(p for p in directory.iterdir()
+                  if p.is_file() and is_temp_path(p))
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """fsync a directory so a just-committed rename inside it is durable."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return  # e.g. a platform that cannot open directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class AtomicFile:
+    """A binary file handle whose contents appear atomically on commit.
+
+    Usable directly (``handle`` / ``commit()`` / ``abort()``) or as a
+    context manager (commit on clean exit, abort on exception)::
+
+        with AtomicFile(path) as atomic:
+            atomic.handle.write(payload)
+
+    ``fsync=None`` (the default) defers to :func:`fsync_enabled`.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 fsync: Optional[bool] = None):
+        self.path = Path(path)
+        self._fsync = fsync
+        self.temp_path = self.path.parent / (
+            f".{self.path.name}{TEMP_INFIX}{os.getpid()}")
+        self._committed = False
+        self._aborted = False
+        # ``write`` event: the pre-temp-write crash point.  A returned
+        # ``truncate`` action is staged — commit() writes a torn temp
+        # (half the payload) and dies, simulating a mid-write crash.
+        action = _io_event("write")
+        self._torn = action is not None and action.op == "truncate"
+        self.handle = self.temp_path.open("wb")
+
+    # -- commit protocol -----------------------------------------------------------------
+
+    def commit(self) -> None:
+        """flush -> fsync(temp) -> replace -> fsync(dir)."""
+        if self._committed or self._aborted:
+            return
+        do_fsync = fsync_enabled() if self._fsync is None else self._fsync
+        self.handle.flush()
+        if self._torn:
+            self._die_torn()
+        _io_event("fsync")  # crash here: temp complete, final untouched
+        if do_fsync:
+            os.fsync(self.handle.fileno())
+        self.handle.close()
+        _io_event("replace")  # crash here: temp durable, final untouched
+        os.replace(self.temp_path, self.path)
+        _io_event("fsync")  # crash here: final complete, rename volatile
+        if do_fsync:
+            fsync_directory(self.path.parent)
+        self._committed = True
+
+    def abort(self) -> None:
+        """Close and remove the temp file; the destination is untouched."""
+        if self._committed or self._aborted:
+            return
+        self._aborted = True
+        try:
+            self.handle.close()
+        except OSError:
+            pass
+        try:
+            self.temp_path.unlink()
+        except OSError:
+            pass
+
+    def _die_torn(self) -> None:
+        # Leave half the payload on disk, then die the way SIGKILL
+        # would: no cleanup, no atexit, torn temp left behind.
+        size = os.fstat(self.handle.fileno()).st_size
+        os.ftruncate(self.handle.fileno(), max(1, size // 2))
+        os.fsync(self.handle.fileno())
+        self.handle.close()
+        os._exit(137)  # faults.KILL_EXIT_STATUS (no import cycle)
+
+    # -- context manager -----------------------------------------------------------------
+
+    def __enter__(self) -> "AtomicFile":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+def publish_file(staged: Union[str, Path], final: Union[str, Path],
+                 fsync: Optional[bool] = None) -> None:
+    """Atomically publish an already-committed staged file at ``final``.
+
+    The tail of the commit protocol for callers that must interleave
+    another commit between writing a payload and revealing it (the
+    resurvey sidecar protocol: stage snapshot, commit sidecar, publish
+    snapshot).  Fires the same ``replace``/``fsync`` crash points as
+    :meth:`AtomicFile.commit`.
+    """
+    staged = Path(staged)
+    final = Path(final)
+    do_fsync = fsync_enabled() if fsync is None else fsync
+    _io_event("replace")  # crash here: staged durable, final untouched
+    os.replace(staged, final)
+    _io_event("fsync")  # crash here: final complete, rename volatile
+    if do_fsync:
+        fsync_directory(final.parent)
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes,
+                       fsync: Optional[bool] = None) -> None:
+    """Atomically replace ``path``'s contents with ``data``."""
+    with AtomicFile(path, fsync=fsync) as atomic:
+        atomic.handle.write(data)
+
+
+def atomic_write_text(path: Union[str, Path], text: str,
+                      encoding: str = "utf-8",
+                      fsync: Optional[bool] = None) -> None:
+    """Atomically replace ``path``'s contents with encoded ``text``."""
+    atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+@contextlib.contextmanager
+def atomic_writer(path: Union[str, Path],
+                  fsync: Optional[bool] = None):
+    """Context manager yielding a binary handle committed atomically."""
+    atomic = AtomicFile(path, fsync=fsync)
+    try:
+        yield atomic.handle
+    except BaseException:
+        atomic.abort()
+        raise
+    atomic.commit()

@@ -858,7 +858,11 @@ class SurveyEngine:
             "in_bailiwick": report.in_bailiwick_count,
             "vulnerable_in_tcb": report.vulnerable_count,
             "compromisable_in_tcb": report.compromisable_count,
-            "safety_percentage": report.safety_percentage,
+            # Canonicalised at birth to the codecs' three decimals:
+            # records must survive a snapshot round trip *equal*, or a
+            # resumed run comparing fresh records against store-loaded
+            # ones sees phantom changes.
+            "safety_percentage": round(report.safety_percentage, 3),
             "mincut_size": mincut_size,
             "mincut_safe": mincut_safe,
             "mincut_vulnerable": mincut_vulnerable,

@@ -26,6 +26,7 @@ import zlib
 from typing import Dict, List, Mapping, Optional, Set, Union
 
 from repro.dns.name import DomainName
+from repro.core.atomic import atomic_write_bytes, atomic_write_text
 from repro.core.delegation import (
     DelegationGraph,
     NAME_KIND,
@@ -143,15 +144,19 @@ def save_results_json(results: SurveyResults, path: PathLike,
     :func:`load_results_json` (and the sniffing loader) detects the
     two-byte zlib header and decompresses transparently, so compressed and
     plain snapshots are interchangeable everywhere a path is accepted.
+
+    Both forms commit through :mod:`repro.core.atomic`: an existing
+    snapshot is only ever replaced by a complete new one.
     """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = results_to_dict(results)
     text = json.dumps(payload, indent=indent or None, sort_keys=True)
     if compress:
-        path.write_bytes(zlib.compress(text.encode("utf-8"), level=6))
+        atomic_write_bytes(path, zlib.compress(text.encode("utf-8"),
+                                               level=6))
     else:
-        path.write_text(text, encoding="utf-8")
+        atomic_write_text(path, text)
     return path
 
 

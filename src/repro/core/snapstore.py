@@ -50,10 +50,13 @@ rounding the JSON codec applies), across all four execution backends.
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import json
 import mmap
+import os
 import pathlib
+import re
 import struct
 import sys
 import zlib
@@ -73,6 +76,7 @@ from typing import (
 )
 
 from repro.dns.name import DomainName, NameLike
+from repro.core.atomic import AtomicFile, fsync_directory, temp_debris
 from repro.core.graphcore import DependencyUniverse, NameTable
 from repro.core.survey import NameRecord, SurveyResults
 from repro.vulns.bindversion import BindVersion
@@ -132,16 +136,23 @@ class _SectionWriter:
     protocol frames shard payloads with exactly this container, so workers
     and the coordinator reuse the column codec byte-for-byte without
     touching disk (:meth:`close_to_bytes`).
+
+    File targets commit through :class:`repro.core.atomic.AtomicFile`:
+    the container streams into a same-directory temp file and only an
+    fsynced ``os.replace`` publishes it, so no reader (or crash) can ever
+    observe a half-written snapshot under the final name.
     """
 
     def __init__(self, path: Optional[PathLike], kind: int):
         if path is None:
             self.path: Optional[pathlib.Path] = None
+            self._atomic: Optional[AtomicFile] = None
             self._handle = io.BytesIO()
         else:
             self.path = pathlib.Path(path)
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("wb")
+            self._atomic = AtomicFile(self.path)
+            self._handle = self._atomic.handle
         self._kind = kind
         self._handle.write(b"\x00" * _HEADER_SIZE)
         self._sections: Dict[str, Tuple[int, int]] = {}
@@ -190,12 +201,19 @@ class _SectionWriter:
         self._handle.write(MAGIC + header)
 
     def close(self) -> pathlib.Path:
-        """Write the TOC, patch the header, flush; returns the path."""
+        """Finalise and atomically commit the container; returns the path."""
         if self.path is None:
             raise ValueError("in-memory container: use close_to_bytes()")
         self._finalise()
-        self._handle.close()
+        self._atomic.commit()
         return self.path
+
+    def abort(self) -> None:
+        """Discard an unfinished container (the destination is untouched)."""
+        if self._atomic is not None:
+            self._atomic.abort()
+        else:
+            self._handle.close()
 
     def close_to_bytes(self) -> bytes:
         """Finalise an in-memory container and return its bytes."""
@@ -322,6 +340,19 @@ class _SectionReader:
                 f"{self._payload_crc:#010x}, got {crc:#010x})")
 
 
+def verify_snapshot_file(path: PathLike) -> int:
+    """Fully verify one REPRO-SNAP container; returns its kind.
+
+    Opens the file (magic, version, header checksum, TOC bounds) and
+    re-walks the payload crc32 — O(file size), the fsck path rather than
+    the open path.  Raises :class:`SnapshotFormatError` with a precise
+    message on any corruption.
+    """
+    reader = _SectionReader(pathlib.Path(path))
+    reader.verify()
+    return reader.kind
+
+
 def sniff_kind(path: PathLike) -> Optional[int]:
     """The REPRO-SNAP file kind at ``path``, or ``None`` if not REPRO-SNAP."""
     path = pathlib.Path(path)
@@ -395,7 +426,11 @@ class _SetWriter:
         self._local = 0
 
     def intern(self, hosts) -> int:
-        key = tuple(sorted(self._pool.intern_name(host) for host in hosts))
+        # Intern in canonical (string-sorted) order: iterating the set
+        # directly would assign first-seen pool ids in hash order, making
+        # the file's bytes vary with PYTHONHASHSEED across processes.
+        key = tuple(sorted(self._pool.intern_name(host)
+                           for host in sorted(hosts, key=str)))
         found = self._ids.get(key)
         if found is None:
             base_id = self._base.get(key)
@@ -590,6 +625,17 @@ def _write_extras_sections(writer: _SectionWriter, count: int,
     writer.add_json("ex.dir", directory)
 
 
+def _intern_sorted(pool: _PoolWriter, hosts) -> List[int]:
+    """Intern ``hosts`` in canonical (string-sorted) order; sorted ids.
+
+    Interning while iterating a set would assign first-seen pool ids in
+    hash order, so two processes with different PYTHONHASHSEEDs would
+    write byte-different files for identical results — breaking the
+    byte-identity contract resume and the crash-matrix tests rely on.
+    """
+    return sorted(pool.intern_name(host) for host in sorted(hosts, key=str))
+
+
 def _write_aggregate_sections(writer: _SectionWriter, results: SurveyResults,
                               pool: _PoolWriter) -> None:
     """Write the aggregate maps (counts, vuln/comp sets, fingerprints)."""
@@ -601,8 +647,7 @@ def _write_aggregate_sections(writer: _SectionWriter, results: SurveyResults,
     for section, hosts in (("agg.vuln", results.vulnerable_servers),
                            ("agg.comp", results.compromisable_servers),
                            ("agg.pop", results.popular_names)):
-        writer.add(section, array("q", sorted(
-            (pool.intern_name(host) for host in hosts))))
+        writer.add(section, array("q", _intern_sorted(pool, hosts)))
     _write_fingerprint_sections(writer, "fp", results.fingerprints, pool)
     writer.add("meta", json.dumps(results.metadata,
                                   sort_keys=True).encode("utf-8"))
@@ -665,14 +710,18 @@ def save_results_snapshot(results: SurveyResults,
                           path: PathLike) -> pathlib.Path:
     """Write ``results`` as a REPRO-SNAP v1 binary snapshot."""
     writer = _SectionWriter(path, KIND_RESULTS)
-    pool = _PoolWriter()
-    sets = _SetWriter(pool)
-    _write_record_sections(writer, results.records, pool, sets)
-    _write_aggregate_sections(writer, results, pool)
-    # The pool and set store go last: record/aggregate writing is what
-    # populates them.
-    sets.write(writer, "sets")
-    pool.write(writer, "strs")
+    try:
+        pool = _PoolWriter()
+        sets = _SetWriter(pool)
+        _write_record_sections(writer, results.records, pool, sets)
+        _write_aggregate_sections(writer, results, pool)
+        # The pool and set store go last: record/aggregate writing is what
+        # populates them.
+        sets.write(writer, "sets")
+        pool.write(writer, "strs")
+    except BaseException:
+        writer.abort()
+        raise
     return writer.close()
 
 
@@ -1115,6 +1164,18 @@ def pack_shard_result(rows: Sequence[int], records: Sequence[NameRecord],
     if len(rows) != len(records):
         raise ValueError(f"{len(rows)} rows for {len(records)} records")
     writer = _SectionWriter(path, KIND_SHARD)
+    try:
+        return _stream_shard_result(writer, rows, records, fingerprints,
+                                    vulnerability_map, compromisable_map,
+                                    popular, meta, path)
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def _stream_shard_result(writer, rows, records, fingerprints,
+                         vulnerability_map, compromisable_map, popular,
+                         meta, path):
     pool = _PoolWriter()
     sets = _SetWriter(pool)
     _write_record_sections(writer, list(records), pool, sets)
@@ -1125,8 +1186,7 @@ def pack_shard_result(rows: Sequence[int], records: Sequence[NameRecord],
     # The full popular set (not just this shard's slice): a shard file
     # must let `repro-dns merge` reconstruct popular_names exactly even
     # when a truncated survey leaves popular names unsurveyed.
-    writer.add("pop", array("q", sorted(
-        pool.intern_name(name) for name in popular)))
+    writer.add("pop", array("q", _intern_sorted(pool, popular)))
     writer.add("meta", json.dumps(meta or {},
                                   sort_keys=True).encode("utf-8"))
     sets.write(writer, "sets")
@@ -1192,6 +1252,18 @@ def _write_delta_snapshot(path: PathLike, results: SurveyResults,
     being duplicated; only genuinely new material enters the local pool.
     """
     writer = _SectionWriter(path, KIND_DELTA)
+    try:
+        return _stream_delta_snapshot(writer, results, previous,
+                                      changed_rows, base)
+    except BaseException:
+        writer.abort()
+        raise
+
+
+def _stream_delta_snapshot(writer: _SectionWriter, results: SurveyResults,
+                           previous: SurveyResults,
+                           changed_rows: List[int],
+                           base: Optional[_RecordReader]) -> pathlib.Path:
     if base is not None:
         text_index, set_index = _base_ref_indexes(base)
         pool = _PoolWriter(text_index)
@@ -1213,9 +1285,8 @@ def _write_delta_snapshot(path: PathLike, results: SurveyResults,
                array("q", [pool.intern_name(host) for host, _ in upserts]))
     writer.add("aggd.counts.set.n",
                array("q", [count for _, count in upserts]))
-    writer.add("aggd.counts.del", array("q", sorted(
-        pool.intern_name(host) for host in prev_counts
-        if host not in counts)))
+    writer.add("aggd.counts.del", array("q", _intern_sorted(
+        pool, (host for host in prev_counts if host not in counts))))
 
     for section, now, before in (
             ("vuln", results.vulnerable_servers,
@@ -1223,19 +1294,19 @@ def _write_delta_snapshot(path: PathLike, results: SurveyResults,
             ("comp", results.compromisable_servers,
              previous.compromisable_servers),
             ("pop", results.popular_names, previous.popular_names)):
-        writer.add(f"aggd.{section}.add", array("q", sorted(
-            pool.intern_name(host) for host in now - before)))
-        writer.add(f"aggd.{section}.del", array("q", sorted(
-            pool.intern_name(host) for host in before - now)))
+        writer.add(f"aggd.{section}.add",
+                   array("q", _intern_sorted(pool, now - before)))
+        writer.add(f"aggd.{section}.del",
+                   array("q", _intern_sorted(pool, before - now)))
 
     fingerprints, prev_fingerprints = (results.fingerprints,
                                        previous.fingerprints)
     changed_fp = {host: result for host, result in fingerprints.items()
                   if prev_fingerprints.get(host) != result}
     _write_fingerprint_sections(writer, "fpd", changed_fp, pool)
-    writer.add("fpd.del", array("q", sorted(
-        pool.intern_name(host) for host in prev_fingerprints
-        if host not in fingerprints)))
+    writer.add("fpd.del", array("q", _intern_sorted(
+        pool, (host for host in prev_fingerprints
+               if host not in fingerprints))))
 
     writer.add("meta", json.dumps(results.metadata,
                                   sort_keys=True).encode("utf-8"))
@@ -1267,6 +1338,52 @@ def _apply_aggregate_patch(aggregates: Dict[str, object],
     fingerprints.update(_read_fingerprints(reader, "fpd", pool))
     for host_id in reader.q("fpd.del"):
         fingerprints.pop(pool.name(host_id), None)
+
+
+#: An epoch file name (temp debris is dot-prefixed and never matches).
+_EPOCH_FILE = re.compile(r"^epoch_(\d{4,})\.rsnap$")
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreProblem:
+    """One integrity failure fsck found: where, and precisely what."""
+
+    path: pathlib.Path
+    epoch: Optional[int]
+    error: str
+
+    def __str__(self) -> str:
+        where = self.path.name if self.epoch is None \
+            else f"epoch {self.epoch} ({self.path.name})"
+        return f"{where}: {self.error}"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreIntegrityReport:
+    """What :meth:`EpochStore.verify` found.
+
+    ``valid_epochs`` is the length of the longest loadable prefix —
+    contiguous from epoch 0, every file's header, TOC, and payload CRC
+    intact, epoch 0 a full results snapshot.  Everything past it is in
+    ``problems``; uncommitted temp files are in ``debris``.
+    """
+
+    root: pathlib.Path
+    valid_epochs: int
+    present: Tuple[int, ...]
+    problems: Tuple[StoreProblem, ...]
+    debris: Tuple[pathlib.Path, ...]
+
+    @property
+    def classification(self) -> str:
+        """``clean`` / ``salvageable`` / ``corrupt-base``."""
+        if self.problems:
+            return "salvageable" if self.valid_epochs else "corrupt-base"
+        return "salvageable" if self.debris else "clean"
+
+    @property
+    def ok(self) -> bool:
+        return self.classification == "clean"
 
 
 class EpochStore:
@@ -1307,18 +1424,127 @@ class EpochStore:
     def epoch_path(self, epoch: int) -> pathlib.Path:
         return self.root / f"epoch_{epoch:04d}.rsnap"
 
+    def epoch_numbers(self) -> List[int]:
+        """The epoch numbers present on disk, sorted (gaps and all)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(int(match.group(1)) for match in
+                      (_EPOCH_FILE.match(path.name)
+                       for path in self.root.iterdir())
+                      if match is not None)
+
     @property
     def epochs(self) -> int:
-        """How many epochs the store holds (0 when empty)."""
-        count = 0
-        while self.epoch_path(count).exists():
-            count += 1
-        return count
+        """How many epochs the store holds (0 when empty).
+
+        A *gap* — ``epoch_0007.rsnap`` present while ``epoch_0006.rsnap``
+        is not — raises naming the missing epoch rather than silently
+        reporting a shorter store: deltas past the gap would overlay onto
+        the wrong predecessor state.
+        """
+        numbers = self.epoch_numbers()
+        for position, number in enumerate(numbers):
+            if number != position:
+                raise SnapshotFormatError(
+                    f"{self.root}: epoch store has a gap: "
+                    f"{self.epoch_path(position).name} is missing but "
+                    f"{self.epoch_path(number).name} exists "
+                    f"(run `repro-dns fsck` to inspect or salvage)")
+        return len(numbers)
 
     def total_bytes(self) -> int:
         """Bytes on disk across every epoch file."""
         return sum(self.epoch_path(epoch).stat().st_size
                    for epoch in range(self.epochs))
+
+    # -- integrity: fsck / salvage -------------------------------------------------------
+
+    def _check_epoch_file(self, epoch: int) -> Optional[str]:
+        """Why the epoch file is invalid, or None if it checks out fully.
+
+        Walks everything open() skips for O(1) cost: the payload crc32
+        and the kind discipline (epoch 0 must be a full results snapshot;
+        later epochs a delta or a keyframe).
+        """
+        try:
+            reader = _SectionReader(self.epoch_path(epoch))
+            if epoch == 0 and reader.kind != KIND_RESULTS:
+                return (f"epoch 0 must be a full results snapshot, found "
+                        f"a {_KIND_NAMES.get(reader.kind, 'unknown')} file")
+            if epoch > 0 and reader.kind not in (KIND_RESULTS, KIND_DELTA):
+                return (f"expected a keyframe or epoch delta, found a "
+                        f"{_KIND_NAMES.get(reader.kind, 'unknown')} file")
+            reader.verify()
+        except SnapshotFormatError as error:
+            # Strip the path prefix _SectionReader bakes in; the report
+            # names the file itself.
+            message = str(error)
+            prefix = f"{self.epoch_path(epoch)}: "
+            return message[len(prefix):] if message.startswith(prefix) \
+                else message
+        return None
+
+    def verify(self) -> StoreIntegrityReport:
+        """Full integrity walk: CRCs, kinds, contiguity, temp debris.
+
+        O(store size) by design — this is fsck, not open.  Never raises
+        on a corrupt store; the report carries the findings.
+        """
+        present = self.epoch_numbers()
+        problems: List[StoreProblem] = []
+        valid = 0
+        prefix_intact = True
+        top = present[-1] + 1 if present else 0
+        for epoch in range(top):
+            path = self.epoch_path(epoch)
+            if not path.exists():
+                problems.append(StoreProblem(
+                    path, epoch, "missing (gap in the epoch sequence)"))
+                prefix_intact = False
+                continue
+            error = self._check_epoch_file(epoch)
+            if error is not None:
+                problems.append(StoreProblem(path, epoch, error))
+                prefix_intact = False
+            elif prefix_intact:
+                valid = epoch + 1
+        return StoreIntegrityReport(
+            root=self.root, valid_epochs=valid, present=tuple(present),
+            problems=tuple(problems),
+            debris=tuple(temp_debris(self.root)))
+
+    def salvage(self) -> Tuple[StoreIntegrityReport, List[pathlib.Path]]:
+        """Truncate to the longest valid prefix; quarantine the bad tail.
+
+        Invalid or past-the-prefix epoch files move (never delete — they
+        are evidence) into ``<root>/quarantine/``; uncommitted temp
+        debris is removed.  Refuses a corrupt base: with no valid epoch 0
+        there is no prefix to keep, and emptying the store is a decision
+        for a human, not fsck.  Returns the pre-salvage report and the
+        paths acted on.
+        """
+        report = self.verify()
+        if report.classification == "corrupt-base":
+            raise SnapshotFormatError(
+                f"{self.root}: epoch 0 is missing or corrupt — no valid "
+                f"prefix to salvage (remove the store manually to start "
+                f"over)")
+        moved: List[pathlib.Path] = []
+        quarantine = self.root / "quarantine"
+        for epoch in report.present:
+            if epoch < report.valid_epochs:
+                continue
+            path = self.epoch_path(epoch)
+            quarantine.mkdir(parents=True, exist_ok=True)
+            target = quarantine / path.name
+            os.replace(path, target)
+            moved.append(target)
+        for debris in report.debris:
+            debris.unlink()
+            moved.append(debris)
+        if moved:
+            fsync_directory(self.root)
+        return report, moved
 
     def append(self, results: SurveyResults,
                previous: Optional[SurveyResults] = None,
@@ -1401,15 +1627,19 @@ def save_universe(universe: DependencyUniverse,
     start from disk instead of re-crawling.
     """
     writer = _SectionWriter(path, KIND_UNIVERSE)
-    pool = _PoolWriter()
-    for name_id in range(len(universe.names)):
-        pool.intern_name(universe.names.name_of(name_id))
-    writer.add("uni.kinds", bytes(bytearray(universe.kinds)))
-    writer.add("uni.nameid", array("q", universe.name_ids))
-    offsets, targets = universe.csr()
-    writer.add("uni.csr.off", array("q", offsets))
-    writer.add("uni.csr.tgt", array("q", targets))
-    pool.write(writer, "strs")
+    try:
+        pool = _PoolWriter()
+        for name_id in range(len(universe.names)):
+            pool.intern_name(universe.names.name_of(name_id))
+        writer.add("uni.kinds", bytes(bytearray(universe.kinds)))
+        writer.add("uni.nameid", array("q", universe.name_ids))
+        offsets, targets = universe.csr()
+        writer.add("uni.csr.off", array("q", offsets))
+        writer.add("uni.csr.tgt", array("q", targets))
+        pool.write(writer, "strs")
+    except BaseException:
+        writer.abort()
+        raise
     return writer.close()
 
 

@@ -27,11 +27,15 @@ delta-correctness audit the tests and the churn benchmark assert on.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Sequence,
+                    Tuple, Union)
 
+from repro.core.atomic import atomic_write_text
+from repro.core.delta import DeltaStats, DirtyIndex
 from repro.core.engine import EngineConfig, SurveyEngine
 from repro.core.export import _is_zlib_header
 from repro.core.passes import build_passes
@@ -139,6 +143,16 @@ class Timeline:
         """Number of churn epochs (the baseline does not count)."""
         return max(0, len(self.snapshots) - 1)
 
+    @property
+    def interrupted_at(self) -> Optional[int]:
+        """The last committed epoch of an interrupted run, else None.
+
+        Set by the graceful-shutdown path: the run stopped early, every
+        epoch up to (and including) this one is durable, and
+        ``churn --resume`` is the documented next step.
+        """
+        return self.config.get("interrupted_at_epoch")
+
     def drift_series(self, field: str) -> List[object]:
         """One snapshot field across every epoch, baseline first."""
         return [getattr(snapshot, field) for snapshot in self.snapshots]
@@ -162,6 +176,13 @@ class Timeline:
         if len(totals) > 1:
             raise ValueError(f"every epoch must survey the same directory; "
                              f"saw name counts {sorted(totals)}")
+        interrupted = self.interrupted_at
+        if interrupted is not None:
+            last = self.snapshots[-1].epoch
+            if not isinstance(interrupted, int) or interrupted != last:
+                raise ValueError(
+                    f"interrupted_at_epoch must name the last committed "
+                    f"epoch ({last}), got {interrupted!r}")
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -183,12 +204,45 @@ class Timeline:
 
 
 def save_timeline(timeline: Timeline, path: PathLike) -> pathlib.Path:
-    """Write a timeline to ``path`` as JSON; returns the path written."""
+    """Atomically write a timeline to ``path`` as JSON; returns the path.
+
+    The write goes through :mod:`repro.core.atomic`, so an interrupted
+    save (including the graceful-shutdown partial save) can never leave a
+    torn ``timeline.json`` — the previous contents, if any, survive.
+    """
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(timeline.to_dict(), indent=1, sort_keys=True)
-                    + "\n", encoding="utf-8")
+    atomic_write_text(path, json.dumps(timeline.to_dict(), indent=1,
+                                       sort_keys=True) + "\n")
     return path
+
+
+def timeline_fingerprint(timeline: Timeline) -> str:
+    """A sha256 over the timeline's *deterministic* content.
+
+    Two runs of the same seeded world produce identical drift series but
+    can never produce identical wall-clocks, and socket runs record the
+    ephemeral worker addresses (and the store its path) in the config —
+    so literal byte-equality of ``timeline.json`` is unachievable even
+    between two uninterrupted runs.  The fingerprint canonicalises
+    exactly that: elapsed fields are zeroed and the ``store`` /
+    ``worker_addrs`` config entries dropped before hashing.  Everything
+    else — every snapshot field, the churn seed, rates, pass specs, an
+    ``interrupted_at_epoch`` marker — is covered, which is what makes
+    ``fingerprint(resumed run) == fingerprint(uninterrupted run)`` the
+    resume-determinism acceptance check.
+    """
+    payload = timeline.to_dict()
+    config = payload["config"]
+    config.pop("store", None)
+    config.pop("worker_addrs", None)
+    for snapshot in payload["snapshots"]:
+        snapshot["delta_elapsed_s"] = 0.0
+        if snapshot.get("cold_elapsed_s") is not None:
+            snapshot["cold_elapsed_s"] = 0.0
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()
 
 
 def load_timeline(path: PathLike) -> Timeline:
@@ -376,7 +430,10 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
                        keyframe_every: Optional[int] = None,
                        worker_addrs: Sequence[str] = (),
                        socket_options: Optional[Dict[str, object]] = None,
-                       progress=None) -> Timeline:
+                       progress=None,
+                       resume: bool = False,
+                       should_stop: Optional[Callable[[], bool]] = None
+                       ) -> Timeline:
     """Run ``epochs`` churn steps over ``internet`` and reduce each epoch.
 
     The loop alternates ``model.advance`` (world mutation through a fresh
@@ -409,6 +466,21 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
 
     ``progress``, when given, is called as ``progress(epoch, snapshot)``
     after each epoch is reduced.
+
+    ``resume=True`` continues an interrupted run from a non-empty
+    ``store``: the committed epochs are *replayed* — ``model.advance``
+    re-derives the world and the engine's warm state epoch by epoch (the
+    churn model is seeded, so the event sequence reproduces exactly),
+    while the results come straight off the store's durable epochs with
+    no re-survey — and the loop then continues from the first
+    uncommitted epoch.  The finished timeline is deterministic: its
+    :func:`timeline_fingerprint` equals an uninterrupted run's.
+    ``internet`` and ``model`` must be freshly built with the run's
+    original seeds and configuration.
+
+    ``should_stop``, when given, is polled between epochs (the graceful-
+    shutdown hook): returning True finishes the in-flight epoch's commit,
+    marks the timeline ``interrupted_at_epoch``, and returns it early.
     """
     from repro.topology.changes import ChangeJournal
 
@@ -417,9 +489,15 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
     pass_specs = _normalise_pass_specs(passes)
     epoch_store = (store if isinstance(store, EpochStore) or store is None
                    else EpochStore(store, keyframe_every=keyframe_every))
-    if epoch_store is not None and epoch_store.epochs:
+    if resume:
+        if epoch_store is None:
+            raise ValueError("resume needs an epoch store (the committed "
+                             "epochs are the only durable state)")
+        _check_resumable_store(epoch_store, epochs)
+    elif epoch_store is not None and epoch_store.epochs:
         raise ValueError(f"epoch store {epoch_store.root} is not empty "
-                         f"(holds {epoch_store.epochs} epochs)")
+                         f"(holds {epoch_store.epochs} epochs; pass "
+                         f"resume=True / --resume to continue it)")
 
     def engine_config(specs: Sequence[str],
                       run_backend: Optional[str] = None) -> EngineConfig:
@@ -434,6 +512,10 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
                                           else ()),
                             **extra)
 
+    # The engine is created on the *pristine* world with the original
+    # pass specs — on resume too: replay then advances world and engine
+    # together, so the coordinator's frozen BUILD frame and the replayed
+    # spec history match what the interrupted run's workers saw.
     engine = SurveyEngine(internet, config=engine_config(pass_specs))
 
     try:
@@ -441,33 +523,183 @@ def run_churn_timeline(internet, model: ChurnModel, epochs: int,
                                engine_config, pass_specs, backend, workers,
                                include_bottleneck, popular_count, max_names,
                                cold_check, epoch_store, keyframe_every,
-                               worker_addrs, progress)
+                               worker_addrs, progress, resume, should_stop)
     finally:
         engine.close()
+
+
+def _check_resumable_store(epoch_store: EpochStore, epochs: int) -> None:
+    """Refuse to resume from a store that is empty, damaged, or oversized."""
+    report = epoch_store.verify()
+    if report.problems:
+        details = "; ".join(str(problem) for problem in report.problems)
+        raise SnapshotFormatError(
+            f"{epoch_store.root}: cannot resume from a damaged epoch "
+            f"store ({details}) — run `repro-dns fsck --salvage "
+            f"{epoch_store.root}` first")
+    if report.valid_epochs == 0:
+        raise ValueError(
+            f"epoch store {epoch_store.root} is empty — nothing to "
+            f"resume (run without --resume)")
+    if report.valid_epochs > epochs + 1:
+        raise ValueError(
+            f"epoch store {epoch_store.root} already holds "
+            f"{report.valid_epochs - 1} churn epochs, more than the "
+            f"{epochs} requested")
+
+
+def _cold_audit(snapshot: TimelineSnapshot, results, internet,
+                engine_config, pass_specs, backend, model,
+                max_names) -> None:
+    """Run the serial cold reference survey and record the comparison."""
+    cold_specs = _with_dnssec_fraction(pass_specs, model.dnssec_fraction)
+    # The audit reference is always serial: an independent cold
+    # engine must not contend for (or rebuild) the busy workers.
+    cold_engine = SurveyEngine(
+        internet, config=engine_config(
+            cold_specs,
+            run_backend="serial" if backend == "socket" else None))
+    cold_started = time.perf_counter()
+    cold = cold_engine.run(max_names=max_names)
+    snapshot.cold_elapsed_s = round(time.perf_counter() - cold_started, 6)
+    snapshot.cold_identical = (
+        json.dumps(results_to_dict(results), sort_keys=True)
+        == json.dumps(results_to_dict(cold), sort_keys=True))
+
+
+def _check_resume_compatibility(engine, baseline_results,
+                                max_names) -> None:
+    """The resumed run must be configured exactly like the original."""
+    metadata = baseline_results.metadata
+    expected_passes = [pass_.name for pass_ in engine.passes]
+    if metadata.get("passes") != expected_passes:
+        raise ValueError(
+            f"cannot resume: the store was written with passes "
+            f"{metadata.get('passes')}, this run configures "
+            f"{expected_passes}")
+    for key, value in (
+            ("popular_count", engine.config.popular_count),
+            ("include_bottleneck", engine.config.include_bottleneck),
+            ("names_requested",
+             len(engine._select_entries(None, max_names)))):
+        if metadata.get(key) != value:
+            raise ValueError(
+                f"cannot resume: the store was written with "
+                f"{key}={metadata.get(key)!r}, this run has {key}={value!r}")
+
+
+def _replay_committed_epochs(internet, model, engine, engine_config,
+                             pass_specs, backend, max_names, cold_check,
+                             epoch_store, progress):
+    """Re-derive world + engine state for a store's committed epochs.
+
+    No name is re-surveyed: ``model.advance`` replays the seeded event
+    sequence (mutating the world and the engine's warm context exactly
+    as the interrupted run did), and every epoch's results are opened
+    lazily from the store.  Returns the rebuilt snapshot rows and the
+    last durable epoch's results — the delta baseline the continuing
+    loop picks up from.
+    """
+    from repro.topology.changes import ChangeJournal
+
+    committed = epoch_store.epochs
+    replay_started = time.perf_counter()
+    results = epoch_store.load_epoch(0)
+    _check_resume_compatibility(engine, results, max_names)
+    baseline = _reduce_epoch(
+        0, results, None, events=(),
+        stats=_BaselineStats(total_names=len(results.records),
+                             dirty_names=len(results.records)),
+        elapsed_s=time.perf_counter() - replay_started,
+        dnssec_fraction=model.dnssec_fraction)
+    snapshots = [baseline]
+    if progress is not None:
+        progress(0, baseline)
+
+    for epoch in range(1, committed):
+        epoch_started = time.perf_counter()
+        journal = ChangeJournal(internet)
+        events = model.advance(journal)
+        changes = journal.changes()
+        if backend == "socket":
+            # The coordinator's spec history must replay completely: a
+            # (re)built worker receives every mutation since epoch 0.
+            engine._ensure_coordinator().sync_journal(journal)
+        for deployment in changes.dnssec_deployments:
+            for pass_ in engine.passes:
+                adopt = getattr(pass_, "adopt_deployment", None)
+                if adopt is not None:
+                    adopt(deployment)
+        previous = results
+        entries = engine._select_entries(None, max_names)
+        # Mirror run_delta's dirty bookkeeping so the replayed stats row
+        # equals the one the interrupted run reduced.
+        dirty = set(DirtyIndex(previous).dirty_names(changes))
+        dirty_count = clean_count = 0
+        for entry in entries:
+            if entry.name not in dirty and \
+                    previous.record_for(entry.name) is not None:
+                clean_count += 1
+            else:
+                dirty.add(entry.name)
+                dirty_count += 1
+        engine._invalidate_for_changes(changes, dirty)
+        results = epoch_store.load_epoch(epoch)
+        elapsed = time.perf_counter() - epoch_started
+        stats = DeltaStats(
+            total_names=len(entries), dirty_names=dirty_count,
+            patched_names=clean_count,
+            events=len(journal) if hasattr(journal, "__len__") else 0,
+            edited_zones=len(changes.edited_zones),
+            created_zones=len(changes.created_zones),
+            touched_hosts=len(changes.touched_hosts),
+            dirty_fraction=(dirty_count / len(entries)) if entries else 0.0,
+            elapsed_s=elapsed)
+        snapshot = _reduce_epoch(epoch, results, previous, events, stats,
+                                 elapsed, model.dnssec_fraction)
+        if cold_check:
+            _cold_audit(snapshot, results, internet, engine_config,
+                        pass_specs, backend, model, max_names)
+        snapshots.append(snapshot)
+        if progress is not None:
+            progress(epoch, snapshot)
+    return snapshots, results
 
 
 def _run_epoch_loop(internet, model, epochs, engine, engine_config,
                     pass_specs, backend, workers, include_bottleneck,
                     popular_count, max_names, cold_check, epoch_store,
-                    keyframe_every, worker_addrs, progress) -> Timeline:
+                    keyframe_every, worker_addrs, progress, resume,
+                    should_stop) -> Timeline:
     from repro.topology.changes import ChangeJournal
 
-    started = time.perf_counter()
-    results = engine.run(max_names=max_names)
-    baseline_elapsed = time.perf_counter() - started
-    baseline = _reduce_epoch(
-        0, results, None, events=(),
-        stats=_BaselineStats(total_names=len(results.records),
-                             dirty_names=len(results.records)),
-        elapsed_s=baseline_elapsed,
-        dnssec_fraction=model.dnssec_fraction)
-    snapshots = [baseline]
-    if epoch_store is not None:
-        epoch_store.append(results)
-    if progress is not None:
-        progress(0, baseline)
+    if resume:
+        snapshots, results = _replay_committed_epochs(
+            internet, model, engine, engine_config, pass_specs, backend,
+            max_names, cold_check, epoch_store, progress)
+    else:
+        started = time.perf_counter()
+        results = engine.run(max_names=max_names)
+        baseline_elapsed = time.perf_counter() - started
+        baseline = _reduce_epoch(
+            0, results, None, events=(),
+            stats=_BaselineStats(total_names=len(results.records),
+                                 dirty_names=len(results.records)),
+            elapsed_s=baseline_elapsed,
+            dnssec_fraction=model.dnssec_fraction)
+        snapshots = [baseline]
+        if epoch_store is not None:
+            epoch_store.append(results)
+        if progress is not None:
+            progress(0, baseline)
 
-    for epoch in range(1, epochs + 1):
+    interrupted: Optional[int] = None
+    for epoch in range(len(snapshots), epochs + 1):
+        if should_stop is not None and should_stop():
+            # The previous epoch's commit is complete and durable; stop
+            # here and mark the timeline resumable at it.
+            interrupted = epoch - 1
+            break
         journal = ChangeJournal(internet)
         events = model.advance(journal)
         epoch_started = time.perf_counter()
@@ -477,21 +709,8 @@ def _run_epoch_loop(internet, model, epochs, engine, engine_config,
                                  outcome.stats, elapsed,
                                  model.dnssec_fraction)
         if cold_check:
-            cold_specs = _with_dnssec_fraction(pass_specs,
-                                               model.dnssec_fraction)
-            # The audit reference is always serial: an independent cold
-            # engine must not contend for (or rebuild) the busy workers.
-            cold_engine = SurveyEngine(
-                internet, config=engine_config(
-                    cold_specs,
-                    run_backend="serial" if backend == "socket" else None))
-            cold_started = time.perf_counter()
-            cold = cold_engine.run(max_names=max_names)
-            snapshot.cold_elapsed_s = round(
-                time.perf_counter() - cold_started, 6)
-            snapshot.cold_identical = (
-                json.dumps(results_to_dict(outcome.results), sort_keys=True)
-                == json.dumps(results_to_dict(cold), sort_keys=True))
+            _cold_audit(snapshot, outcome.results, internet, engine_config,
+                        pass_specs, backend, model, max_names)
         if epoch_store is not None:
             # The dirty set bounds the changed-row scan: clean rows are
             # unchanged by the delta contract and are never compared.
@@ -520,5 +739,7 @@ def _run_epoch_loop(internet, model, epochs, engine, engine_config,
             "worker_addrs": list(worker_addrs),
         },
         snapshots=snapshots)
+    if interrupted is not None:
+        timeline.config["interrupted_at_epoch"] = interrupted
     timeline.validate()
     return timeline

@@ -712,9 +712,12 @@ class LocalWorkerFleet:
         return environment
 
     def _spawn(self, index: int, address: str) -> subprocess.Popen:
+        # --parent-pid: if this coordinator dies without stop() (SIGKILL,
+        # crash-matrix fault injection), the workers notice the reparent
+        # and exit instead of leaking as orphan listeners.
         return subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "worker",
-             "--listen", address],
+             "--listen", address, "--parent-pid", str(os.getpid())],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE,
             env=self._environment(index))
 

@@ -20,6 +20,24 @@ points inside a worker process:
     The Nth connection the worker accepts.  Op: ``refuse`` (close it
     immediately — a refused reconnect).
 
+Beyond the wire, three *io* points fire from the atomic-commit protocol
+in :mod:`repro.core.atomic` (every durable write goes through it), so a
+plan can kill a process at any step of a snapshot commit:
+
+``write``
+    The Nth atomic commit *started* (before the temp file is opened).
+    Ops: ``kill`` (die before a byte hits disk), ``truncate`` (write
+    half the payload to the temp file at commit time, then die — a torn
+    mid-write crash), ``delay``.
+``fsync``
+    The Nth fsync step.  Each commit fires two: the temp-file fsync
+    (odd events) and the directory fsync after the rename (even
+    events), so ``kill:fsync:2`` is the classic
+    "renamed-but-rename-not-durable" crash.  Ops: ``kill``, ``delay``.
+``replace``
+    The Nth ``os.replace`` about to run (temp file complete and
+    durable, destination untouched).  Ops: ``kill``, ``delay``.
+
 Plans have a compact spec grammar for CLI/env transport::
 
     seed=7,kill:recv:2,corrupt:send:3,delay:send:1:0.5
@@ -59,7 +77,14 @@ VALID_FAULTS: Set[Tuple[str, str]] = {
     ("delay", "send"), ("delay", "recv"),
     ("truncate", "send"), ("corrupt", "send"),
     ("refuse", "accept"),
+    ("kill", "write"), ("truncate", "write"), ("delay", "write"),
+    ("kill", "fsync"), ("delay", "fsync"),
+    ("kill", "replace"), ("delay", "replace"),
 }
+
+#: The fault points fired by :mod:`repro.core.atomic` commits (the wire
+#: points are ``send``/``recv``/``accept``).
+IO_POINTS: Tuple[str, ...] = ("write", "fsync", "replace")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -159,6 +184,7 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan):
         self.plan = plan
         self.counters: Dict[str, int] = {"send": 0, "recv": 0, "accept": 0}
+        self.counters.update({point: 0 for point in IO_POINTS})
         self.fired: Dict[str, int] = {}
         self._rng = random.Random(f"repro-fault-plan:{plan.seed}")
 
@@ -220,6 +246,25 @@ class FaultInjector:
         """Called per accepted connection; True means close it unserved."""
         action = self._arm("accept")
         return action is not None and action.op == "refuse"
+
+    # -- io hook points (atomic-commit protocol) -----------------------------------------
+
+    def io_event(self, point: str) -> Optional[FaultAction]:
+        """Called from :mod:`repro.core.atomic` at each commit step.
+
+        ``kill`` and ``delay`` execute here; any other action (i.e.
+        ``truncate:write``) is returned for the commit machinery to
+        stage, since only it knows where "half the payload" is.
+        """
+        action = self._arm(point)
+        if action is None:
+            return None
+        if action.op == "kill":
+            os._exit(KILL_EXIT_STATUS)
+        if action.op == "delay":
+            time.sleep(action.arg)
+            return None
+        return action
 
 
 def activate_from_env(environ=None) -> Optional[FaultInjector]:

@@ -88,11 +88,16 @@ _FAULT_INJECTOR = None
 def install_fault_injector(injector):
     """Install (or, with None, clear) the process fault injector.
 
-    Returns the previously installed injector so tests can restore it.
+    The same injector is installed into :mod:`repro.core.atomic`, so one
+    plan scripts wire faults (``send``/``recv``/``accept``) and commit
+    faults (``write``/``fsync``/``replace``) together.  Returns the
+    previously installed injector so tests can restore it.
     """
+    from repro.core.atomic import install_io_injector
     global _FAULT_INJECTOR
     previous = _FAULT_INJECTOR
     _FAULT_INJECTOR = injector
+    install_io_injector(injector)
     return previous
 
 

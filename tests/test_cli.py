@@ -209,8 +209,12 @@ def test_resurvey_chains_through_sidecar_journal(tmp_path, capsys):
           *TINY])
     output = capsys.readouterr().out
     assert "replayed 1 prior mutation(s)" in output
-    assert json.loads((tmp_path / "last.json.journal").read_text()) == \
-        [first, second]
+    sidecar = json.loads((tmp_path / "last.json.journal").read_text())
+    assert sidecar["specs"] == [first, second]
+    # The v2 sidecar binds itself to the published snapshot by hash.
+    import hashlib
+    assert sidecar["snapshot_sha256"] == \
+        hashlib.sha256(last.read_bytes()).hexdigest()
 
     # Cold survey of the twice-mutated world must match the chained result.
     from repro.core.engine import SurveyEngine

@@ -52,7 +52,9 @@ def test_safety_percentage_matches_vulnerable_count(small_survey):
         if record.tcb_size:
             expected = 100.0 * (record.tcb_size - record.vulnerable_in_tcb) / \
                 record.tcb_size
-            assert record.safety_percentage == pytest.approx(expected)
+            # Records are born canonicalised to the snapshot codecs'
+            # three decimals (so they survive a store round trip equal).
+            assert record.safety_percentage == round(expected, 3)
 
 
 def test_cctld_flag(small_survey):
